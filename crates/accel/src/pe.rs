@@ -1,0 +1,205 @@
+//! The Omni-PE (paper Sec. V-B, Fig. 12): one multiplier, one pipelined
+//! adder, four MUXes and a partial-output queue, dynamically configured
+//! to execute every operation class LSTM training needs.
+//!
+//! | Mode | Multiplier | Adder | Output path |
+//! |------|-----------|-------|-------------|
+//! | matrix-vector (`·`) | active | streaming accumulator | partial-output queue |
+//! | element-wise `⊙` / outer `⊗` | active | bypassed | direct |
+//! | element-wise `+` | bypassed | active | partial-output queue |
+//!
+//! The functional methods actually compute (used by the channel-level
+//! verification tests); the cycle counts come from the streaming model:
+//! one operand pair per cycle, plus pipeline fill and the accumulator
+//! drain measured by the cycle-accurate
+//! [`crate::accumulator::AccumulatorSim`].
+
+use crate::accumulator::AccumulatorSim;
+use serde::{Deserialize, Serialize};
+
+/// Multiplier pipeline latency, cycles (Xilinx FP32 multiplier at
+/// 500 MHz).
+pub const MULT_LATENCY: u32 = 4;
+
+/// Operating mode of an Omni-PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PeMode {
+    /// Matrix-vector multiply-accumulate (inner product).
+    MatVec,
+    /// Element-wise multiply (also used for outer products — same
+    /// datapath, broadcast operand).
+    EwMul,
+    /// Element-wise add.
+    EwAdd,
+}
+
+/// Operation/cycle counters from one PE-level execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PeStats {
+    /// Cycles occupied.
+    pub cycles: u64,
+    /// Multiplier operations issued.
+    pub mult_ops: u64,
+    /// Adder operations issued.
+    pub add_ops: u64,
+}
+
+impl PeStats {
+    /// Merges another stat block into this one (sequential composition:
+    /// cycles add).
+    pub fn merge(&mut self, other: &PeStats) {
+        self.cycles += other.cycles;
+        self.mult_ops += other.mult_ops;
+        self.add_ops += other.add_ops;
+    }
+}
+
+/// One Omni-PE.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OmniPe {
+    accumulator: AccumulatorSim,
+}
+
+impl OmniPe {
+    /// Creates a PE with the given adder pipeline latency.
+    pub fn new(add_latency: u32) -> Self {
+        OmniPe {
+            accumulator: AccumulatorSim::new(add_latency),
+        }
+    }
+
+    /// Inner product of two equal-length streams (MatVec mode):
+    /// multiplier feeds the streaming accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand lengths differ.
+    pub fn mac_stream(&self, a: &[f32], b: &[f32]) -> (f32, PeStats) {
+        assert_eq!(a.len(), b.len(), "mac_stream operand length mismatch");
+        let products: Vec<f32> = a.iter().zip(b.iter()).map(|(&x, &y)| x * y).collect();
+        let run = self.accumulator.run(&products);
+        let stats = PeStats {
+            cycles: MULT_LATENCY as u64 + run.cycles,
+            mult_ops: a.len() as u64,
+            add_ops: a.len().saturating_sub(1) as u64,
+        };
+        (run.sum, stats)
+    }
+
+    /// Element-wise product (EwMul mode): adder bypassed, one result per
+    /// cycle after pipeline fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand lengths differ.
+    pub fn ew_mul(&self, a: &[f32], b: &[f32]) -> (Vec<f32>, PeStats) {
+        assert_eq!(a.len(), b.len(), "ew_mul operand length mismatch");
+        let out: Vec<f32> = a.iter().zip(b.iter()).map(|(&x, &y)| x * y).collect();
+        let stats = PeStats {
+            cycles: MULT_LATENCY as u64 + a.len() as u64,
+            mult_ops: a.len() as u64,
+            add_ops: 0,
+        };
+        (out, stats)
+    }
+
+    /// Element-wise sum (EwAdd mode): multiplier bypassed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand lengths differ.
+    pub fn ew_add(&self, a: &[f32], b: &[f32]) -> (Vec<f32>, PeStats) {
+        assert_eq!(a.len(), b.len(), "ew_add operand length mismatch");
+        let out: Vec<f32> = a.iter().zip(b.iter()).map(|(&x, &y)| x + y).collect();
+        let stats = PeStats {
+            cycles: self.accumulator.add_latency as u64 + a.len() as u64,
+            mult_ops: 0,
+            add_ops: a.len() as u64,
+        };
+        (out, stats)
+    }
+
+    /// One row of an outer product: a broadcast scalar times a vector
+    /// (EwMul datapath with the broadcast queue supplying `scalar`).
+    pub fn outer_row(&self, scalar: f32, v: &[f32]) -> (Vec<f32>, PeStats) {
+        let out: Vec<f32> = v.iter().map(|&x| scalar * x).collect();
+        let stats = PeStats {
+            cycles: MULT_LATENCY as u64 + v.len() as u64,
+            mult_ops: v.len() as u64,
+            add_ops: 0,
+        };
+        (out, stats)
+    }
+
+    /// Cycles for an `n`-element inner product (timing only).
+    pub fn mac_cycles(&self, n: usize) -> u64 {
+        MULT_LATENCY as u64 + self.accumulator.cycles_for(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_stream_computes_dot_product() {
+        let pe = OmniPe::default();
+        let (sum, stats) = pe.mac_stream(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]);
+        assert_eq!(sum, 32.0);
+        assert_eq!(stats.mult_ops, 3);
+        assert_eq!(stats.add_ops, 2);
+        assert!(stats.cycles > 3);
+    }
+
+    #[test]
+    fn ew_modes_compute_elementwise() {
+        let pe = OmniPe::default();
+        let (m, sm) = pe.ew_mul(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(m, vec![3.0, 8.0]);
+        assert_eq!(sm.add_ops, 0);
+        let (a, sa) = pe.ew_add(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(a, vec![4.0, 6.0]);
+        assert_eq!(sa.mult_ops, 0);
+    }
+
+    #[test]
+    fn outer_row_broadcasts_scalar() {
+        let pe = OmniPe::default();
+        let (row, _) = pe.outer_row(2.0, &[1.0, -1.0, 0.5]);
+        assert_eq!(row, vec![2.0, -2.0, 1.0]);
+    }
+
+    #[test]
+    fn long_mac_stream_is_near_one_per_cycle() {
+        let pe = OmniPe::default();
+        let cycles = pe.mac_cycles(2048);
+        assert!(
+            (cycles as f64) < 2048.0 * 1.05,
+            "2048-MAC stream took {cycles} cycles — streaming broken"
+        );
+    }
+
+    #[test]
+    fn stats_merge_adds_fields() {
+        let mut a = PeStats {
+            cycles: 10,
+            mult_ops: 5,
+            add_ops: 4,
+        };
+        a.merge(&PeStats {
+            cycles: 3,
+            mult_ops: 2,
+            add_ops: 1,
+        });
+        assert_eq!(a.cycles, 13);
+        assert_eq!(a.mult_ops, 7);
+        assert_eq!(a.add_ops, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_operands_panic() {
+        let pe = OmniPe::default();
+        let _ = pe.mac_stream(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Throughput of the accelerator simulator itself across architecture
+//! variants and the six paper benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eta_accel::arch::{AccelConfig, ArchKind, EtaAccel};
+use eta_memsim::model::OptEffects;
+use eta_workloads::Benchmark;
+use std::hint::black_box;
+
+fn bench_arch_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accel_simulate");
+    let shape = Benchmark::Ptb.spec().shape();
+    for kind in [ArchKind::LstmInf, ArchKind::StaticArch, ArchKind::DynArch] {
+        let machine = EtaAccel::new(AccelConfig::paper_4board(), kind);
+        group.bench_function(kind.label(), |bench| {
+            bench.iter(|| black_box(machine.simulate(&shape, &OptEffects::baseline())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accel_simulate_benchmarks");
+    let machine = EtaAccel::new(AccelConfig::paper_4board(), ArchKind::DynArch);
+    let eff = OptEffects::combined(0.35, 0.5);
+    for b in Benchmark::ALL {
+        let shape = b.spec().shape();
+        group.bench_function(b.spec().abbr, |bench| {
+            bench.iter(|| black_box(machine.simulate(&shape, &eff)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arch_variants, bench_all_benchmarks);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Cycle-accurate accumulator simulation cost across stream lengths —
+//! supports the Table III latency analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eta_accel::accumulator::AccumulatorSim;
+use std::hint::black_box;
+
+fn bench_streaming_accumulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accumulator_sim");
+    let sim = AccumulatorSim::new(8);
+    for &n in &[64usize, 256, 1024, 4096] {
+        let values = vec![1.0f32; n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(sim.run(&values)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming_accumulation);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Training-step latency per strategy: how much CPU-side work the MS1
+//! compression and MS2 skipping save on a real (scaled) model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eta_bench::{scaled_task, SEED};
+use eta_lstm_core::{Trainer, TrainingStrategy};
+use eta_workloads::Benchmark;
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_epoch_scaled_imdb");
+    group.sample_size(10);
+    for strategy in TrainingStrategy::ALL {
+        let cfg = eta_bench::scaled_config(Benchmark::Imdb);
+        let task = scaled_task(Benchmark::Imdb);
+        group.bench_function(strategy.to_string(), |bench| {
+            bench.iter(|| {
+                let mut trainer = Trainer::new(cfg, strategy, SEED).unwrap();
+                // 4 epochs so MS2 gets past its warm-up and skips.
+                black_box(trainer.run(&task, 4).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference_scaled_ptb");
+    group.sample_size(20);
+    let cfg = eta_bench::scaled_config(Benchmark::Ptb);
+    let task = scaled_task(Benchmark::Ptb);
+    let trainer = Trainer::new(cfg, TrainingStrategy::Baseline, SEED).unwrap();
+    let batch = eta_lstm_core::Task::batch(&task, 0, 0);
+    group.bench_function("forward_inference", |bench| {
+        bench.iter(|| black_box(trainer.model().forward_inference(&batch.inputs).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Ablation — adder pipeline latency vs streaming-accumulation
+//! overhead: how sensitive the Omni-PE design is to the FP adder depth
+//! (the paper's design assumes 8 cycles).
+
+use eta_accel::accumulator::AccumulatorSim;
+use eta_bench::table::pct;
+use eta_bench::Table;
+
+fn main() {
+    let lengths = [64usize, 256, 1024, 4096];
+    let mut headers: Vec<String> = vec!["adder latency".into()];
+    headers.extend(lengths.iter().map(|n| format!("n={n}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Streaming-accumulation overhead vs adder latency",
+        &header_refs,
+    );
+    for latency in [2u32, 4, 8, 16, 32] {
+        let sim = AccumulatorSim::new(latency);
+        let mut row = vec![format!("{latency} cycles")];
+        for &n in &lengths {
+            let run = sim.run(&vec![1.0f32; n]);
+            row.push(pct(run.drain_overhead(n as u64, latency)));
+        }
+        table.row(&row);
+    }
+    table.print();
+    println!(
+        "the drain overhead grows with adder depth but vanishes with stream\n\
+         length; at the paper's 8-cycle adder and >=1024-element LSTM gate\n\
+         streams it stays under the reported 2.87%."
+    );
+}

@@ -1,0 +1,102 @@
+//! Figure 3 — GPU throughput (TFLOPS) and energy efficiency (GFLOPS/W)
+//! when scaling LSTM model size along the three axes:
+//! (a) hidden size, (b) layer number, (c) layer length.
+//!
+//! Paper shapes to reproduce: throughput rises then saturates with
+//! hidden size while efficiency peaks and declines; throughput is flat
+//! but efficiency falls with layer count (7/8-layer OOM on the 16 GB
+//! RTX 5000); both fall with layer length.
+
+use eta_bench::table::fmt;
+use eta_bench::Table;
+use eta_gpu::{GpuModel, GpuSpec};
+use eta_memsim::model::{LstmShape, OptEffects};
+
+fn row(
+    table: &mut Table,
+    label: &str,
+    shape: &LstmShape,
+    rtx: &GpuModel,
+    v100: &GpuModel,
+) {
+    let base = OptEffects::baseline();
+    let r = rtx.estimate(shape, &base);
+    let v = v100.estimate(shape, &base);
+    let cell = |fits: bool, value: f64, decimals: usize| {
+        if fits {
+            fmt(value, decimals)
+        } else {
+            "OOM".to_string()
+        }
+    };
+    table.row(&[
+        label.to_string(),
+        cell(r.fits, r.tflops, 2),
+        cell(v.fits, v.tflops, 2),
+        cell(r.fits, r.gflops_per_watt, 1),
+        cell(v.fits, v.gflops_per_watt, 1),
+    ]);
+}
+
+fn main() {
+    let rtx = GpuModel::new(GpuSpec::rtx5000());
+    let v100 = GpuModel::new(GpuSpec::v100());
+    let headers = [
+        "config",
+        "RTX TFLOPS",
+        "V100 TFLOPS",
+        "RTX GF/W",
+        "V100 GF/W",
+    ];
+
+    // (a) hidden-size sweep: LN=3, LL=35 (PTB-style), batch 128.
+    let mut a = Table::new(
+        "Fig. 3a — hidden size sweep (LN=3, LL=35)",
+        &headers,
+    );
+    for h in [256usize, 512, 1024, 2048, 3072] {
+        row(
+            &mut a,
+            &format!("H{h}"),
+            &LstmShape::new(h, h, 3, 35, 128),
+            &rtx,
+            &v100,
+        );
+    }
+    a.print();
+    println!(
+        "paper shape: throughput climbs then saturates past H1024; energy\n\
+         efficiency peaks mid-sweep and declines at H3072.\n"
+    );
+
+    // (b) layer-number sweep: H=2048, LL=35.
+    let mut b = Table::new("Fig. 3b — layer number sweep (H=2048, LL=35)", &headers);
+    for ln in 2..=8usize {
+        row(
+            &mut b,
+            &format!("LN{ln}"),
+            &LstmShape::new(2048, 2048, ln, 35, 128),
+            &rtx,
+            &v100,
+        );
+    }
+    b.print();
+    println!(
+        "paper shape: near-flat throughput, falling efficiency; the 7- and\n\
+         8-layer models cannot train on the 16 GB RTX 5000 (OOM).\n"
+    );
+
+    // (c) layer-length sweep: H=1024, LN=3.
+    let mut c = Table::new("Fig. 3c — layer length sweep (H=1024, LN=3)", &headers);
+    for ll in [18usize, 35, 100, 151, 303] {
+        row(
+            &mut c,
+            &format!("LL{ll}"),
+            &LstmShape::new(1024, 1024, 3, ll, 128),
+            &rtx,
+            &v100,
+        );
+    }
+    c.print();
+    println!("paper shape: throughput and energy efficiency both decline with layer length.");
+}

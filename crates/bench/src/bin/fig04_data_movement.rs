@@ -1,0 +1,62 @@
+//! Figure 4 — DRAM data movement caused by parameters, activation
+//! data, and intermediate variables across the H/LN/LL sweeps.
+//!
+//! Paper headline numbers: intermediates move 4.34× the activation
+//! bytes on average (up to 4.81×), and parameters ≈1.08× the
+//! activations.
+
+use eta_bench::table::{fmt, gb};
+use eta_bench::{mean, Table};
+use eta_memsim::model::{traffic, LstmShape, OptEffects};
+
+fn sweep() -> Vec<(String, LstmShape)> {
+    let mut configs = Vec::new();
+    for h in [256usize, 512, 1024, 2048, 3072] {
+        configs.push((format!("H{h}"), LstmShape::new(h, h, 3, 35, 128)));
+    }
+    for ln in 2..=8usize {
+        configs.push((format!("LN{ln}"), LstmShape::new(2048, 2048, ln, 35, 128)));
+    }
+    for ll in [18usize, 35, 100, 151, 303] {
+        configs.push((format!("LL{ll}"), LstmShape::new(1024, 1024, 3, ll, 128)));
+    }
+    configs
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Fig. 4 — data movement per training iteration (GB)",
+        &["config", "parameter", "activations", "intermediates", "int/act", "param/act"],
+    );
+    let base = OptEffects::baseline();
+    let mut int_act = Vec::new();
+    let mut param_act = Vec::new();
+    for (label, shape) in sweep() {
+        let t = traffic(&shape, &base);
+        let ia = t.int_to_act_ratio();
+        let pa = t.weights as f64 / t.activations as f64;
+        int_act.push(ia);
+        param_act.push(pa);
+        table.row(&[
+            label,
+            gb(t.weights),
+            gb(t.activations),
+            gb(t.intermediates),
+            fmt(ia, 2),
+            fmt(pa, 2),
+        ]);
+    }
+    table.row(&[
+        "Ave".to_string(),
+        String::new(),
+        String::new(),
+        String::new(),
+        fmt(mean(&int_act), 2),
+        fmt(mean(&param_act), 2),
+    ]);
+    table.print();
+    println!(
+        "paper: intermediates average 4.34x the activation data movement\n\
+         (up to 4.81x); parameters average 1.08x. Measured averages above."
+    );
+}

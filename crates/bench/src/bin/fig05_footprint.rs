@@ -1,0 +1,53 @@
+//! Figure 5 — GPU memory-footprint breakdown (parameters, activations,
+//! intermediate variables) and total size across the H/LN/LL sweeps.
+//!
+//! Paper headline: intermediates contribute 47.18 % of the footprint on
+//! average, up to 74.01 %.
+
+use eta_bench::table::{gb, pct};
+use eta_bench::{mean, Table};
+use eta_memsim::model::{footprint, LstmShape, OptEffects};
+
+fn main() {
+    let mut table = Table::new(
+        "Fig. 5 — memory footprint per training iteration (GB)",
+        &["config", "parameter", "activations", "intermediates", "total", "int share"],
+    );
+    let base = OptEffects::baseline();
+    let mut shares = Vec::new();
+    let mut configs: Vec<(String, LstmShape)> = Vec::new();
+    for h in [256usize, 512, 1024, 2048, 3072] {
+        configs.push((format!("H{h}"), LstmShape::new(h, h, 3, 35, 128)));
+    }
+    for ln in 2..=8usize {
+        configs.push((format!("LN{ln}"), LstmShape::new(2048, 2048, ln, 35, 128)));
+    }
+    for ll in [18usize, 35, 100, 151, 303] {
+        configs.push((format!("LL{ll}"), LstmShape::new(1024, 1024, 3, ll, 128)));
+    }
+    for (label, shape) in configs {
+        let f = footprint(&shape, &base);
+        shares.push(f.intermediate_share());
+        table.row(&[
+            label,
+            gb(f.weights),
+            gb(f.activations),
+            gb(f.intermediates),
+            gb(f.total()),
+            pct(f.intermediate_share()),
+        ]);
+    }
+    table.row(&[
+        "Ave".to_string(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        pct(mean(&shares)),
+    ]);
+    table.print();
+    println!(
+        "paper: intermediate variables average 47.18% of the footprint\n\
+         (up to 74.01%). Measured average above."
+    );
+}

@@ -1,0 +1,54 @@
+//! Figure 10 (qualitative) — the execution timeline that motivates the
+//! R2A scheduler: under static computational-resource allocation the EW
+//! logic idles while MatMul runs (and vice versa); dynamic allocation
+//! keeps all PEs busy.
+
+use eta_accel::timeline::{trace, Alloc, CellKernels};
+use eta_bench::table::pct;
+
+fn render(label: &str, tl: &eta_accel::timeline::Timeline, scale: f64) {
+    println!("-- {label} (utilization {}) --", pct(tl.utilization));
+    for seg in tl.segments.iter().take(8) {
+        let width = ((seg.duration() / scale) as usize).max(1);
+        let fill = (seg.busy_fraction * 10.0).round() as usize;
+        let bar: String = std::iter::repeat_n('#', fill)
+            .chain(std::iter::repeat_n('.', 10 - fill))
+            .collect();
+        println!(
+            "  {:>7} cyc {:<6} busy [{bar}] x{width}",
+            format!("{:.0}", seg.duration()),
+            seg.kind
+        );
+    }
+    println!();
+}
+
+fn main() {
+    // Three cells of a reordered (MS1) forward phase: heavy MatMul
+    // followed by a significant EW burst.
+    let cells = vec![
+        CellKernels {
+            mm_ops: 800_000,
+            ew_ops: 200_000,
+        };
+        3
+    ];
+    let ops_per_cycle = 1024.0;
+
+    let stat = trace(&cells, ops_per_cycle, Alloc::Static { ew_fraction: 0.4 });
+    let dynamic = trace(&cells, ops_per_cycle, Alloc::Dynamic);
+
+    println!(
+        "== Fig. 10 — kernel timeline, static vs dynamic allocation ==\n\
+         (each row is one kernel; the bar shows the busy PE fraction)\n"
+    );
+    render("Static allocation (60/40 MatMul/EW split)", &stat, 80.0);
+    render("R2A dynamic allocation (swing PEs)", &dynamic, 80.0);
+    println!(
+        "static makespan {:.0} cycles vs dynamic {:.0} — the paper's\n\
+         'low logic utilization / idle time of EW' gap ({}).",
+        stat.makespan,
+        dynamic.makespan,
+        pct(stat.makespan / dynamic.makespan - 1.0)
+    );
+}

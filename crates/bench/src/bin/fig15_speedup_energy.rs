@@ -1,0 +1,110 @@
+//! Figure 15 — (a) speedup and (b) normalized energy of every design
+//! point against the GPU baseline, on the six Table I benchmarks:
+//! MS1 / MS2 / Combine-MS (software on GPU), LSTM-Inf / Static-Arch /
+//! Dyn-Arch (hardware, no software optimizations), and the full η-LSTM
+//! (Dyn-Arch + Combine-MS).
+//!
+//! Paper headline numbers (averages): MS1 1.21×, MS2 1.32×, Combine-MS
+//! 1.56× (up to 1.79×); Dyn-Arch 1.42×; LSTM-Inf −27.5 %; Static-Arch
+//! −3.4 %; η-LSTM 3.99× (up to 5.73×) with 63.7 % energy saving
+//! (2.75× energy improvement, up to 4.25×).
+
+use eta_accel::arch::{AccelConfig, ArchKind, EtaAccel};
+use eta_bench::table::fmt;
+use eta_bench::{baseline_gpu, bench_effects, geomean, Table};
+use eta_lstm_core::TrainingStrategy;
+use eta_workloads::Benchmark;
+
+struct DesignPoint {
+    name: &'static str,
+    speedups: Vec<f64>,
+    energies: Vec<f64>,
+}
+
+fn main() {
+    let gpu = baseline_gpu();
+    let machines = [
+        EtaAccel::new(AccelConfig::paper_4board(), ArchKind::LstmInf),
+        EtaAccel::new(AccelConfig::paper_4board(), ArchKind::StaticArch),
+        EtaAccel::new(AccelConfig::paper_4board(), ArchKind::DynArch),
+    ];
+
+    let mut points: Vec<DesignPoint> = vec![
+        DesignPoint { name: "MS1", speedups: vec![], energies: vec![] },
+        DesignPoint { name: "MS2", speedups: vec![], energies: vec![] },
+        DesignPoint { name: "Combine-MS", speedups: vec![], energies: vec![] },
+        DesignPoint { name: "LSTM-Inf", speedups: vec![], energies: vec![] },
+        DesignPoint { name: "Static-Arch", speedups: vec![], energies: vec![] },
+        DesignPoint { name: "Dyn-Arch", speedups: vec![], energies: vec![] },
+        DesignPoint { name: "eta-LSTM", speedups: vec![], energies: vec![] },
+    ];
+
+    let mut labels = Vec::new();
+    for b in Benchmark::ALL {
+        labels.push(b.spec().name.to_string());
+        let shape = b.spec().shape();
+        let eff = bench_effects(b);
+        let base = gpu.estimate(&shape, &eff.for_strategy(TrainingStrategy::Baseline));
+
+        // Software-on-GPU points.
+        for (i, strat) in [
+            TrainingStrategy::Ms1,
+            TrainingStrategy::Ms2,
+            TrainingStrategy::CombinedMs,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let e = gpu.estimate(&shape, &eff.for_strategy(*strat));
+            points[i].speedups.push(base.time_s / e.time_s);
+            points[i].energies.push(e.energy_j / base.energy_j);
+        }
+        // Hardware points, no software optimizations.
+        for (i, m) in machines.iter().enumerate() {
+            let r = m.simulate(&shape, &eff.for_strategy(TrainingStrategy::Baseline));
+            points[3 + i].speedups.push(base.time_s / r.time_s);
+            points[3 + i].energies.push(r.energy_j() / base.energy_j);
+        }
+        // Full eta-LSTM: Dyn-Arch hardware + Combine-MS software.
+        let full = machines[2].simulate(&shape, &eff.for_strategy(TrainingStrategy::CombinedMs));
+        points[6].speedups.push(base.time_s / full.time_s);
+        points[6].energies.push(full.energy_j() / base.energy_j);
+    }
+
+    let mut headers: Vec<&str> = vec!["design"];
+    for l in &labels {
+        headers.push(l);
+    }
+    headers.push("geomean");
+
+    let mut speed = Table::new("Fig. 15a — speedup over GPU baseline", &headers);
+    for p in &points {
+        let mut row = vec![p.name.to_string()];
+        row.extend(p.speedups.iter().map(|&s| fmt(s, 2)));
+        row.push(fmt(geomean(&p.speedups), 2));
+        speed.row(&row);
+    }
+    speed.print();
+    println!(
+        "paper averages: MS1 1.21x, MS2 1.32x, Combine-MS 1.56x (max 1.79x),\n\
+         LSTM-Inf 0.73x, Static-Arch 0.97x, Dyn-Arch 1.42x (max 1.85x),\n\
+         eta-LSTM 3.99x (max 5.73x).\n"
+    );
+
+    let mut energy = Table::new(
+        "Fig. 15b — normalized energy vs GPU baseline (lower is better)",
+        &headers,
+    );
+    for p in &points {
+        let mut row = vec![p.name.to_string()];
+        row.extend(p.energies.iter().map(|&e| fmt(e, 2)));
+        row.push(fmt(geomean(&p.energies), 2));
+        energy.row(&row);
+    }
+    energy.print();
+    println!(
+        "paper averages: MS1 0.82, MS2 0.77, Combine-MS 0.65, LSTM-Inf 1.77,\n\
+         Static-Arch 1.33, Dyn-Arch 0.91, eta-LSTM 0.36 (energy saving 63.7%,\n\
+         up to 76.5%)."
+    );
+}

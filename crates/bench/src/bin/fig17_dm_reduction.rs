@@ -1,0 +1,57 @@
+//! Figure 17 — normalized data movement for (a) weight matrices,
+//! (b) activation data, (c) intermediate variables, under MS1, MS2,
+//! and the full η-LSTM, per benchmark.
+//!
+//! Paper headline averages: MS1 cuts weights 31.79 % and intermediates
+//! 60.27 % (activations untouched); MS2 cuts 24.67 % / 32.89 % /
+//! 49.34 %; η-LSTM overall 40.85 % / 32.89 % / 80.04 %.
+
+use eta_bench::table::fmt;
+use eta_bench::{bench_effects, mean, Table};
+use eta_lstm_core::TrainingStrategy;
+use eta_memsim::model::traffic;
+use eta_memsim::DataCategory;
+use eta_workloads::Benchmark;
+
+fn main() {
+    let strategies = [
+        TrainingStrategy::Ms1,
+        TrainingStrategy::Ms2,
+        TrainingStrategy::CombinedMs,
+    ];
+    for category in DataCategory::ALL {
+        let mut headers: Vec<String> = vec!["design".to_string()];
+        headers.extend(Benchmark::ALL.iter().map(|b| b.spec().name.to_string()));
+        headers.push("avg reduction".to_string());
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut table = Table::new(
+            &format!("Fig. 17 — normalized {category} data movement (1.0 = baseline)"),
+            &header_refs,
+        );
+        for strategy in strategies {
+            let mut normalized = Vec::new();
+            for b in Benchmark::ALL {
+                let shape = b.spec().shape();
+                let eff = bench_effects(b);
+                let base = traffic(&shape, &eff.for_strategy(TrainingStrategy::Baseline));
+                let opt = traffic(&shape, &eff.for_strategy(strategy));
+                let pick = |t: &eta_memsim::model::TrafficBreakdown| match category {
+                    DataCategory::Weights => t.weights,
+                    DataCategory::Activations => t.activations,
+                    DataCategory::Intermediates => t.intermediates,
+                };
+                normalized.push(pick(&opt) as f64 / pick(&base) as f64);
+            }
+            let mut row = vec![strategy.to_string()];
+            row.extend(normalized.iter().map(|&v| fmt(v, 2)));
+            row.push(format!("{:.1}%", (1.0 - mean(&normalized)) * 100.0));
+            table.row(&row);
+        }
+        table.print();
+    }
+    println!(
+        "paper average reductions — weights: MS1 31.79%, MS2 24.67%,\n\
+         eta-LSTM 40.85%; activations: MS1 0%, MS2 32.89%, eta-LSTM 32.89%;\n\
+         intermediates: MS1 60.27%, MS2 49.34%, eta-LSTM 80.04%."
+    );
+}

@@ -1,0 +1,47 @@
+//! Figure 18 — normalized memory footprint under the memory-saving
+//! optimizations, per benchmark.
+//!
+//! Paper headlines: MS1 reduces footprint 32.37 % on average (up to
+//! 39.09 %), MS2 41.65 % (up to 61.68 %), combined 57.52 % (up to
+//! 75.75 %).
+
+use eta_bench::table::{fmt, pct};
+use eta_bench::{bench_effects, mean, Table};
+use eta_lstm_core::TrainingStrategy;
+use eta_memsim::model::footprint;
+use eta_workloads::Benchmark;
+
+fn main() {
+    let mut headers: Vec<String> = vec!["design".to_string()];
+    headers.extend(Benchmark::ALL.iter().map(|b| b.spec().name.to_string()));
+    headers.push("avg reduction".to_string());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Fig. 18 — normalized memory footprint (1.0 = baseline)",
+        &header_refs,
+    );
+
+    for strategy in [
+        TrainingStrategy::Ms1,
+        TrainingStrategy::Ms2,
+        TrainingStrategy::CombinedMs,
+    ] {
+        let mut normalized = Vec::new();
+        for b in Benchmark::ALL {
+            let shape = b.spec().shape();
+            let eff = bench_effects(b);
+            let base = footprint(&shape, &eff.for_strategy(TrainingStrategy::Baseline)).total();
+            let opt = footprint(&shape, &eff.for_strategy(strategy)).total();
+            normalized.push(opt as f64 / base as f64);
+        }
+        let mut row = vec![strategy.to_string()];
+        row.extend(normalized.iter().map(|&v| fmt(v, 2)));
+        row.push(pct(1.0 - mean(&normalized)));
+        table.row(&row);
+    }
+    table.print();
+    println!(
+        "paper averages: MS1 -32.37% (max -39.09%), MS2 -41.65%\n\
+         (max -61.68%), Combine-MS -57.52% (max -75.75%)."
+    );
+}

@@ -1,0 +1,60 @@
+//! Convenience runner: regenerates every figure/table/ablation output
+//! in sequence (the same binaries `results/` is built from), printing
+//! each to stdout with a separator.
+//!
+//! `cargo run --release -p eta-bench --bin run_all`
+
+use std::process::Command;
+
+/// Every harness binary, in paper order.
+pub const ALL_BINARIES: [&str; 19] = [
+    "table01_benchmarks",
+    "fig03_gpu_scaling",
+    "fig04_data_movement",
+    "fig05_footprint",
+    "fig06_value_distribution",
+    "fig08_gradient_magnitude",
+    "fig10_utilization",
+    "fig11_accumulator_timing",
+    "fig15_speedup_energy",
+    "fig16_energy_efficiency",
+    "fig17_dm_reduction",
+    "fig18_footprint_reduction",
+    "table02_accuracy",
+    "table03_accumulator",
+    "ablation_ms1_threshold",
+    "ablation_ms2_threshold",
+    "ablation_static_partition",
+    "ablation_accumulator_latency",
+    "ablation_loss_predictor",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let bin_dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for name in ALL_BINARIES {
+        println!("\n================ {name} ================\n");
+        let status = Command::new(bin_dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            failures.push(name);
+        }
+    }
+    // ablation_scalability is intentionally excluded from the default
+    // sweep only if it were slow; it is fast, so run it too.
+    println!("\n================ ablation_scalability ================\n");
+    let status = Command::new(bin_dir.join("ablation_scalability"))
+        .status()
+        .expect("launch ablation_scalability");
+    if !status.success() {
+        failures.push("ablation_scalability");
+    }
+    if failures.is_empty() {
+        println!("\nall harnesses completed");
+    } else {
+        eprintln!("\nFAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Table II — accuracy impact of the memory-saving optimizations:
+//! baseline vs Combine-MS, trained to completion on each benchmark's
+//! (scaled, synthetic) task, reporting that benchmark's own metric.
+//!
+//! Paper headline: <1 % accuracy difference and no convergence-speed
+//! impact across all six benchmarks.
+
+use eta_bench::table::fmt;
+use eta_bench::{scaled_config, scaled_task, Table, SEED};
+use eta_lstm_core::{Task, Trainer, TrainingStrategy};
+use eta_tensor::Matrix;
+use eta_workloads::spec::Metric;
+use eta_workloads::{metrics, Benchmark};
+
+const EPOCHS: usize = 40;
+
+/// Per-timestamp tasks learn more slowly under plain SGD (the gradient
+/// is averaged over the timesteps); they get a longer budget.
+const EPOCHS_PER_STEP: usize = 100;
+
+/// Batches per epoch / batch size for the Table II protocol: larger than
+/// the default scaled task so the evaluation variance is acceptable.
+const BATCHES: usize = 8;
+const BATCH_SIZE: usize = 8;
+
+/// Evaluates a trained model on fresh (held-out epoch) batches with the
+/// benchmark's metric. Returns (metric value, final training loss).
+fn evaluate(trainer: &Trainer, task: &dyn Task, metric: Metric) -> f64 {
+    let model = trainer.model();
+    let eval_epoch = EPOCHS + 1000; // unseen data
+    let mut losses = Vec::new();
+    let mut accs = Vec::new();
+    let mut maes = Vec::new();
+    let mut bleu_cands: Vec<Vec<u32>> = Vec::new();
+    let mut bleu_refs: Vec<Vec<u32>> = Vec::new();
+
+    for b in 0..task.batches_per_epoch() {
+        let batch = task.batch(eval_epoch, b);
+        let (loss, acc) = model
+            .evaluate(&batch.inputs, &batch.targets)
+            .expect("evaluation");
+        losses.push(loss);
+        if let Some(a) = acc {
+            accs.push(a);
+        }
+        match (&batch.targets, metric) {
+            (eta_lstm_core::Targets::Regression(target), Metric::MeanAbsoluteError) => {
+                let out = model.forward_inference(&batch.inputs).expect("inference");
+                let last = out.last().expect("nonempty sequence");
+                let pred = Matrix::from_fn(last.rows(), target.cols(), |r, c| last.get(r, c));
+                maes.push(metrics::mae(&pred, target));
+            }
+            (eta_lstm_core::Targets::StepClasses(steps), Metric::Bleu) => {
+                let out = model.forward_inference(&batch.inputs).expect("inference");
+                // One candidate/reference token sequence per batch row.
+                for row in 0..batch.inputs[0].rows() {
+                    let cand: Vec<u32> = out
+                        .iter()
+                        .map(|logits| argmax(logits.row(row)) as u32)
+                        .collect();
+                    let reference: Vec<u32> =
+                        steps.iter().map(|s| s[row] as u32).collect();
+                    bleu_cands.push(cand);
+                    bleu_refs.push(reference);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    match metric {
+        Metric::Accuracy => mean(&accs) * 100.0,
+        Metric::Perplexity => metrics::perplexity(mean(&losses)),
+        Metric::MeanAbsoluteError => mean(&maes),
+        Metric::Bleu => metrics::bleu(&bleu_cands, &bleu_refs, 4) * 100.0,
+    }
+}
+
+fn argmax(row: &[f32]) -> usize {
+    row.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn metric_name(m: Metric) -> &'static str {
+    match m {
+        Metric::Accuracy => "accuracy %",
+        Metric::Perplexity => "PPL",
+        Metric::MeanAbsoluteError => "MAE",
+        Metric::Bleu => "BLEU",
+    }
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Table II — accuracy impact (scaled synthetic analogues)",
+        &[
+            "benchmark",
+            "metric",
+            "Baseline",
+            "Combine-MS",
+            "first-epoch loss (B)",
+            "final loss (B)",
+            "final loss (C-MS)",
+        ],
+    );
+    for b in Benchmark::ALL {
+        let spec = b.spec();
+        let small = scaled_config(b);
+        let cfg = eta_lstm_core::LstmConfig::builder()
+            .input_size(small.input_size)
+            .hidden_size(small.hidden_size)
+            .layers(small.layers)
+            .seq_len(small.seq_len)
+            .batch_size(BATCH_SIZE)
+            .output_size(small.output_size)
+            .build()
+            .expect("valid config");
+        let task = scaled_task(b)
+            .with_batch_size(BATCH_SIZE)
+            .with_batches_per_epoch(BATCHES);
+        // Per-timestamp tasks divide their gradient across timesteps, so
+        // they need a proportionally larger step to converge in the same
+        // epoch budget.
+        let sgd = match spec.loss_kind {
+            eta_lstm_core::LossKind::PerTimestamp => eta_lstm_core::optimizer::Sgd {
+                lr: 4.0,
+                clip: 5.0,
+            },
+            eta_lstm_core::LossKind::SingleLoss => eta_lstm_core::optimizer::Sgd::default(),
+        };
+
+        let epochs = match spec.loss_kind {
+            eta_lstm_core::LossKind::PerTimestamp => EPOCHS_PER_STEP,
+            eta_lstm_core::LossKind::SingleLoss => EPOCHS,
+        };
+        let mut base = Trainer::new(cfg, TrainingStrategy::Baseline, SEED)
+            .expect("trainer")
+            .with_optimizer(sgd);
+        let base_report = base.run(&task, epochs).expect("training");
+        let base_metric = evaluate(&base, &task, spec.metric);
+
+        let mut comb = Trainer::new(cfg, TrainingStrategy::CombinedMs, SEED)
+            .expect("trainer")
+            .with_optimizer(sgd);
+        let comb_report = comb.run(&task, epochs).expect("training");
+        let comb_metric = evaluate(&comb, &task, spec.metric);
+
+        table.row(&[
+            spec.name.to_string(),
+            metric_name(spec.metric).to_string(),
+            fmt(base_metric, 2),
+            fmt(comb_metric, 2),
+            fmt(base_report.epochs[0].mean_loss, 3),
+            fmt(base_report.final_loss(), 3),
+            fmt(comb_report.final_loss(), 3),
+        ]);
+    }
+    table.print();
+    println!(
+        "paper (real datasets): TREC10 78.82->78.80%, PTB 217.19->218.36 PPL,\n\
+         IMDB 76.78->76.78%, WAYMO 0.138->0.138 MAE, WMT 3.13->3.13 BLEU,\n\
+         BABI 68.75->68.69% — i.e. <1% difference and unchanged convergence.\n\
+         The reproduction criterion is the same: Combine-MS within ~1% of the\n\
+         baseline metric on each scaled analogue, with comparable loss curves."
+    );
+}

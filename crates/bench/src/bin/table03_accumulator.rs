@@ -1,0 +1,56 @@
+//! Table III — the adder-based streaming accumulator vs the Xilinx
+//! floating-point accumulator IP: synthesis resources, dynamic power,
+//! and latency (with the drain-overhead claim checked by cycle-accurate
+//! simulation).
+
+use eta_accel::accumulator::{AccumulatorResources, AccumulatorSim};
+use eta_bench::table::pct;
+use eta_bench::Table;
+
+fn main() {
+    let ip = AccumulatorResources::xilinx_ip();
+    let ours = AccumulatorResources::eta_design();
+
+    let mut table = Table::new(
+        "Table III — accumulator implementations",
+        &["design", "LUT", "FF", "dyn power (W)", "latency (cycles)"],
+    );
+    for r in [&ip, &ours] {
+        table.row(&[
+            r.name.clone(),
+            r.lut.to_string(),
+            r.ff.to_string(),
+            format!("{:.3}", r.dynamic_power_w),
+            r.latency_cycles.to_string(),
+        ]);
+    }
+    table.print();
+
+    println!(
+        "savings of the adder-based design vs the Xilinx IP:\n\
+         LUT {} (paper 43.61%), FF {} (paper 37.25%), power {} (paper 17%)\n",
+        pct(ours.lut_saving_vs(&ip)),
+        pct(ours.ff_saving_vs(&ip)),
+        pct(ours.power_saving_vs(&ip)),
+    );
+
+    // The latency trade-off, verified by simulation.
+    let sim = AccumulatorSim::new(8);
+    let mut lat = Table::new(
+        "Measured streaming latency (8-cycle adder)",
+        &["inputs", "cycles", "overhead vs ideal"],
+    );
+    for n in [128usize, 512, 1024, 2048, 8192] {
+        let run = sim.run(&vec![1.0f32; n]);
+        lat.row(&[
+            n.to_string(),
+            run.cycles.to_string(),
+            pct(run.drain_overhead(n as u64, 8)),
+        ]);
+    }
+    lat.print();
+    println!(
+        "paper: the higher drain latency costs <2.87% for accumulations of\n\
+         more than 1024 streaming inputs — included in the overall results."
+    );
+}

@@ -1,0 +1,197 @@
+//! Model configuration.
+
+use crate::{LstmError, Result};
+use eta_memsim::model::LstmShape;
+use serde::{Deserialize, Serialize};
+
+/// Shape and hyper-parameters of an LSTM training run.
+///
+/// Mirrors the three size axes the paper scales (hidden size, layer
+/// number, layer length) plus batch size and the projection-head width.
+///
+/// # Example
+///
+/// ```
+/// use eta_lstm_core::LstmConfig;
+///
+/// # fn main() -> Result<(), eta_lstm_core::LstmError> {
+/// let cfg = LstmConfig::builder()
+///     .input_size(32)
+///     .hidden_size(64)
+///     .layers(2)
+///     .seq_len(10)
+///     .batch_size(8)
+///     .output_size(5)
+///     .build()?;
+/// assert_eq!(cfg.hidden_size, 64);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LstmConfig {
+    /// Feature width of the input sequence.
+    pub input_size: usize,
+    /// Hidden state width `H`.
+    pub hidden_size: usize,
+    /// Number of stacked LSTM layers (paper "layer number").
+    pub layers: usize,
+    /// Unrolled sequence length (paper "layer length").
+    pub seq_len: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Width of the projection head's output (class count for
+    /// classification, regression dimension otherwise).
+    pub output_size: usize,
+}
+
+impl LstmConfig {
+    /// Starts building a configuration. All dimensions default to zero
+    /// and must be set except `output_size`, which defaults to
+    /// `hidden_size`.
+    pub fn builder() -> LstmConfigBuilder {
+        LstmConfigBuilder::default()
+    }
+
+    /// The `eta-memsim` shape equivalent, for footprint/traffic models.
+    pub fn to_shape(&self) -> LstmShape {
+        LstmShape::new(
+            self.input_size,
+            self.hidden_size,
+            self.layers,
+            self.seq_len,
+            self.batch_size,
+        )
+    }
+
+    /// Input width of layer `l`.
+    pub fn layer_input(&self, l: usize) -> usize {
+        if l == 0 {
+            self.input_size
+        } else {
+            self.hidden_size
+        }
+    }
+}
+
+/// Builder for [`LstmConfig`]; see [`LstmConfig::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct LstmConfigBuilder {
+    input_size: usize,
+    hidden_size: usize,
+    layers: usize,
+    seq_len: usize,
+    batch_size: usize,
+    output_size: Option<usize>,
+}
+
+impl LstmConfigBuilder {
+    /// Sets the input feature width.
+    pub fn input_size(mut self, v: usize) -> Self {
+        self.input_size = v;
+        self
+    }
+
+    /// Sets the hidden width `H`.
+    pub fn hidden_size(mut self, v: usize) -> Self {
+        self.hidden_size = v;
+        self
+    }
+
+    /// Sets the number of stacked layers.
+    pub fn layers(mut self, v: usize) -> Self {
+        self.layers = v;
+        self
+    }
+
+    /// Sets the unrolled sequence length.
+    pub fn seq_len(mut self, v: usize) -> Self {
+        self.seq_len = v;
+        self
+    }
+
+    /// Sets the minibatch size.
+    pub fn batch_size(mut self, v: usize) -> Self {
+        self.batch_size = v;
+        self
+    }
+
+    /// Sets the projection-head output width (defaults to the hidden
+    /// size when unset).
+    pub fn output_size(mut self, v: usize) -> Self {
+        self.output_size = Some(v);
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LstmError::Config`] if any dimension is zero.
+    pub fn build(self) -> Result<LstmConfig> {
+        let cfg = LstmConfig {
+            input_size: self.input_size,
+            hidden_size: self.hidden_size,
+            layers: self.layers,
+            seq_len: self.seq_len,
+            batch_size: self.batch_size,
+            output_size: self.output_size.unwrap_or(self.hidden_size),
+        };
+        for (name, v) in [
+            ("input_size", cfg.input_size),
+            ("hidden_size", cfg.hidden_size),
+            ("layers", cfg.layers),
+            ("seq_len", cfg.seq_len),
+            ("batch_size", cfg.batch_size),
+            ("output_size", cfg.output_size),
+        ] {
+            if v == 0 {
+                return Err(LstmError::Config(format!("{name} must be non-zero")));
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builder() -> LstmConfigBuilder {
+        LstmConfig::builder()
+            .input_size(8)
+            .hidden_size(16)
+            .layers(2)
+            .seq_len(4)
+            .batch_size(3)
+    }
+
+    #[test]
+    fn builder_produces_config() {
+        let cfg = builder().output_size(5).build().unwrap();
+        assert_eq!(cfg.output_size, 5);
+        assert_eq!(cfg.layer_input(0), 8);
+        assert_eq!(cfg.layer_input(1), 16);
+    }
+
+    #[test]
+    fn output_size_defaults_to_hidden() {
+        let cfg = builder().build().unwrap();
+        assert_eq!(cfg.output_size, 16);
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        let err = builder().hidden_size(0).build().unwrap_err();
+        assert!(matches!(err, LstmError::Config(msg) if msg.contains("hidden_size")));
+    }
+
+    #[test]
+    fn shape_conversion_round_trips_dimensions() {
+        let cfg = builder().build().unwrap();
+        let s = cfg.to_shape();
+        assert_eq!(s.hidden, 16);
+        assert_eq!(s.layers, 2);
+        assert_eq!(s.seq_len, 4);
+        assert_eq!(s.batch, 3);
+    }
+}

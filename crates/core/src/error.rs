@@ -1,0 +1,62 @@
+use std::fmt;
+
+/// Errors produced by LSTM construction and training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LstmError {
+    /// An invalid model configuration (zero dimension, inconsistent
+    /// head size, …).
+    Config(String),
+    /// A tensor-level shape error escaped from the substrate; this
+    /// indicates an internal wiring bug or malformed user input.
+    Tensor(eta_tensor::TensorError),
+    /// Input batches did not match the configured model shape.
+    BatchShape {
+        /// Description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for LstmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LstmError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            LstmError::Tensor(e) => write!(f, "tensor error: {e}"),
+            LstmError::BatchShape { detail } => write!(f, "batch shape mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for LstmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LstmError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<eta_tensor::TensorError> for LstmError {
+    fn from(e: eta_tensor::TensorError) -> Self {
+        LstmError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(LstmError::Config("hidden size is zero".into())
+            .to_string()
+            .contains("hidden size"));
+        let t: LstmError = eta_tensor::TensorError::EmptyDimension { op: "matmul" }.into();
+        assert!(t.to_string().contains("matmul"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LstmError>();
+    }
+}

@@ -1,0 +1,562 @@
+//! The stacked LSTM model: layers + projection head, with the full
+//! forward/backward training step under any
+//! [`TrainingStrategy`](crate::strategy::TrainingStrategy)
+//! storage plan.
+
+use crate::cell::{CellGrads, CellParams};
+use crate::config::LstmConfig;
+use crate::layer::{Instruments, LayerTape, LstmLayer, StorageMode};
+use crate::loss::{self, Head, HeadGrads, LossKind, Targets};
+use crate::ms1::Ms1Config;
+use crate::ms2::SkipPlan;
+use crate::{LstmError, Result};
+use eta_tensor::{CompressionStats, Matrix};
+
+/// Storage/skip decisions for one training step.
+#[derive(Debug, Clone)]
+pub struct StepPlan {
+    /// MS1 compression (None = dense baseline storage).
+    pub ms1: Option<Ms1Config>,
+    /// MS2 skip plan (None = run every BP cell).
+    pub skip: Option<SkipPlan>,
+}
+
+impl StepPlan {
+    /// The baseline plan: dense storage, no skipping.
+    pub fn baseline() -> Self {
+        StepPlan {
+            ms1: None,
+            skip: None,
+        }
+    }
+}
+
+/// Gradients of every trainable parameter after one step.
+#[derive(Debug)]
+pub struct ModelGrads {
+    /// Per-layer cell gradients.
+    pub cells: Vec<CellGrads>,
+    /// Head gradients.
+    pub head: HeadGrads,
+}
+
+/// Everything one training step produces.
+#[derive(Debug)]
+pub struct StepResult {
+    /// Mean loss of the batch.
+    pub loss: f64,
+    /// Gradients ready for the optimizer.
+    pub grads: ModelGrads,
+    /// Raw per-cell gradient magnitudes, `[layer][t]`
+    /// (0 for skipped cells) — feeds paper Fig. 8 and the Eq. 4 α fit.
+    pub magnitudes: Vec<Vec<f64>>,
+    /// Aggregate MS1 compression statistics (zeroed without MS1).
+    pub p1_stats: CompressionStats,
+    /// BP cells skipped this step.
+    pub cells_skipped: usize,
+    /// Total BP cells.
+    pub cells_total: usize,
+}
+
+/// A stacked LSTM with a projection head.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct LstmModel {
+    config: LstmConfig,
+    layers: Vec<LstmLayer>,
+    head: Head,
+}
+
+impl LstmModel {
+    /// Builds a model with Xavier-initialized parameters.
+    pub fn new(config: &LstmConfig, seed: u64) -> Self {
+        let layers = (0..config.layers)
+            .map(|l| {
+                LstmLayer::new(
+                    config.layer_input(l),
+                    config.hidden_size,
+                    seed.wrapping_add(1000 * l as u64),
+                )
+            })
+            .collect();
+        let head = Head::new(
+            config.hidden_size,
+            config.output_size,
+            seed.wrapping_add(999_999),
+        );
+        LstmModel {
+            config: *config,
+            layers,
+            head,
+        }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &LstmConfig {
+        &self.config
+    }
+
+    /// Immutable view of the layers.
+    pub fn layers(&self) -> &[LstmLayer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (custom initialization, gradient
+    /// checking, pruning research).
+    pub fn layers_mut(&mut self) -> &mut [LstmLayer] {
+        &mut self.layers
+    }
+
+    /// The projection head.
+    pub fn head(&self) -> &crate::loss::Head {
+        &self.head
+    }
+
+    /// Mutable access to the projection head.
+    pub fn head_mut(&mut self) -> &mut crate::loss::Head {
+        &mut self.head
+    }
+
+    /// Total parameter bytes (layers + head).
+    pub fn param_bytes(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.params.size_bytes())
+            .sum::<u64>()
+            + self.head.size_bytes()
+    }
+
+    /// Validates an input sequence against the configuration.
+    fn check_inputs(&self, xs: &[Matrix]) -> Result<()> {
+        if xs.len() != self.config.seq_len {
+            return Err(LstmError::BatchShape {
+                detail: format!(
+                    "sequence length {} != configured {}",
+                    xs.len(),
+                    self.config.seq_len
+                ),
+            });
+        }
+        for (t, x) in xs.iter().enumerate() {
+            if x.rows() != self.config.batch_size || x.cols() != self.config.input_size {
+                return Err(LstmError::BatchShape {
+                    detail: format!(
+                        "input at t={t} is {}x{}, expected {}x{}",
+                        x.rows(),
+                        x.cols(),
+                        self.config.batch_size,
+                        self.config.input_size
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Inference-style forward pass: head logits per timestep, storing
+    /// nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LstmError::BatchShape`] on malformed inputs.
+    pub fn forward_inference(&self, xs: &[Matrix]) -> Result<Vec<Matrix>> {
+        self.check_inputs(xs)?;
+        let inst = Instruments::new();
+        let mut seq: Vec<Matrix> = xs.to_vec();
+        for layer in &self.layers {
+            let (hs, _) = layer.forward_sequence(&seq, StorageMode::Dense, &[], &inst)?;
+            seq = hs;
+        }
+        seq.iter().map(|h| self.head.forward(h)).collect()
+    }
+
+    /// One full training step (forward + loss + backward) under `plan`,
+    /// with memory/traffic instrumentation. Does **not** apply the
+    /// optimizer — the caller owns that (and the MS2 α-calibration needs
+    /// the raw magnitudes first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LstmError::BatchShape`] on malformed inputs or targets.
+    pub fn train_step(
+        &self,
+        xs: &[Matrix],
+        targets: &Targets,
+        plan: &StepPlan,
+        instruments: &Instruments,
+    ) -> Result<StepResult> {
+        self.check_inputs(xs)?;
+        let seq_len = self.config.seq_len;
+        let batch = self.config.batch_size;
+        let hidden = self.config.hidden_size;
+
+        let mode = match plan.ms1 {
+            Some(cfg) => StorageMode::Compressed(cfg),
+            None => StorageMode::Dense,
+        };
+        let empty_keep: Vec<bool> = Vec::new();
+
+        // ---- Forward through the stack, keeping each layer's tape.
+        let mut layer_inputs: Vec<Vec<Matrix>> = vec![xs.to_vec()];
+        let mut tapes: Vec<LayerTape> = Vec::with_capacity(self.layers.len());
+        for (l, layer) in self.layers.iter().enumerate() {
+            let keep: &[bool] = match &plan.skip {
+                Some(p) => &p.keep[l],
+                None => &empty_keep,
+            };
+            let (hs, tape) =
+                layer.forward_sequence(&layer_inputs[l], mode, keep, instruments)?;
+            tapes.push(tape);
+            layer_inputs.push(hs);
+        }
+        let top_hs = &layer_inputs[self.layers.len()];
+
+        // ---- Loss + head gradients.
+        let mut head_grads = self.head.zero_grads();
+        let mut dys: Vec<Matrix> = (0..seq_len).map(|_| Matrix::zeros(batch, hidden)).collect();
+        let loss = match targets {
+            Targets::Classes(classes) => {
+                let logits = self.head.forward(&top_hs[seq_len - 1])?;
+                let (loss, dlogits) = loss::softmax_xent(&logits, classes)?;
+                dys[seq_len - 1] =
+                    self.head
+                        .backward(&top_hs[seq_len - 1], &dlogits, &mut head_grads)?;
+                loss
+            }
+            Targets::Regression(target) => {
+                let pred = self.head.forward(&top_hs[seq_len - 1])?;
+                let (loss, dpred) = loss::mse(&pred, target)?;
+                dys[seq_len - 1] =
+                    self.head
+                        .backward(&top_hs[seq_len - 1], &dpred, &mut head_grads)?;
+                loss
+            }
+            Targets::StepClasses(step_classes) => {
+                if step_classes.len() != seq_len {
+                    return Err(LstmError::BatchShape {
+                        detail: format!(
+                            "{} target steps for sequence length {seq_len}",
+                            step_classes.len()
+                        ),
+                    });
+                }
+                let mut total = 0.0;
+                for (t, classes) in step_classes.iter().enumerate() {
+                    let logits = self.head.forward(&top_hs[t])?;
+                    let (l, mut dlogits) = loss::softmax_xent(&logits, classes)?;
+                    total += l;
+                    dlogits.scale(1.0 / seq_len as f32);
+                    dys[t] = self.head.backward(&top_hs[t], &dlogits, &mut head_grads)?;
+                }
+                total / seq_len as f64
+            }
+            Targets::StepRegression(step_targets) => {
+                if step_targets.len() != seq_len {
+                    return Err(LstmError::BatchShape {
+                        detail: format!(
+                            "{} target steps for sequence length {seq_len}",
+                            step_targets.len()
+                        ),
+                    });
+                }
+                let mut total = 0.0;
+                for (t, target) in step_targets.iter().enumerate() {
+                    let pred = self.head.forward(&top_hs[t])?;
+                    let (l, mut dpred) = loss::mse(&pred, target)?;
+                    total += l;
+                    dpred.scale(1.0 / seq_len as f32);
+                    dys[t] = self.head.backward(&top_hs[t], &dpred, &mut head_grads)?;
+                }
+                total / seq_len as f64
+            }
+        };
+
+        // ---- Backward through the stack.
+        let mut cell_grads: Vec<Option<CellGrads>> = (0..self.layers.len()).map(|_| None).collect();
+        let mut magnitudes = vec![Vec::new(); self.layers.len()];
+        let mut p1_stats = CompressionStats::default();
+        let mut dys_current = dys;
+        for l in (0..self.layers.len()).rev() {
+            let scale = match &plan.skip {
+                Some(p) => p.scale[l],
+                None => 1.0,
+            };
+            let back = self.layers[l].backward_sequence(
+                &layer_inputs[l],
+                &tapes[l],
+                &dys_current,
+                scale,
+                instruments,
+            )?;
+            p1_stats.merge(&LstmLayer::tape_compression_stats(&tapes[l]));
+            magnitudes[l] = back.magnitudes;
+            cell_grads[l] = Some(back.grads);
+            dys_current = back.dxs;
+        }
+
+        let cells_total = self.layers.len() * seq_len;
+        let cells_skipped = plan
+            .skip
+            .as_ref()
+            .map(|p| (p.skip_fraction() * cells_total as f64).round() as usize)
+            .unwrap_or(0);
+
+        Ok(StepResult {
+            loss,
+            grads: ModelGrads {
+                cells: cell_grads
+                    .into_iter()
+                    .map(|g| g.expect("every layer ran backward"))
+                    .collect(),
+                head: head_grads,
+            },
+            magnitudes,
+            p1_stats,
+            cells_skipped,
+            cells_total,
+        })
+    }
+
+    /// Applies an optimizer step with the given gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if gradients do not match the parameters.
+    pub fn apply(&mut self, optimizer: &mut crate::optimizer::Optimizer, grads: &ModelGrads) -> Result<()> {
+        let mut cells: Vec<&mut CellParams> =
+            self.layers.iter_mut().map(|l| &mut l.params).collect();
+        optimizer.step(&mut cells, &grads.cells, &mut self.head, &grads.head)
+    }
+
+    /// Evaluates the mean loss (and classification accuracy where
+    /// applicable) of the model on one batch, without training.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LstmError::BatchShape`] on malformed inputs.
+    pub fn evaluate(&self, xs: &[Matrix], targets: &Targets) -> Result<(f64, Option<f64>)> {
+        self.check_inputs(xs)?;
+        let logits = self.forward_inference(xs)?;
+        let seq_len = self.config.seq_len;
+        match targets {
+            Targets::Classes(classes) => {
+                let (l, _) = loss::softmax_xent(&logits[seq_len - 1], classes)?;
+                Ok((l, Some(loss::accuracy(&logits[seq_len - 1], classes))))
+            }
+            Targets::Regression(target) => {
+                let (l, _) = loss::mse(&logits[seq_len - 1], target)?;
+                Ok((l, None))
+            }
+            Targets::StepClasses(step_classes) => {
+                let mut total = 0.0;
+                let mut acc = 0.0;
+                for (t, classes) in step_classes.iter().enumerate() {
+                    let (l, _) = loss::softmax_xent(&logits[t], classes)?;
+                    total += l;
+                    acc += loss::accuracy(&logits[t], classes);
+                }
+                let n = step_classes.len() as f64;
+                Ok((total / n, Some(acc / n)))
+            }
+            Targets::StepRegression(step_targets) => {
+                let mut total = 0.0;
+                for (t, target) in step_targets.iter().enumerate() {
+                    let (l, _) = loss::mse(&logits[t], target)?;
+                    total += l;
+                }
+                Ok((total / step_targets.len() as f64, None))
+            }
+        }
+    }
+
+    /// The loss structure a target set implies — convenience re-export.
+    pub fn loss_kind(targets: &Targets) -> LossKind {
+        targets.loss_kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eta_tensor::init;
+
+    fn config() -> LstmConfig {
+        LstmConfig::builder()
+            .input_size(6)
+            .hidden_size(8)
+            .layers(2)
+            .seq_len(5)
+            .batch_size(3)
+            .output_size(4)
+            .build()
+            .unwrap()
+    }
+
+    fn batch(cfg: &LstmConfig, seed: u64) -> (Vec<Matrix>, Targets) {
+        let xs = (0..cfg.seq_len)
+            .map(|t| init::uniform(cfg.batch_size, cfg.input_size, -1.0, 1.0, seed + t as u64))
+            .collect();
+        let targets = Targets::Classes(vec![0, 1, 2]);
+        (xs, targets)
+    }
+
+    #[test]
+    fn inference_output_shapes() {
+        let cfg = config();
+        let model = LstmModel::new(&cfg, 42);
+        let (xs, _) = batch(&cfg, 1);
+        let out = model.forward_inference(&xs).unwrap();
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|m| m.rows() == 3 && m.cols() == 4));
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        let cfg = config();
+        let model = LstmModel::new(&cfg, 42);
+        let short: Vec<Matrix> = (0..3).map(|_| Matrix::zeros(3, 6)).collect();
+        assert!(model.forward_inference(&short).is_err());
+        let wrong_width: Vec<Matrix> = (0..5).map(|_| Matrix::zeros(3, 7)).collect();
+        assert!(model.forward_inference(&wrong_width).is_err());
+    }
+
+    #[test]
+    fn train_step_produces_gradients_for_all_layers() {
+        let cfg = config();
+        let model = LstmModel::new(&cfg, 42);
+        let (xs, targets) = batch(&cfg, 1);
+        let inst = Instruments::new();
+        let r = model
+            .train_step(&xs, &targets, &StepPlan::baseline(), &inst)
+            .unwrap();
+        assert_eq!(r.grads.cells.len(), 2);
+        assert!(r.loss > 0.0);
+        assert!(r.grads.cells.iter().all(|g| g.magnitude() > 0.0));
+        assert_eq!(r.cells_total, 10);
+        assert_eq!(r.cells_skipped, 0);
+    }
+
+    #[test]
+    fn ms1_zero_threshold_matches_baseline_gradients() {
+        let cfg = config();
+        let model = LstmModel::new(&cfg, 42);
+        let (xs, targets) = batch(&cfg, 1);
+        let inst = Instruments::new();
+        let base = model
+            .train_step(&xs, &targets, &StepPlan::baseline(), &inst)
+            .unwrap();
+        let ms1 = model
+            .train_step(
+                &xs,
+                &targets,
+                &StepPlan {
+                    ms1: Some(Ms1Config { threshold: 0.0 }),
+                    skip: None,
+                },
+                &inst,
+            )
+            .unwrap();
+        assert!((base.loss - ms1.loss).abs() < 1e-9);
+        for (a, b) in base.grads.cells.iter().zip(ms1.grads.cells.iter()) {
+            assert!(a.dw.rel_diff(&b.dw) < 1e-6);
+            assert!(a.du.rel_diff(&b.du) < 1e-6);
+        }
+        assert!(ms1.p1_stats.total > 0);
+        assert_eq!(base.p1_stats.total, 0);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_learnable_task() {
+        let cfg = config();
+        let mut model = LstmModel::new(&cfg, 42);
+        let (xs, targets) = batch(&cfg, 1);
+        let inst = Instruments::new();
+        let mut sgd = crate::optimizer::Optimizer::sgd(crate::optimizer::Sgd {
+            lr: 0.5,
+            clip: 5.0,
+        });
+        let first = model
+            .train_step(&xs, &targets, &StepPlan::baseline(), &inst)
+            .unwrap()
+            .loss;
+        for _ in 0..30 {
+            let r = model
+                .train_step(&xs, &targets, &StepPlan::baseline(), &inst)
+                .unwrap();
+            model.apply(&mut sgd, &r.grads).unwrap();
+        }
+        let last = model
+            .train_step(&xs, &targets, &StepPlan::baseline(), &inst)
+            .unwrap()
+            .loss;
+        assert!(
+            last < first * 0.5,
+            "loss failed to drop: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn per_timestamp_loss_spreads_gradient_over_steps() {
+        let cfg = config();
+        let model = LstmModel::new(&cfg, 42);
+        let xs: Vec<Matrix> = (0..cfg.seq_len)
+            .map(|t| init::uniform(3, 6, -1.0, 1.0, 50 + t as u64))
+            .collect();
+        let targets = Targets::StepClasses(vec![vec![0, 1, 2]; 5]);
+        let inst = Instruments::new();
+        let r = model
+            .train_step(&xs, &targets, &StepPlan::baseline(), &inst)
+            .unwrap();
+        assert!(r.loss > 0.0);
+        // Every timestep should see nonzero top-layer gradient magnitude.
+        assert!(r.magnitudes[1].iter().all(|&m| m > 0.0));
+    }
+
+    #[test]
+    fn skip_plan_zeroes_skipped_magnitudes() {
+        let cfg = config();
+        let model = LstmModel::new(&cfg, 42);
+        let (xs, targets) = batch(&cfg, 1);
+        let inst = Instruments::new();
+        let mut skip = crate::ms2::SkipPlan::keep_all(2, 5);
+        skip.keep[0][0] = false;
+        skip.keep[0][1] = false;
+        skip.keep[1][0] = false;
+        skip.scale = vec![5.0 / 3.0, 5.0 / 4.0];
+        let r = model
+            .train_step(
+                &xs,
+                &targets,
+                &StepPlan {
+                    ms1: None,
+                    skip: Some(skip),
+                },
+                &inst,
+            )
+            .unwrap();
+        assert_eq!(r.magnitudes[0][0], 0.0);
+        assert_eq!(r.magnitudes[0][1], 0.0);
+        assert_eq!(r.magnitudes[1][0], 0.0);
+        assert!(r.magnitudes[1][4] > 0.0);
+        assert_eq!(r.cells_skipped, 3);
+    }
+
+    #[test]
+    fn evaluate_reports_accuracy_for_classification() {
+        let cfg = config();
+        let model = LstmModel::new(&cfg, 42);
+        let (xs, targets) = batch(&cfg, 1);
+        let (loss, acc) = model.evaluate(&xs, &targets).unwrap();
+        assert!(loss > 0.0);
+        let acc = acc.expect("classification reports accuracy");
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn param_bytes_counts_layers_and_head() {
+        let cfg = config();
+        let model = LstmModel::new(&cfg, 42);
+        // layer0: W 32x6 + U 32x8 + b 32 = 480; layer1: W 32x8+U 32x8+b 32 = 544
+        // head: 4x8 + 4 = 36 → total 1060 floats.
+        assert_eq!(model.param_bytes(), 1060 * 4);
+    }
+}

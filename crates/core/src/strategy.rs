@@ -1,0 +1,92 @@
+//! Training strategy selection — the paper's comparison axes.
+
+use crate::ms1::Ms1Config;
+use crate::ms2::Ms2Config;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which of the η-LSTM software optimizations a training run uses
+/// (the paper's Baseline / MS1 / MS2 / Combine-MS comparison cases,
+/// Sec. VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrainingStrategy {
+    /// Store all dense intermediates; run every BP cell.
+    Baseline,
+    /// MS1 only: execution reordering + compressed BP-EW-P1 storage.
+    Ms1,
+    /// MS2 only: insignificant-BP-cell skipping.
+    Ms2,
+    /// MS1 + MS2 (the paper's "Combine-MS").
+    CombinedMs,
+}
+
+impl TrainingStrategy {
+    /// All strategies in the paper's presentation order.
+    pub const ALL: [TrainingStrategy; 4] = [
+        TrainingStrategy::Baseline,
+        TrainingStrategy::Ms1,
+        TrainingStrategy::Ms2,
+        TrainingStrategy::CombinedMs,
+    ];
+
+    /// Whether the strategy compresses intermediates (MS1).
+    pub fn uses_ms1(self) -> bool {
+        matches!(self, TrainingStrategy::Ms1 | TrainingStrategy::CombinedMs)
+    }
+
+    /// Whether the strategy skips insignificant BP cells (MS2).
+    pub fn uses_ms2(self) -> bool {
+        matches!(self, TrainingStrategy::Ms2 | TrainingStrategy::CombinedMs)
+    }
+}
+
+impl fmt::Display for TrainingStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrainingStrategy::Baseline => "Baseline",
+            TrainingStrategy::Ms1 => "MS1",
+            TrainingStrategy::Ms2 => "MS2",
+            TrainingStrategy::CombinedMs => "Combine-MS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tunable knobs of the optimizations.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StrategyParams {
+    /// MS1 pruning configuration.
+    pub ms1: Ms1Config,
+    /// MS2 skip configuration.
+    pub ms2: Ms2Config,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_match_variants() {
+        assert!(!TrainingStrategy::Baseline.uses_ms1());
+        assert!(!TrainingStrategy::Baseline.uses_ms2());
+        assert!(TrainingStrategy::Ms1.uses_ms1());
+        assert!(!TrainingStrategy::Ms1.uses_ms2());
+        assert!(!TrainingStrategy::Ms2.uses_ms1());
+        assert!(TrainingStrategy::Ms2.uses_ms2());
+        assert!(TrainingStrategy::CombinedMs.uses_ms1());
+        assert!(TrainingStrategy::CombinedMs.uses_ms2());
+    }
+
+    #[test]
+    fn display_matches_paper_labels() {
+        assert_eq!(TrainingStrategy::CombinedMs.to_string(), "Combine-MS");
+        assert_eq!(TrainingStrategy::ALL.len(), 4);
+    }
+
+    #[test]
+    fn default_params_use_paper_thresholds() {
+        let p = StrategyParams::default();
+        assert_eq!(p.ms1.threshold, 0.1);
+        assert_eq!(p.ms2.skip_threshold, 0.1);
+    }
+}

@@ -1,0 +1,448 @@
+//! The training driver: epochs, MS2 calibration/prediction state,
+//! optimizer application, and per-epoch instrumentation reports.
+//!
+//! The MS2 lifecycle follows the paper exactly:
+//!
+//! 1. **Epochs 0–2 (warm-up)**: every BP cell runs. Epoch 0's measured
+//!    per-cell gradient magnitudes calibrate the Eq. 4 α.
+//! 2. **Epoch ≥ 3**: Eq. 5 predicts the epoch's loss from the previous
+//!    three; Eq. 4 predicts each BP cell's gradient magnitude *before the
+//!    forward pass*; insignificant cells are skipped and the survivors'
+//!    gradients scaled.
+
+use crate::config::LstmConfig;
+use crate::layer::Instruments;
+use crate::loss::{LossKind, Targets};
+use crate::model::{LstmModel, StepPlan};
+use crate::ms2::{self, GradPredictor, LossHistory};
+use crate::optimizer::{Optimizer, Sgd};
+use crate::strategy::{StrategyParams, TrainingStrategy};
+use crate::Result;
+use eta_memsim::{DataCategory, MemoryTracker, TrafficCounter};
+use eta_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// One batch of training data.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Input sequence: one `[batch, input]` matrix per timestep.
+    pub inputs: Vec<Matrix>,
+    /// Targets matching the task's loss structure.
+    pub targets: Targets,
+}
+
+/// A deterministic source of training batches.
+///
+/// Implementations produce the same batch for the same `(epoch, index)`
+/// pair, which keeps every experiment in the harness reproducible.
+pub trait Task {
+    /// The batch at position `index` of `epoch`.
+    fn batch(&self, epoch: usize, index: usize) -> Batch;
+    /// Batches per epoch.
+    fn batches_per_epoch(&self) -> usize;
+    /// The loss structure of this task.
+    fn loss_kind(&self) -> LossKind;
+}
+
+/// Measurements of one epoch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Mean training loss over the epoch.
+    pub mean_loss: f64,
+    /// Mean MS1 post-pruning density of the P1 streams (1.0 when MS1 is
+    /// off or nothing was compressed).
+    pub p1_density: f64,
+    /// Fraction of BP cells skipped by MS2.
+    pub skip_fraction: f64,
+    /// Peak memory footprint of the epoch (bytes).
+    pub peak_footprint: u64,
+    /// Peak intermediate-variable footprint (bytes).
+    pub peak_intermediates: u64,
+    /// DRAM traffic of the epoch, per category (bytes):
+    /// `[weights, activations, intermediates]`.
+    pub traffic: [u64; 3],
+}
+
+/// Aggregated training run result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingReport {
+    /// Strategy that produced this report.
+    pub strategy: TrainingStrategy,
+    /// One report per epoch.
+    pub epochs: Vec<EpochReport>,
+    /// Per-cell gradient magnitudes of the **first** epoch,
+    /// `[layer][t]` — the raw data behind paper Fig. 8.
+    pub first_epoch_magnitudes: Vec<Vec<f64>>,
+}
+
+impl TrainingReport {
+    /// Final epoch's mean loss.
+    pub fn final_loss(&self) -> f64 {
+        self.epochs.last().map(|e| e.mean_loss).unwrap_or(f64::NAN)
+    }
+
+    /// Largest peak footprint across epochs.
+    pub fn peak_footprint(&self) -> u64 {
+        self.epochs.iter().map(|e| e.peak_footprint).max().unwrap_or(0)
+    }
+
+    /// Mean measured P1 density across post-warm-up epochs.
+    pub fn mean_p1_density(&self) -> f64 {
+        mean(self.epochs.iter().map(|e| e.p1_density))
+    }
+
+    /// Mean measured skip fraction across epochs where skipping was
+    /// active (zero if it never activated).
+    pub fn mean_skip_fraction(&self) -> f64 {
+        let active: Vec<f64> = self
+            .epochs
+            .iter()
+            .map(|e| e.skip_fraction)
+            .filter(|&s| s > 0.0)
+            .collect();
+        if active.is_empty() {
+            0.0
+        } else {
+            mean(active.into_iter())
+        }
+    }
+}
+
+fn mean(iter: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = iter.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Drives training of an [`LstmModel`] under a [`TrainingStrategy`].
+#[derive(Debug)]
+pub struct Trainer {
+    model: LstmModel,
+    strategy: TrainingStrategy,
+    params: StrategyParams,
+    optimizer: Optimizer,
+    history: LossHistory,
+    predictor: Option<GradPredictor>,
+}
+
+impl Trainer {
+    /// Builds a trainer with default optimization parameters.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for a valid [`LstmConfig`]; returns
+    /// `Result` for forward compatibility with configurable optimizers.
+    pub fn new(config: LstmConfig, strategy: TrainingStrategy, seed: u64) -> Result<Self> {
+        Ok(Trainer {
+            model: LstmModel::new(&config, seed),
+            strategy,
+            params: StrategyParams::default(),
+            optimizer: Optimizer::sgd(Sgd::default()),
+            history: LossHistory::new(),
+            predictor: None,
+        })
+    }
+
+    /// Overrides the strategy knobs (thresholds).
+    pub fn with_params(mut self, params: StrategyParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Overrides the optimizer with plain SGD settings.
+    pub fn with_optimizer(mut self, sgd: Sgd) -> Self {
+        self.optimizer = Optimizer::sgd(sgd);
+        self
+    }
+
+    /// Overrides the optimizer with any [`Optimizer`] (momentum, Adam).
+    pub fn with_optimizer_kind(mut self, optimizer: Optimizer) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// The underlying model (e.g. for evaluation after training).
+    pub fn model(&self) -> &LstmModel {
+        &self.model
+    }
+
+    /// Builds this epoch's step plan from the MS2 state.
+    fn plan_for_epoch(&self, epoch: usize) -> StepPlan {
+        let ms1 = self.strategy.uses_ms1().then_some(self.params.ms1);
+        let skip = if self.strategy.uses_ms2() && epoch >= ms2::WARMUP_EPOCHS {
+            match (self.predictor, self.history.predict_next()) {
+                (Some(pred), Some(predicted_loss)) => {
+                    let cfg = self.model.config();
+                    Some(ms2::plan_skips(
+                        &pred,
+                        predicted_loss,
+                        cfg.layers,
+                        cfg.seq_len,
+                        &self.params.ms2,
+                    ))
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
+        StepPlan { ms1, skip }
+    }
+
+    /// Runs `epochs` training epochs over `task` and reports the
+    /// measurements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from malformed task batches.
+    pub fn run(&mut self, task: &dyn Task, epochs: usize) -> Result<TrainingReport> {
+        let mut reports = Vec::with_capacity(epochs);
+        let mut first_epoch_magnitudes: Vec<Vec<f64>> = Vec::new();
+        let loss_kind = task.loss_kind();
+
+        for epoch in 0..epochs {
+            let plan = self.plan_for_epoch(epoch);
+            let instruments = Instruments::new();
+            let mut losses = Vec::new();
+            let mut density_acc = Vec::new();
+            let mut skipped = 0usize;
+            let mut total = 0usize;
+            let mut magnitude_acc: Vec<Vec<f64>> = Vec::new();
+
+            for b in 0..task.batches_per_epoch() {
+                let batch = task.batch(epoch, b);
+                let result =
+                    self.model
+                        .train_step(&batch.inputs, &batch.targets, &plan, &instruments)?;
+                losses.push(result.loss);
+                if result.p1_stats.total > 0 {
+                    density_acc.push(result.p1_stats.kept as f64 / result.p1_stats.total as f64);
+                }
+                skipped += result.cells_skipped;
+                total += result.cells_total;
+                if epoch == 0 {
+                    if magnitude_acc.is_empty() {
+                        magnitude_acc = result.magnitudes.clone();
+                    } else {
+                        for (acc, row) in magnitude_acc.iter_mut().zip(result.magnitudes.iter()) {
+                            for (a, &m) in acc.iter_mut().zip(row.iter()) {
+                                *a += m;
+                            }
+                        }
+                    }
+                }
+                self.model.apply(&mut self.optimizer, &result.grads)?;
+                // The simulated DRAM frees everything between iterations.
+                let snap = instruments.mem.snapshot();
+                instruments.mem.free(
+                    DataCategory::Weights,
+                    snap.live(DataCategory::Weights),
+                );
+                instruments.mem.free(
+                    DataCategory::Activations,
+                    snap.live(DataCategory::Activations),
+                );
+                instruments.mem.free(
+                    DataCategory::Intermediates,
+                    snap.live(DataCategory::Intermediates),
+                );
+            }
+
+            let mean_loss = mean(losses.into_iter());
+            self.history.push(mean_loss);
+
+            if epoch == 0 {
+                first_epoch_magnitudes = magnitude_acc.clone();
+                if self.strategy.uses_ms2() {
+                    let beta = GradPredictor::beta_for(loss_kind);
+                    self.predictor =
+                        Some(GradPredictor::calibrate(&magnitude_acc, mean_loss, beta));
+                }
+            }
+
+            let mem: MemoryTracker = instruments.mem.snapshot();
+            let traffic: TrafficCounter = instruments.traffic.snapshot();
+            reports.push(EpochReport {
+                mean_loss,
+                p1_density: if density_acc.is_empty() {
+                    1.0
+                } else {
+                    mean(density_acc.into_iter())
+                },
+                skip_fraction: if total == 0 {
+                    0.0
+                } else {
+                    skipped as f64 / total as f64
+                },
+                peak_footprint: mem.peak_total() + self.model.param_bytes() * 2,
+                peak_intermediates: mem.peak(DataCategory::Intermediates),
+                traffic: [
+                    traffic.total(DataCategory::Weights),
+                    traffic.total(DataCategory::Activations),
+                    traffic.total(DataCategory::Intermediates),
+                ],
+            });
+        }
+
+        Ok(TrainingReport {
+            strategy: self.strategy,
+            epochs: reports,
+            first_epoch_magnitudes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eta_tensor::init;
+
+    /// A deterministic learnable toy task: classify by which half of the
+    /// input carries the larger mean, with class-dependent bias patterns.
+    struct ToyTask {
+        config: LstmConfig,
+        kind: LossKind,
+    }
+
+    impl ToyTask {
+        fn new(config: LstmConfig, kind: LossKind) -> Self {
+            ToyTask { config, kind }
+        }
+    }
+
+    impl Task for ToyTask {
+        fn batch(&self, epoch: usize, index: usize) -> Batch {
+            let cfg = &self.config;
+            let seed = (epoch * 31 + index) as u64;
+            let classes: Vec<usize> = (0..cfg.batch_size)
+                .map(|i| (i + index) % cfg.output_size)
+                .collect();
+            let inputs: Vec<Matrix> = (0..cfg.seq_len)
+                .map(|t| {
+                    let mut x =
+                        init::uniform(cfg.batch_size, cfg.input_size, -0.2, 0.2, seed + t as u64);
+                    for (row, &cls) in classes.iter().enumerate() {
+                        // Class-dependent signal in a distinct input slot.
+                        let slot = cls % cfg.input_size;
+                        x.set(row, slot, 1.0);
+                    }
+                    x
+                })
+                .collect();
+            let targets = match self.kind {
+                LossKind::SingleLoss => Targets::Classes(classes),
+                LossKind::PerTimestamp => {
+                    Targets::StepClasses(vec![classes; cfg.seq_len])
+                }
+            };
+            Batch { inputs, targets }
+        }
+
+        fn batches_per_epoch(&self) -> usize {
+            4
+        }
+
+        fn loss_kind(&self) -> LossKind {
+            self.kind
+        }
+    }
+
+    fn config() -> LstmConfig {
+        // seq_len 24 ensures the earliest cells fall strictly below the
+        // default 0.1 relative skip threshold (1/24 < 0.1).
+        LstmConfig::builder()
+            .input_size(8)
+            .hidden_size(12)
+            .layers(2)
+            .seq_len(24)
+            .batch_size(4)
+            .output_size(4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn baseline_training_converges_on_toy_task() {
+        let task = ToyTask::new(config(), LossKind::SingleLoss);
+        let mut t = Trainer::new(config(), TrainingStrategy::Baseline, 3).unwrap();
+        let report = t.run(&task, 6).unwrap();
+        assert_eq!(report.epochs.len(), 6);
+        assert!(
+            report.final_loss() < report.epochs[0].mean_loss,
+            "loss should fall: {} -> {}",
+            report.epochs[0].mean_loss,
+            report.final_loss()
+        );
+    }
+
+    #[test]
+    fn ms1_reports_density_below_one() {
+        let task = ToyTask::new(config(), LossKind::SingleLoss);
+        let mut t = Trainer::new(config(), TrainingStrategy::Ms1, 3).unwrap();
+        let report = t.run(&task, 2).unwrap();
+        let d = report.mean_p1_density();
+        assert!(d > 0.0 && d < 1.0, "P1 density {d} should show pruning");
+    }
+
+    #[test]
+    fn ms2_skips_after_warmup_only() {
+        let task = ToyTask::new(config(), LossKind::SingleLoss);
+        let mut t = Trainer::new(config(), TrainingStrategy::Ms2, 3).unwrap();
+        let report = t.run(&task, 5).unwrap();
+        for e in &report.epochs[..3] {
+            assert_eq!(e.skip_fraction, 0.0, "warm-up epochs never skip");
+        }
+        assert!(
+            report.epochs[3].skip_fraction > 0.0,
+            "post-warm-up epochs should skip insignificant cells"
+        );
+    }
+
+    #[test]
+    fn combined_reduces_peak_intermediates_vs_baseline() {
+        let task = ToyTask::new(config(), LossKind::SingleLoss);
+        let mut base = Trainer::new(config(), TrainingStrategy::Baseline, 3).unwrap();
+        let mut comb = Trainer::new(config(), TrainingStrategy::CombinedMs, 3).unwrap();
+        let rb = base.run(&task, 5).unwrap();
+        let rc = comb.run(&task, 5).unwrap();
+        let b = rb.epochs[4].peak_intermediates;
+        let c = rc.epochs[4].peak_intermediates;
+        assert!(
+            c < b / 2,
+            "combined intermediates peak {c} should well undercut baseline {b}"
+        );
+        // And convergence must not be destroyed (paper Table II).
+        assert!(rc.final_loss() < rc.epochs[0].mean_loss);
+    }
+
+    #[test]
+    fn per_timestamp_task_trains_and_skips() {
+        let task = ToyTask::new(config(), LossKind::PerTimestamp);
+        let mut t = Trainer::new(config(), TrainingStrategy::Ms2, 3).unwrap();
+        let report = t.run(&task, 5).unwrap();
+        assert!(report.epochs[4].skip_fraction > 0.0);
+        assert!(report.final_loss().is_finite());
+    }
+
+    #[test]
+    fn traffic_report_is_populated() {
+        let task = ToyTask::new(config(), LossKind::SingleLoss);
+        let mut t = Trainer::new(config(), TrainingStrategy::Baseline, 3).unwrap();
+        let report = t.run(&task, 1).unwrap();
+        let e = &report.epochs[0];
+        assert!(e.traffic.iter().all(|&b| b > 0));
+        assert!(e.peak_footprint > 0);
+    }
+
+    #[test]
+    fn first_epoch_magnitudes_have_model_shape() {
+        let task = ToyTask::new(config(), LossKind::SingleLoss);
+        let mut t = Trainer::new(config(), TrainingStrategy::Baseline, 3).unwrap();
+        let report = t.run(&task, 1).unwrap();
+        assert_eq!(report.first_epoch_magnitudes.len(), 2);
+        assert_eq!(report.first_epoch_magnitudes[0].len(), 24);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests of the training framework's invariants.
+
+use eta_lstm_core::cell::{self, CellGrads, CellParams, P1Dense};
+use eta_lstm_core::ms1::P1Packet;
+use eta_lstm_core::ms2::LossHistory;
+use eta_tensor::{init, Matrix};
+use proptest::prelude::*;
+
+fn forward_setup(
+    batch: usize,
+    input: usize,
+    hidden: usize,
+    seed: u64,
+) -> (CellParams, Matrix, Matrix, Matrix) {
+    let params = CellParams::new(input, hidden, seed);
+    let x = init::uniform(batch, input, -1.5, 1.5, seed + 100);
+    let h0 = init::uniform(batch, hidden, -0.8, 0.8, seed + 200);
+    let s0 = init::uniform(batch, hidden, -0.8, 0.8, seed + 300);
+    (params, x, h0, s0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn forward_outputs_are_bounded_and_finite(
+        batch in 1usize..5,
+        input in 1usize..8,
+        hidden in 1usize..10,
+        seed in 0u64..500,
+    ) {
+        let (params, x, h0, s0) = forward_setup(batch, input, hidden, seed);
+        let fw = cell::forward(&params, &x, &h0, &s0).unwrap();
+        // Gates bounded by their activations.
+        prop_assert!(fw.i.as_slice().iter().all(|v| (0.0..=1.0).contains(v)));
+        prop_assert!(fw.f.as_slice().iter().all(|v| (0.0..=1.0).contains(v)));
+        prop_assert!(fw.o.as_slice().iter().all(|v| (0.0..=1.0).contains(v)));
+        prop_assert!(fw.c.as_slice().iter().all(|v| (-1.0..=1.0).contains(v)));
+        // |s_t| ≤ |s_{t−1}| + 1 (forget ≤ 1, input·cell ≤ 1).
+        for r in 0..batch {
+            for c in 0..hidden {
+                prop_assert!(fw.s.get(r, c).abs() <= s0.get(r, c).abs() + 1.0 + 1e-5);
+            }
+        }
+        prop_assert!(fw.h.as_slice().iter().all(|v| v.is_finite() && v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn p1_packet_roundtrip_preserves_surviving_values(
+        batch in 1usize..4,
+        hidden in 1usize..10,
+        threshold in 0.0f32..0.5,
+        seed in 0u64..500,
+    ) {
+        let (params, x, h0, s0) = forward_setup(batch, 4, hidden, seed);
+        let fw = cell::forward(&params, &x, &h0, &s0).unwrap();
+        let p1 = P1Dense::compute(&fw, &s0).unwrap();
+        let packet = P1Packet::compress(&p1, threshold);
+        let decoded = packet.decode();
+        for (orig, dec) in p1.streams().iter().zip(decoded.streams().iter()) {
+            for (&a, &b) in orig.as_slice().iter().zip(dec.as_slice().iter()) {
+                if a.abs() >= threshold {
+                    prop_assert_eq!(a, b);
+                } else {
+                    prop_assert_eq!(b, 0.0);
+                }
+            }
+        }
+        // Density falls monotonically with threshold against 0.
+        let full = P1Packet::compress(&p1, 0.0);
+        prop_assert!(packet.density() <= full.density() + 1e-12);
+    }
+
+    #[test]
+    fn backward_gradients_scale_linearly_in_incoming_gradient(
+        batch in 1usize..4,
+        hidden in 1usize..8,
+        scale in 0.25f32..4.0,
+        seed in 0u64..500,
+    ) {
+        // BP is linear in (δh, δs): doubling the incoming gradient
+        // doubles every outgoing gradient.
+        let (params, x, h0, s0) = forward_setup(batch, 4, hidden, seed);
+        let fw = cell::forward(&params, &x, &h0, &s0).unwrap();
+        let p1 = P1Dense::compute(&fw, &s0).unwrap();
+        let dh = init::uniform(batch, hidden, -1.0, 1.0, seed + 400);
+        let ds = init::uniform(batch, hidden, -1.0, 1.0, seed + 500);
+
+        let mut g1 = CellGrads::zeros_like(&params);
+        let out1 = cell::backward(&params, &p1, &x, &h0, &dh, &ds, &mut g1).unwrap();
+
+        let mut dh2 = dh.clone();
+        dh2.scale(scale);
+        let mut ds2 = ds.clone();
+        ds2.scale(scale);
+        let mut g2 = CellGrads::zeros_like(&params);
+        let out2 = cell::backward(&params, &p1, &x, &h0, &dh2, &ds2, &mut g2).unwrap();
+
+        let mut scaled = g1.dw.clone();
+        scaled.scale(scale);
+        prop_assert!(scaled.rel_diff(&g2.dw) < 1e-4);
+        let mut scaled_dx = out1.dx.clone();
+        scaled_dx.scale(scale);
+        prop_assert!(scaled_dx.rel_diff(&out2.dx) < 1e-4);
+    }
+
+    #[test]
+    fn zero_incoming_gradient_produces_zero_outgoing(
+        batch in 1usize..4,
+        hidden in 1usize..8,
+        seed in 0u64..500,
+    ) {
+        let (params, x, h0, s0) = forward_setup(batch, 4, hidden, seed);
+        let fw = cell::forward(&params, &x, &h0, &s0).unwrap();
+        let p1 = P1Dense::compute(&fw, &s0).unwrap();
+        let zero = Matrix::zeros(batch, hidden);
+        let mut grads = CellGrads::zeros_like(&params);
+        let out = cell::backward(&params, &p1, &x, &h0, &zero, &zero, &mut grads).unwrap();
+        prop_assert!(grads.magnitude() == 0.0);
+        prop_assert!(out.dx.abs_sum() == 0.0);
+        prop_assert!(out.dh_prev.abs_sum() == 0.0);
+    }
+
+    #[test]
+    fn loss_predictor_is_exact_on_geometric_curves(
+        start in 1.0f64..100.0,
+        ratio in 0.2f64..0.95,
+    ) {
+        // loss_n = start · ratio^n satisfies Eq. 5 exactly.
+        let mut h = LossHistory::new();
+        for n in 0..3 {
+            h.push(start * ratio.powi(n));
+        }
+        let predicted = h.predict_next().unwrap();
+        let actual = start * ratio.powi(3);
+        prop_assert!(
+            (predicted - actual).abs() / actual < 1e-9,
+            "predicted {predicted} vs geometric {actual}"
+        );
+    }
+
+    #[test]
+    fn grads_accumulate_additively(
+        batch in 1usize..4,
+        hidden in 1usize..8,
+        seed in 0u64..200,
+    ) {
+        let (params, x, h0, s0) = forward_setup(batch, 4, hidden, seed);
+        let fw = cell::forward(&params, &x, &h0, &s0).unwrap();
+        let p1 = P1Dense::compute(&fw, &s0).unwrap();
+        let dh = init::uniform(batch, hidden, -1.0, 1.0, seed + 1);
+        let ds = Matrix::zeros(batch, hidden);
+
+        // Running backward twice into the same buffer doubles it.
+        let mut once = CellGrads::zeros_like(&params);
+        cell::backward(&params, &p1, &x, &h0, &dh, &ds, &mut once).unwrap();
+        let mut twice = CellGrads::zeros_like(&params);
+        cell::backward(&params, &p1, &x, &h0, &dh, &ds, &mut twice).unwrap();
+        cell::backward(&params, &p1, &x, &h0, &dh, &ds, &mut twice).unwrap();
+        let mut doubled = once.dw.clone();
+        doubled.scale(2.0);
+        prop_assert!(doubled.rel_diff(&twice.dw) < 1e-5);
+    }
+}

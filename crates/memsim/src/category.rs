@@ -1,0 +1,67 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three runtime-data categories the paper's characterization uses
+/// (Figs. 4, 5, 17, 18): weight matrices, activation data, and the
+/// forward-propagation intermediate variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DataCategory {
+    /// Weight matrices `W`, `U`, biases, and their gradients
+    /// ("Parameter" in the paper's figures).
+    Weights,
+    /// Layer inputs/outputs `x_t`, `h_t` flowing between cells and layers.
+    Activations,
+    /// Forward intermediates `i_t, f_t, c_t, o_t, s_t` (or their MS1
+    /// compressed replacements) stored for backpropagation.
+    Intermediates,
+}
+
+impl DataCategory {
+    /// All categories in display order.
+    pub const ALL: [DataCategory; 3] = [
+        DataCategory::Weights,
+        DataCategory::Activations,
+        DataCategory::Intermediates,
+    ];
+
+    /// Stable index in `[0, 3)` for array-backed per-category storage.
+    pub fn index(self) -> usize {
+        match self {
+            DataCategory::Weights => 0,
+            DataCategory::Activations => 1,
+            DataCategory::Intermediates => 2,
+        }
+    }
+}
+
+impl fmt::Display for DataCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataCategory::Weights => "weights",
+            DataCategory::Activations => "activations",
+            DataCategory::Intermediates => "intermediates",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_unique_and_dense() {
+        let mut seen = [false; 3];
+        for c in DataCategory::ALL {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DataCategory::Weights.to_string(), "weights");
+        assert_eq!(DataCategory::Intermediates.to_string(), "intermediates");
+    }
+}

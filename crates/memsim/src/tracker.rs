@@ -1,0 +1,190 @@
+//! Live/peak memory footprint accounting.
+
+use crate::DataCategory;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Tracks live and peak bytes per [`DataCategory`].
+///
+/// The training framework calls [`MemoryTracker::alloc`] when a tensor is
+/// materialized into simulated DRAM and [`MemoryTracker::free`] when it is
+/// released; the tracker maintains the running total per category and the
+/// peak of the *sum* (matching how the paper reports "memory footprint":
+/// the high-water mark of GPU memory, Fig. 5).
+///
+/// # Example
+///
+/// ```
+/// use eta_memsim::{DataCategory, MemoryTracker};
+///
+/// let mut t = MemoryTracker::new();
+/// t.alloc(DataCategory::Activations, 100);
+/// t.alloc(DataCategory::Intermediates, 300);
+/// t.free(DataCategory::Activations, 100);
+/// assert_eq!(t.peak_total(), 400);
+/// assert_eq!(t.live(DataCategory::Intermediates), 300);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryTracker {
+    live: [u64; 3],
+    peak: [u64; 3],
+    peak_total: u64,
+}
+
+impl MemoryTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an allocation of `bytes` in `category`.
+    pub fn alloc(&mut self, category: DataCategory, bytes: u64) {
+        let i = category.index();
+        self.live[i] += bytes;
+        self.peak[i] = self.peak[i].max(self.live[i]);
+        self.peak_total = self.peak_total.max(self.live_total());
+    }
+
+    /// Records a release of `bytes` in `category`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if more bytes are freed than are live
+    /// (an accounting bug in the caller); saturates in release builds.
+    pub fn free(&mut self, category: DataCategory, bytes: u64) {
+        let i = category.index();
+        debug_assert!(
+            self.live[i] >= bytes,
+            "freeing {bytes} bytes from {category} with only {} live",
+            self.live[i]
+        );
+        self.live[i] = self.live[i].saturating_sub(bytes);
+    }
+
+    /// Currently-live bytes in one category.
+    pub fn live(&self, category: DataCategory) -> u64 {
+        self.live[category.index()]
+    }
+
+    /// Currently-live bytes across all categories.
+    pub fn live_total(&self) -> u64 {
+        self.live.iter().sum()
+    }
+
+    /// Peak live bytes ever seen in one category (each category's own
+    /// high-water mark; these need not have occurred simultaneously).
+    pub fn peak(&self, category: DataCategory) -> u64 {
+        self.peak[category.index()]
+    }
+
+    /// Peak of the *total* live bytes — the footprint number the paper's
+    /// Fig. 5 reports.
+    pub fn peak_total(&self) -> u64 {
+        self.peak_total
+    }
+
+    /// Resets live counts to zero but keeps peaks.
+    pub fn release_all(&mut self) {
+        self.live = [0; 3];
+    }
+
+    /// Resets everything to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// A cheaply-clonable, thread-safe handle to a [`MemoryTracker`], for
+/// instrumentation shared between a model's layers.
+#[derive(Debug, Clone, Default)]
+pub struct SharedTracker(Arc<Mutex<MemoryTracker>>);
+
+impl SharedTracker {
+    /// Creates a handle around an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an allocation. See [`MemoryTracker::alloc`].
+    pub fn alloc(&self, category: DataCategory, bytes: u64) {
+        self.0.lock().alloc(category, bytes);
+    }
+
+    /// Records a release. See [`MemoryTracker::free`].
+    pub fn free(&self, category: DataCategory, bytes: u64) {
+        self.0.lock().free(category, bytes);
+    }
+
+    /// Snapshot of the current tracker state.
+    pub fn snapshot(&self) -> MemoryTracker {
+        self.0.lock().clone()
+    }
+
+    /// Resets everything to zero.
+    pub fn reset(&self) {
+        self.0.lock().reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_total_tracks_concurrent_maximum() {
+        let mut t = MemoryTracker::new();
+        t.alloc(DataCategory::Weights, 10);
+        t.alloc(DataCategory::Activations, 20);
+        t.free(DataCategory::Weights, 10);
+        t.alloc(DataCategory::Intermediates, 5);
+        // peak was 30 (10+20), now live is 25
+        assert_eq!(t.peak_total(), 30);
+        assert_eq!(t.live_total(), 25);
+    }
+
+    #[test]
+    fn per_category_peaks_are_independent() {
+        let mut t = MemoryTracker::new();
+        t.alloc(DataCategory::Weights, 10);
+        t.free(DataCategory::Weights, 10);
+        t.alloc(DataCategory::Activations, 7);
+        assert_eq!(t.peak(DataCategory::Weights), 10);
+        assert_eq!(t.peak(DataCategory::Activations), 7);
+        assert_eq!(t.peak(DataCategory::Intermediates), 0);
+    }
+
+    #[test]
+    fn release_all_keeps_peaks() {
+        let mut t = MemoryTracker::new();
+        t.alloc(DataCategory::Intermediates, 100);
+        t.release_all();
+        assert_eq!(t.live_total(), 0);
+        assert_eq!(t.peak_total(), 100);
+        t.reset();
+        assert_eq!(t.peak_total(), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "freeing")]
+    fn over_free_panics_in_debug() {
+        let mut t = MemoryTracker::new();
+        t.free(DataCategory::Weights, 1);
+    }
+
+    #[test]
+    fn shared_tracker_aggregates_across_clones() {
+        let s = SharedTracker::new();
+        let s2 = s.clone();
+        s.alloc(DataCategory::Weights, 5);
+        s2.alloc(DataCategory::Weights, 5);
+        assert_eq!(s.snapshot().live(DataCategory::Weights), 10);
+    }
+
+    #[test]
+    fn shared_tracker_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedTracker>();
+    }
+}

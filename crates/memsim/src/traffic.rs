@@ -1,0 +1,154 @@
+//! DRAM data-movement accounting.
+
+use crate::DataCategory;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Counts bytes moved between on-chip memory and DRAM, split by
+/// [`DataCategory`] and direction.
+///
+/// The paper's Fig. 4 reports "data movement" — total GB transferred to
+/// and from DRAM per training iteration — and Fig. 17 reports the
+/// reduction the memory-saving optimizations achieve per category. The
+/// training framework's simulated-DRAM boundary calls
+/// [`TrafficCounter::read`]/[`TrafficCounter::write`] whenever a tensor
+/// crosses it.
+///
+/// # Example
+///
+/// ```
+/// use eta_memsim::{DataCategory, TrafficCounter};
+///
+/// let mut t = TrafficCounter::new();
+/// t.write(DataCategory::Intermediates, 100);
+/// t.read(DataCategory::Intermediates, 250);
+/// assert_eq!(t.total(DataCategory::Intermediates), 350);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficCounter {
+    reads: [u64; 3],
+    writes: [u64; 3],
+}
+
+impl TrafficCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bytes` read from DRAM.
+    pub fn read(&mut self, category: DataCategory, bytes: u64) {
+        self.reads[category.index()] += bytes;
+    }
+
+    /// Records `bytes` written to DRAM.
+    pub fn write(&mut self, category: DataCategory, bytes: u64) {
+        self.writes[category.index()] += bytes;
+    }
+
+    /// Bytes read from DRAM for one category.
+    pub fn reads(&self, category: DataCategory) -> u64 {
+        self.reads[category.index()]
+    }
+
+    /// Bytes written to DRAM for one category.
+    pub fn writes(&self, category: DataCategory) -> u64 {
+        self.writes[category.index()]
+    }
+
+    /// Reads + writes for one category.
+    pub fn total(&self, category: DataCategory) -> u64 {
+        self.reads(category) + self.writes(category)
+    }
+
+    /// Reads + writes across all categories.
+    pub fn grand_total(&self) -> u64 {
+        self.reads.iter().sum::<u64>() + self.writes.iter().sum::<u64>()
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &TrafficCounter) {
+        for i in 0..3 {
+            self.reads[i] += other.reads[i];
+            self.writes[i] += other.writes[i];
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Thread-safe shared handle to a [`TrafficCounter`].
+#[derive(Debug, Clone, Default)]
+pub struct SharedTraffic(Arc<Mutex<TrafficCounter>>);
+
+impl SharedTraffic {
+    /// Creates a handle around a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a DRAM read. See [`TrafficCounter::read`].
+    pub fn read(&self, category: DataCategory, bytes: u64) {
+        self.0.lock().read(category, bytes);
+    }
+
+    /// Records a DRAM write. See [`TrafficCounter::write`].
+    pub fn write(&self, category: DataCategory, bytes: u64) {
+        self.0.lock().write(category, bytes);
+    }
+
+    /// Snapshot of the current counters.
+    pub fn snapshot(&self) -> TrafficCounter {
+        self.0.lock().clone()
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.0.lock().reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_reads_and_writes() {
+        let mut t = TrafficCounter::new();
+        t.read(DataCategory::Weights, 10);
+        t.write(DataCategory::Weights, 3);
+        t.read(DataCategory::Activations, 5);
+        assert_eq!(t.total(DataCategory::Weights), 13);
+        assert_eq!(t.grand_total(), 18);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TrafficCounter::new();
+        a.read(DataCategory::Intermediates, 7);
+        let mut b = TrafficCounter::new();
+        b.write(DataCategory::Intermediates, 2);
+        a.merge(&b);
+        assert_eq!(a.total(DataCategory::Intermediates), 9);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut t = TrafficCounter::new();
+        t.write(DataCategory::Weights, 4);
+        t.reset();
+        assert_eq!(t.grand_total(), 0);
+    }
+
+    #[test]
+    fn shared_traffic_aggregates() {
+        let s = SharedTraffic::new();
+        s.clone().write(DataCategory::Activations, 6);
+        s.read(DataCategory::Activations, 1);
+        assert_eq!(s.snapshot().total(DataCategory::Activations), 7);
+    }
+}

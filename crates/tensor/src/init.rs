@@ -1,0 +1,89 @@
+//! Weight initialization.
+//!
+//! LSTM weight matrices are initialized with Xavier/Glorot uniform
+//! scaling, matching the PyTorch default for recurrent layers used by the
+//! paper's software baseline. All initializers are seeded so every
+//! experiment in the harness is reproducible.
+
+use crate::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Xavier/Glorot uniform initialization: samples from
+/// `U(-√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
+///
+/// # Example
+///
+/// ```
+/// use eta_tensor::init::xavier_uniform;
+///
+/// let w = xavier_uniform(64, 32, 42);
+/// assert_eq!(w.rows(), 64);
+/// let bound = (6.0f32 / (64.0 + 32.0)).sqrt();
+/// assert!(w.as_slice().iter().all(|v| v.abs() <= bound));
+/// ```
+pub fn xavier_uniform(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let bound = (6.0 / (rows + cols) as f32).sqrt();
+    uniform(rows, cols, -bound, bound, seed)
+}
+
+/// Uniform initialization over `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, seed: u64) -> Matrix {
+    assert!(lo < hi, "uniform init requires lo < hi");
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(lo..hi))
+}
+
+/// Standard-normal initialization scaled by `std`.
+pub fn normal(rows: usize, cols: usize, std: f32, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Box-Muller transform; avoids needing rand_distr.
+    Matrix::from_fn(rows, cols, |_, _| {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let w = xavier_uniform(100, 50, 7);
+        let bound = (6.0f32 / 150.0).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        assert_eq!(xavier_uniform(8, 8, 3), xavier_uniform(8, 8, 3));
+        assert_ne!(xavier_uniform(8, 8, 3), xavier_uniform(8, 8, 4));
+    }
+
+    #[test]
+    fn normal_has_roughly_requested_std() {
+        let w = normal(200, 200, 0.5, 11);
+        let n = w.len() as f64;
+        let mean: f64 = w.as_slice().iter().map(|&v| v as f64).sum::<f64>() / n;
+        let var: f64 = w
+            .as_slice()
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn uniform_rejects_inverted_range() {
+        let _ = uniform(2, 2, 1.0, -1.0, 0);
+    }
+}

@@ -1,0 +1,799 @@
+//! Row-major dense `f32` matrix and the linear-algebra kernels LSTM
+//! training needs.
+//!
+//! Batched activations are stored as `[batch, features]` matrices; weight
+//! matrices as `[out, in]`. The three GEMM orientations used by LSTM
+//! training map to:
+//!
+//! - forward `W x`: [`Matrix::matmul_nt`] (`x` is `[batch, in]`, result
+//!   `[batch, out]` via `x · Wᵀ`)
+//! - input gradient `Wᵀ δ`: [`Matrix::matmul_nn`] (`δ · W`)
+//! - weight gradient `δ ⊗ x`: [`Matrix::matmul_tn`] (`δᵀ · x`)
+
+use crate::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major `f32` matrix.
+///
+/// # Example
+///
+/// ```
+/// use eta_tensor::Matrix;
+///
+/// let m = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+/// assert_eq!(m.get(0, 0), 1.0);
+/// assert_eq!(m.get(0, 1), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows x cols` matrix with every element `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(TensorError::LengthMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn<F: FnMut(usize, usize) -> f32>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of the backing buffer in bytes (4 bytes per `f32`).
+    pub fn size_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows` or `col >= cols`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows` or `col >= cols`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// The whole backing buffer in row-major order.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer in row-major order.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrow of row `r` as a slice of length `cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row index out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Standard matrix product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.matmul_nn(rhs)
+    }
+
+    /// `self · rhs` with both operands untransposed:
+    /// `[m, k] · [k, n] -> [m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols != rhs.rows`.
+    pub fn matmul_nn(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nn",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self · rhsᵀ`: `[m, k] · [n, k]ᵀ -> [m, n]`.
+    ///
+    /// This is the forward-propagation orientation: activations
+    /// `[batch, in] · W[out, in]ᵀ -> [batch, out]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols != rhs.cols`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nt",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &rhs.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// `selfᵀ · rhs`: `[k, m]ᵀ · [k, n] -> [m, n]`.
+    ///
+    /// This is the weight-gradient orientation: gate gradients
+    /// `[batch, out]ᵀ · x [batch, in] -> [out, in]` (the paper's outer
+    /// product summed over the batch, Eq. 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.rows != rhs.rows`.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_tn",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        let (k, m, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            let a_row = &self.data[p * m..(p + 1) * m];
+            let b_row = &rhs.data[p * n..(p + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Cache-blocked `self · rhs`, numerically identical to
+    /// [`Matrix::matmul_nn`] but tiled over `block × block` panels so
+    /// large operands stay in cache. Falls back to the straight loop
+    /// for small matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols != rhs.rows`.
+    pub fn matmul_blocked(&self, rhs: &Matrix, block: usize) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_blocked",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        let block = block.max(8);
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        if m * k * n < 64 * 64 * 64 {
+            return self.matmul_nn(rhs);
+        }
+        let mut out = Matrix::zeros(m, n);
+        for i0 in (0..m).step_by(block) {
+            let i1 = (i0 + block).min(m);
+            for p0 in (0..k).step_by(block) {
+                let p1 = (p0 + block).min(k);
+                for i in i0..i1 {
+                    let a_row = &self.data[i * k..(i + 1) * k];
+                    let out_row = &mut out.data[i * n..(i + 1) * n];
+                    for p in p0..p1 {
+                        let a = a_row[p];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_row = &rhs.data[p * n..(p + 1) * n];
+                        for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Multi-threaded `self · rhsᵀ` (the forward-propagation
+    /// orientation), splitting output rows across `threads` worker
+    /// threads via scoped crossbeam threads. Numerically identical to
+    /// [`Matrix::matmul_nt`]; falls back to the serial kernel for small
+    /// problems where thread spawn would dominate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols != rhs.cols`.
+    pub fn matmul_nt_par(&self, rhs: &Matrix, threads: usize) -> Result<Matrix> {
+        if self.cols != rhs.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nt_par",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        let threads = threads.max(1);
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        if threads == 1 || m * k * n < 128 * 128 * 128 || m < threads {
+            return self.matmul_nt(rhs);
+        }
+        let mut out = Matrix::zeros(m, n);
+        let rows_per = m.div_ceil(threads);
+        let a = &self.data;
+        let b = &rhs.data;
+        // Split the output buffer into disjoint row chunks; each worker
+        // owns its chunk exclusively.
+        let chunks: Vec<&mut [f32]> = out.data.chunks_mut(rows_per * n).collect();
+        crossbeam::thread::scope(|scope| {
+            for (chunk_idx, chunk) in chunks.into_iter().enumerate() {
+                let row0 = chunk_idx * rows_per;
+                scope.spawn(move |_| {
+                    for (local_i, out_row) in chunk.chunks_mut(n).enumerate() {
+                        let i = row0 + local_i;
+                        let a_row = &a[i * k..(i + 1) * k];
+                        for (j, o) in out_row.iter_mut().enumerate() {
+                            let b_row = &b[j * k..(j + 1) * k];
+                            let mut acc = 0.0f32;
+                            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                                acc += x * y;
+                            }
+                            *o = acc;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("worker threads do not panic");
+        Ok(out)
+    }
+
+    /// Element-wise sum `self + rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on differing shapes.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_map(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference `self - rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on differing shapes.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_map(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product `self ⊙ rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on differing shapes.
+    pub fn hadamard(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_map(rhs, "hadamard", |a, b| a * b)
+    }
+
+    /// In-place element-wise accumulation `self += rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on differing shapes.
+    pub fn add_assign(&mut self, rhs: &Matrix) -> Result<()> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_assign",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place scaled accumulation `self += alpha * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on differing shapes.
+    pub fn axpy(&mut self, alpha: f32, rhs: &Matrix) -> Result<()> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "axpy",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Scales every element in place.
+    pub fn scale(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Adds a broadcast row vector to every row (bias addition).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `bias.len() != cols`.
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) -> Result<()> {
+        if bias.len() != self.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_row_broadcast",
+                lhs: (self.rows, self.cols),
+                rhs: (1, bias.len()),
+            });
+        }
+        for r in 0..self.rows {
+            for (v, &b) in self.data[r * self.cols..(r + 1) * self.cols]
+                .iter_mut()
+                .zip(bias.iter())
+            {
+                *v += b;
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a new matrix with `f` applied to every element.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Element-wise combination of two equally-shaped matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on differing shapes.
+    pub fn zip_map<F: Fn(f32, f32) -> f32>(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        f: F,
+    ) -> Result<Matrix> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Sum of the absolute values of all elements (the "magnitude" measure
+    /// used by the paper's Fig. 8 gradient analysis).
+    pub fn abs_sum(&self) -> f64 {
+        self.data.iter().map(|v| v.abs() as f64).sum()
+    }
+
+    /// Sum of squares of all elements.
+    pub fn sq_sum(&self) -> f64 {
+        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum()
+    }
+
+    /// Largest absolute element, or 0 for an empty matrix.
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    /// Number of elements with `|v| < threshold` — the near-zero
+    /// population that MS1's compression exploits.
+    pub fn count_below(&self, threshold: f32) -> usize {
+        self.data.iter().filter(|v| v.abs() < threshold).count()
+    }
+
+    /// Outer product of two vectors given as slices:
+    /// `lhs ⊗ rhs -> [lhs.len(), rhs.len()]`.
+    pub fn outer(lhs: &[f32], rhs: &[f32]) -> Matrix {
+        let mut out = Matrix::zeros(lhs.len(), rhs.len());
+        for (i, &a) in lhs.iter().enumerate() {
+            for (j, &b) in rhs.iter().enumerate() {
+                out.data[i * rhs.len() + j] = a * b;
+            }
+        }
+        out
+    }
+
+    /// Horizontal concatenation `[self | rhs]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if row counts differ.
+    pub fn hcat(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "hcat",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols + rhs.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(rhs.row(r));
+        }
+        Ok(out)
+    }
+
+    /// Returns columns `[start, start + width)` as a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + width > cols`.
+    pub fn col_slice(&self, start: usize, width: usize) -> Matrix {
+        assert!(start + width <= self.cols, "column slice out of bounds");
+        let mut out = Matrix::zeros(self.rows, width);
+        for r in 0..self.rows {
+            out.row_mut(r)
+                .copy_from_slice(&self.row(r)[start..start + width]);
+        }
+        out
+    }
+
+    /// Frobenius-norm relative difference between two matrices, used by
+    /// gradient checking. Returns `‖a−b‖ / max(‖a‖, ‖b‖, ε)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn rel_diff(&self, rhs: &Matrix) -> f64 {
+        assert_eq!(self.rows, rhs.rows, "rel_diff shape mismatch");
+        assert_eq!(self.cols, rhs.cols, "rel_diff shape mismatch");
+        let mut num = 0.0f64;
+        for (&a, &b) in self.data.iter().zip(rhs.data.iter()) {
+            num += ((a - b) as f64).powi(2);
+        }
+        let denom = self.sq_sum().sqrt().max(rhs.sq_sum().sqrt()).max(1e-12);
+        num.sqrt() / denom
+    }
+}
+
+impl Default for Matrix {
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn zeros_has_expected_shape() {
+        let z = Matrix::zeros(3, 4);
+        assert_eq!(z.rows(), 3);
+        assert_eq!(z.cols(), 4);
+        assert_eq!(z.len(), 12);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        let err = Matrix::from_vec(2, 2, vec![1.0; 3]).unwrap_err();
+        assert_eq!(
+            err,
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3
+            }
+        );
+    }
+
+    #[test]
+    fn matmul_nn_matches_hand_computation() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul_nn(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = m(2, 3, &[1.0, -2.0, 0.5, 3.0, 4.0, -1.0]);
+        let b = m(4, 3, &[1.0, 0.0, 2.0, -1.0, 1.0, 0.0, 0.5, 0.5, 0.5, 2.0, -2.0, 1.0]);
+        let fast = a.matmul_nt(&b).unwrap();
+        let slow = a.matmul_nn(&b.transpose()).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = m(3, 2, &[1.0, -2.0, 0.5, 3.0, 4.0, -1.0]);
+        let b = m(3, 4, &[1.0, 0.0, 2.0, -1.0, 1.0, 0.0, 0.5, 0.5, 0.5, 2.0, -2.0, 1.0]);
+        let fast = a.matmul_tn(&b).unwrap();
+        let slow = a.transpose().matmul_nn(&b).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial() {
+        use crate::init;
+        // Above the parallel threshold.
+        let a = init::uniform(256, 160, -1.0, 1.0, 11);
+        let b = init::uniform(200, 160, -1.0, 1.0, 12);
+        let serial = a.matmul_nt(&b).unwrap();
+        for threads in [1usize, 2, 4, 7] {
+            let par = a.matmul_nt_par(&b, threads).unwrap();
+            assert!(par.rel_diff(&serial) < 1e-6, "threads={threads}");
+        }
+        // Below the threshold (fallback path).
+        let small = init::uniform(8, 8, -1.0, 1.0, 13);
+        assert_eq!(
+            small.matmul_nt_par(&small, 4).unwrap(),
+            small.matmul_nt(&small).unwrap()
+        );
+        assert!(a.matmul_nt_par(&Matrix::zeros(5, 9), 2).is_err());
+    }
+
+    #[test]
+    fn blocked_matmul_matches_reference() {
+        use crate::init;
+        for (m_dim, k, n) in [(65usize, 70usize, 66usize), (128, 96, 100)] {
+            let a = init::uniform(m_dim, k, -2.0, 2.0, 5);
+            let b = init::uniform(k, n, -2.0, 2.0, 6);
+            let fast = a.matmul_blocked(&b, 32).unwrap();
+            let slow = a.matmul_nn(&b).unwrap();
+            assert!(fast.rel_diff(&slow) < 1e-6, "{m_dim}x{k}x{n}");
+        }
+        // Small matrices take the fallback path.
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        assert_eq!(a.matmul_blocked(&b, 64).unwrap(), a.matmul_nn(&b).unwrap());
+        assert!(a.matmul_blocked(&a, 64).is_err());
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul_nn(&b).is_err());
+        assert!(a.matmul_nt(&Matrix::zeros(4, 5)).is_err());
+        assert!(a.matmul_tn(&Matrix::zeros(5, 2)).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn hadamard_and_add_work() {
+        let a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let b = m(1, 3, &[4.0, 5.0, 6.0]);
+        assert_eq!(a.hadamard(&b).unwrap().as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates_scaled() {
+        let mut a = m(1, 2, &[1.0, 1.0]);
+        let b = m(1, 2, &[2.0, -4.0]);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, -1.0]);
+    }
+
+    #[test]
+    fn broadcast_bias_adds_to_every_row() {
+        let mut a = Matrix::zeros(2, 3);
+        a.add_row_broadcast(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(1), &[1.0, 2.0, 3.0]);
+        assert!(a.add_row_broadcast(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn outer_product_matches_matmul_tn() {
+        let u = [1.0f32, 2.0, 3.0];
+        let v = [4.0f32, 5.0];
+        let o = Matrix::outer(&u, &v);
+        assert_eq!(o.rows(), 3);
+        assert_eq!(o.cols(), 2);
+        assert_eq!(o.get(2, 1), 15.0);
+        let um = m(1, 3, &u);
+        let vm = m(1, 2, &v);
+        assert_eq!(o, um.matmul_tn(&vm).unwrap());
+    }
+
+    #[test]
+    fn hcat_and_col_slice_invert() {
+        let a = m(2, 2, &[1.0, 2.0, 5.0, 6.0]);
+        let b = m(2, 1, &[3.0, 7.0]);
+        let c = a.hcat(&b).unwrap();
+        assert_eq!(c.cols(), 3);
+        assert_eq!(c.col_slice(0, 2), a);
+        assert_eq!(c.col_slice(2, 1), b);
+    }
+
+    #[test]
+    fn statistics_are_correct() {
+        let a = m(1, 4, &[-1.0, 0.05, 2.0, -0.01]);
+        assert!((a.abs_sum() - 3.06).abs() < 1e-6);
+        assert_eq!(a.abs_max(), 2.0);
+        assert_eq!(a.count_below(0.1), 2);
+    }
+
+    #[test]
+    fn rel_diff_zero_for_identical() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.rel_diff(&a), 0.0);
+        let b = m(2, 2, &[1.0, 2.0, 3.0, 4.5]);
+        assert!(a.rel_diff(&b) > 0.0);
+    }
+
+    #[test]
+    fn map_and_scale() {
+        let mut a = m(1, 3, &[1.0, -2.0, 3.0]);
+        let b = a.map(f32::abs);
+        assert_eq!(b.as_slice(), &[1.0, 2.0, 3.0]);
+        a.scale(2.0);
+        assert_eq!(a.as_slice(), &[2.0, -4.0, 6.0]);
+    }
+
+    #[test]
+    fn size_bytes_counts_f32() {
+        assert_eq!(Matrix::zeros(4, 4).size_bytes(), 64);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the tensor substrate.
+
+use eta_tensor::{activation, Matrix, SparseVec};
+use proptest::prelude::*;
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |v| Matrix::from_vec(r, c, v).unwrap())
+    })
+}
+
+fn pair_same_shape(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        let a = proptest::collection::vec(-10.0f32..10.0, r * c);
+        let b = proptest::collection::vec(-10.0f32..10.0, r * c);
+        (a, b).prop_map(move |(a, b)| {
+            (
+                Matrix::from_vec(r, c, a).unwrap(),
+                Matrix::from_vec(r, c, b).unwrap(),
+            )
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in small_matrix(8)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn add_commutes((a, b) in pair_same_shape(8)) {
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+    }
+
+    #[test]
+    fn hadamard_commutes((a, b) in pair_same_shape(8)) {
+        prop_assert_eq!(a.hadamard(&b).unwrap(), b.hadamard(&a).unwrap());
+    }
+
+    #[test]
+    fn matmul_nt_matches_naive(
+        (m, k, n) in (1usize..6, 1usize..6, 1usize..6),
+        seed in 0u64..1000
+    ) {
+        let mk = eta_tensor::init::uniform(m, k, -2.0, 2.0, seed);
+        let nk = eta_tensor::init::uniform(n, k, -2.0, 2.0, seed.wrapping_add(1));
+        let fast = mk.matmul_nt(&nk).unwrap();
+        let slow = mk.matmul_nn(&nk.transpose()).unwrap();
+        prop_assert!(fast.rel_diff(&slow) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_tn_matches_naive(
+        (k, m, n) in (1usize..6, 1usize..6, 1usize..6),
+        seed in 0u64..1000
+    ) {
+        let km = eta_tensor::init::uniform(k, m, -2.0, 2.0, seed);
+        let kn = eta_tensor::init::uniform(k, n, -2.0, 2.0, seed.wrapping_add(1));
+        let fast = km.matmul_tn(&kn).unwrap();
+        let slow = km.transpose().matmul_nn(&kn).unwrap();
+        prop_assert!(fast.rel_diff(&slow) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        (a, (b, c)) in (1usize..5, 1usize..5, 1usize..5).prop_flat_map(|(m, k, n)| {
+            let a = proptest::collection::vec(-3.0f32..3.0, m * k)
+                .prop_map(move |v| Matrix::from_vec(m, k, v).unwrap());
+            let b = proptest::collection::vec(-3.0f32..3.0, k * n)
+                .prop_map(move |v| Matrix::from_vec(k, n, v).unwrap());
+            let c = proptest::collection::vec(-3.0f32..3.0, k * n)
+                .prop_map(move |v| Matrix::from_vec(k, n, v).unwrap());
+            (a, (b, c))
+        })
+    ) {
+        let lhs = a.matmul_nn(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul_nn(&b).unwrap().add(&a.matmul_nn(&c).unwrap()).unwrap();
+        prop_assert!(lhs.rel_diff(&rhs) < 1e-4);
+    }
+
+    #[test]
+    fn sparse_roundtrip_preserves_kept_values(
+        dense in proptest::collection::vec(-1.0f32..1.0, 0..64),
+        threshold in 0.0f32..0.5
+    ) {
+        let sv = SparseVec::compress(&dense, threshold);
+        let decoded = sv.decode();
+        prop_assert_eq!(decoded.len(), dense.len());
+        for (orig, dec) in dense.iter().zip(decoded.iter()) {
+            if orig.abs() >= threshold {
+                prop_assert_eq!(orig, dec);
+            } else {
+                prop_assert_eq!(*dec, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_nnz_monotone_in_threshold(
+        dense in proptest::collection::vec(-1.0f32..1.0, 1..64),
+        t1 in 0.0f32..0.5,
+        t2 in 0.0f32..0.5
+    ) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let a = SparseVec::compress(&dense, lo);
+        let b = SparseVec::compress(&dense, hi);
+        prop_assert!(a.nnz() >= b.nnz());
+    }
+
+    #[test]
+    fn sparse_mul_dense_matches_dense_path(
+        dense in proptest::collection::vec(-1.0f32..1.0, 1..64),
+        seed in 0u64..100
+    ) {
+        let grad = eta_tensor::init::uniform(1, dense.len(), -2.0, 2.0, seed);
+        let sv = SparseVec::compress(&dense, 0.1);
+        let sparse_out = sv.mul_dense(grad.as_slice());
+        for (i, (&d, &g)) in dense.iter().zip(grad.as_slice().iter()).enumerate() {
+            let expect = if d.abs() >= 0.1 { d * g } else { 0.0 };
+            prop_assert!((sparse_out[i] - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sigmoid_output_in_unit_interval(x in -50.0f32..50.0) {
+        let y = activation::sigmoid(x);
+        prop_assert!((0.0..=1.0).contains(&y));
+    }
+
+    #[test]
+    fn tanh_output_in_unit_ball(x in -50.0f32..50.0) {
+        let y = activation::tanh(x);
+        prop_assert!((-1.0..=1.0).contains(&y));
+    }
+
+    #[test]
+    fn softmax_is_distribution(v in proptest::collection::vec(-5.0f32..5.0, 1..16)) {
+        let p = activation::softmax(&v);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| x >= 0.0));
+    }
+}

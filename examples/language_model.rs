@@ -1,0 +1,54 @@
+//! Language-modeling scenario on a structured corpus: sequences drawn
+//! from a low-entropy Markov chain (the PTB analogue). Unlike the
+//! synthetic shift-map tasks, the optimal loss here is the chain's
+//! conditional entropy, so the example shows the LSTM converging toward
+//! a *known* information-theoretic floor — with and without the
+//! memory-saving optimizations.
+//!
+//! Run with: `cargo run --release --example language_model`
+
+use eta_lstm::core::{LstmConfig, Trainer, TrainingStrategy};
+use eta_lstm::workloads::{MarkovChain, MarkovLmTask};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let vocab = 12;
+    let chain = MarkovChain::peaked(vocab, 0.8, 3);
+    let entropy = chain.conditional_entropy();
+    let uniform = (vocab as f64).ln();
+    println!(
+        "Markov corpus: {vocab} tokens, peak transition 0.8\n\
+         uniform-guess loss  {uniform:.3} nats\n\
+         entropy floor       {entropy:.3} nats\n"
+    );
+
+    let config = LstmConfig::builder()
+        .input_size(vocab)
+        .hidden_size(24)
+        .layers(2)
+        .seq_len(16)
+        .batch_size(8)
+        .output_size(vocab)
+        .build()?;
+    let task = MarkovLmTask::new(chain, vocab, 16, 7)
+        .with_batch_size(8)
+        .with_batches_per_epoch(8);
+
+    for strategy in [TrainingStrategy::Baseline, TrainingStrategy::CombinedMs] {
+        let mut trainer = Trainer::new(config, strategy, 42)?
+            .with_optimizer(eta_lstm::core::optimizer::Sgd { lr: 4.0, clip: 5.0 });
+        let report = trainer.run(&task, 30)?;
+        let gap = report.final_loss() - entropy;
+        println!(
+            "{:<12} loss {:.3} (gap to entropy floor {:+.3}), PPL {:.2}",
+            strategy.to_string(),
+            report.final_loss(),
+            gap,
+            report.final_loss().exp()
+        );
+    }
+    println!(
+        "\nboth runs approach the entropy floor — the memory-saving\n\
+         optimizations do not change what the model can learn."
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Machine-translation scenario (the paper's WMT benchmark, Fig. 8b):
+//! a per-timestamp-loss model whose gradient magnitude *grows* toward
+//! early timesteps, flipping the MS2 skip pattern to the sequence tail.
+//!
+//! Trains a token-mapping seq2seq analogue and reports BLEU for
+//! baseline vs Combine-MS.
+//!
+//! Run with: `cargo run --release --example machine_translation`
+
+use eta_lstm::core::{LstmConfig, Targets, Task, Trainer, TrainingStrategy};
+use eta_lstm::workloads::metrics;
+use eta_lstm::workloads::SyntheticTask;
+
+fn argmax(row: &[f32]) -> u32 {
+    row.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+        .map(|(i, _)| i as u32)
+        .unwrap_or(0)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = LstmConfig::builder()
+        .input_size(24)
+        .hidden_size(24)
+        .layers(2)
+        .seq_len(16)
+        .batch_size(8)
+        .output_size(12)
+        .build()?;
+    let task = SyntheticTask::per_step_classification(24, 12, 16, 5)
+        .with_batch_size(8)
+        .with_batches_per_epoch(8);
+
+    // The per-timestamp gradient profile (Fig. 8b shape).
+    let mut probe = Trainer::new(config, TrainingStrategy::Baseline, 42)?;
+    let report = probe.run(&task, 1)?;
+    let mags = &report.first_epoch_magnitudes[0];
+    let max = mags.iter().cloned().fold(1e-30, f64::max);
+    println!("per-timestep |dW|+|dU| of layer 0 (first epoch, normalized):");
+    for (t, &m) in mags.iter().enumerate() {
+        println!("  t={t:>2} {}", "#".repeat((m / max * 40.0).round() as usize));
+    }
+    println!("per-timestamp models: magnitude grows toward early timesteps.\n");
+
+    for strategy in [TrainingStrategy::Baseline, TrainingStrategy::CombinedMs] {
+        let mut trainer = Trainer::new(config, strategy, 42)?
+            .with_optimizer(eta_lstm::core::optimizer::Sgd { lr: 4.0, clip: 5.0 });
+        let r = trainer.run(&task, 40)?;
+
+        // BLEU on held-out batches: argmax decode vs reference tokens.
+        let mut cands: Vec<Vec<u32>> = Vec::new();
+        let mut refs: Vec<Vec<u32>> = Vec::new();
+        for i in 0..4 {
+            let batch = task.batch(1000, i);
+            let logits = trainer.model().forward_inference(&batch.inputs)?;
+            if let Targets::StepClasses(steps) = &batch.targets {
+                for row in 0..8 {
+                    cands.push(logits.iter().map(|l| argmax(l.row(row))).collect());
+                    refs.push(steps.iter().map(|s| s[row] as u32).collect());
+                }
+            }
+        }
+        println!(
+            "{:<12} final loss {:.4}  held-out BLEU {:.1}",
+            strategy.to_string(),
+            r.final_loss(),
+            metrics::bleu(&cands, &refs, 4) * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Quickstart: train a small LSTM with every η-LSTM strategy and
+//! compare loss, memory footprint, and data movement.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use eta_lstm::core::{LstmConfig, Trainer, TrainingStrategy};
+use eta_lstm::workloads::SyntheticTask;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small sentiment-analysis-style task: single loss, 2 classes.
+    let config = LstmConfig::builder()
+        .input_size(24)
+        .hidden_size(32)
+        .layers(2)
+        .seq_len(24)
+        .batch_size(8)
+        .output_size(2)
+        .build()?;
+    let task = SyntheticTask::classification(24, 2, 24, 7).with_batch_size(8);
+
+    println!("training a {}x{} 2-layer LSTM under all four strategies\n", 24, 32);
+    println!(
+        "{:<12} {:>10} {:>12} {:>14} {:>12} {:>10}",
+        "strategy", "final loss", "peak footpr.", "intermediates", "P1 density", "skipped"
+    );
+    for strategy in TrainingStrategy::ALL {
+        let mut trainer = Trainer::new(config, strategy, 42)?;
+        let report = trainer.run(&task, 8)?;
+        let last = report.epochs.last().expect("at least one epoch");
+        println!(
+            "{:<12} {:>10.4} {:>11}B {:>13}B {:>12.2} {:>9.1}%",
+            strategy.to_string(),
+            report.final_loss(),
+            last.peak_footprint,
+            last.peak_intermediates,
+            last.p1_density,
+            last.skip_fraction * 100.0
+        );
+    }
+    println!(
+        "\nMS1 swaps the dense forward intermediates for compressed BP-EW-P1\n\
+         streams; MS2 skips insignificant BP cells after its 3-epoch warm-up;\n\
+         Combine-MS does both. All converge to a comparable loss."
+    );
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! # η-LSTM
+//!
+//! A from-scratch Rust reproduction of *η-LSTM: Co-Designing
+//! Highly-Efficient Large LSTM Training via Exploiting Memory-Saving and
+//! Architectural Design Opportunities* (ISCA 2021).
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! - [`tensor`] — dense/sparse tensor substrate ([`eta_tensor`])
+//! - [`memsim`] — memory footprint and data-movement accounting ([`eta_memsim`])
+//! - [`core`] — LSTM training framework with the MS1/MS2 memory-saving
+//!   optimizations ([`eta_lstm_core`])
+//! - [`gpu`] — analytic GPU baseline model ([`eta_gpu`])
+//! - [`accel`] — η-LSTM accelerator simulator ([`eta_accel`])
+//! - [`workloads`] — the six Table I training benchmarks ([`eta_workloads`])
+//!
+//! # Quickstart
+//!
+//! ```
+//! use eta_lstm::core::{LstmConfig, Trainer, TrainingStrategy};
+//! use eta_lstm::workloads::SyntheticTask;
+//!
+//! # fn main() -> Result<(), eta_lstm::core::LstmError> {
+//! let config = LstmConfig::builder()
+//!     .input_size(16)
+//!     .hidden_size(32)
+//!     .layers(2)
+//!     .seq_len(8)
+//!     .batch_size(4)
+//!     .build()?;
+//! let task = SyntheticTask::classification(16, 4, 8, 42);
+//! let mut trainer = Trainer::new(config, TrainingStrategy::CombinedMs, 7)?;
+//! let report = trainer.run(&task, 2)?;
+//! assert!(report.epochs.len() == 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use eta_accel as accel;
+pub use eta_gpu as gpu;
+pub use eta_lstm_core as core;
+pub use eta_memsim as memsim;
+pub use eta_tensor as tensor;
+pub use eta_workloads as workloads;

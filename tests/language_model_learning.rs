@@ -1,0 +1,64 @@
+//! The information-theoretic learning test: on a Markov corpus the
+//! trained LSTM's per-token loss must approach the chain's conditional
+//! entropy (the Bayes-optimal loss) and clearly beat the uniform
+//! baseline — under the baseline flow *and* under Combine-MS.
+
+use eta_lstm::core::optimizer::Sgd;
+use eta_lstm::core::{LstmConfig, Trainer, TrainingStrategy};
+use eta_lstm::workloads::{MarkovChain, MarkovLmTask};
+
+fn setup() -> (LstmConfig, MarkovLmTask, f64, f64) {
+    let vocab = 8;
+    let chain = MarkovChain::peaked(vocab, 0.85, 13);
+    let entropy = chain.conditional_entropy();
+    let uniform = (vocab as f64).ln();
+    let config = LstmConfig::builder()
+        .input_size(vocab)
+        .hidden_size(20)
+        .layers(2)
+        .seq_len(12)
+        .batch_size(8)
+        .output_size(vocab)
+        .build()
+        .expect("valid config");
+    let task = MarkovLmTask::new(chain, vocab, 12, 5)
+        .with_batch_size(8)
+        .with_batches_per_epoch(8);
+    (config, task, entropy, uniform)
+}
+
+fn train(strategy: TrainingStrategy) -> (f64, f64, f64) {
+    let (config, task, entropy, uniform) = setup();
+    let mut trainer = Trainer::new(config, strategy, 42)
+        .expect("trainer")
+        .with_optimizer(Sgd { lr: 4.0, clip: 5.0 });
+    let report = trainer.run(&task, 25).expect("training");
+    (report.final_loss(), entropy, uniform)
+}
+
+#[test]
+fn baseline_approaches_the_entropy_floor() {
+    let (loss, entropy, uniform) = train(TrainingStrategy::Baseline);
+    assert!(
+        loss < uniform * 0.6,
+        "loss {loss} should clearly beat the uniform baseline {uniform}"
+    );
+    assert!(
+        loss < entropy + 0.35,
+        "loss {loss} should approach the entropy floor {entropy}"
+    );
+    assert!(
+        loss > entropy - 0.05,
+        "loss {loss} cannot beat the entropy floor {entropy} (information-theoretic bound)"
+    );
+}
+
+#[test]
+fn combine_ms_reaches_the_same_floor() {
+    let (base, entropy, _) = train(TrainingStrategy::Baseline);
+    let (comb, _, _) = train(TrainingStrategy::CombinedMs);
+    assert!(
+        (comb - base).abs() < 0.25,
+        "Combine-MS loss {comb} should track baseline {base} (floor {entropy})"
+    );
+}

@@ -1,0 +1,168 @@
+//! Validation of the analytic `eta-memsim` models against the
+//! instrumented training framework: the closed forms used at paper
+//! scale must agree with what small real runs actually measure.
+
+use eta_lstm::core::{LstmConfig, Trainer, TrainingStrategy};
+use eta_lstm::memsim::model::{footprint, LstmShape, OptEffects};
+use eta_lstm::workloads::{SyntheticTask, TrajectoryTask};
+
+fn config() -> LstmConfig {
+    LstmConfig::builder()
+        .input_size(16)
+        .hidden_size(16)
+        .layers(2)
+        .seq_len(20)
+        .batch_size(4)
+        .output_size(3)
+        .build()
+        .expect("valid config")
+}
+
+fn shape() -> LstmShape {
+    config().to_shape()
+}
+
+#[test]
+fn measured_intermediate_footprint_matches_closed_form_exactly() {
+    // Baseline: 5 dense H-wide tensors per cell.
+    let task = SyntheticTask::classification(16, 3, 20, 3).with_batch_size(4);
+    let mut trainer = Trainer::new(config(), TrainingStrategy::Baseline, 42).expect("trainer");
+    let report = trainer.run(&task, 1).expect("training");
+    let measured = report.epochs[0].peak_intermediates;
+    let analytic = shape().intermediate_bytes();
+    assert_eq!(
+        measured, analytic,
+        "instrumented intermediates {measured} vs closed form {analytic}"
+    );
+}
+
+#[test]
+fn measured_activation_footprint_matches_closed_form() {
+    // The instrumented path stores each layer's h sequence; the closed
+    // form additionally counts the input sequence, which the harness's
+    // task owns. Check the h-only part.
+    let task = SyntheticTask::classification(16, 3, 20, 3).with_batch_size(4);
+    let mut trainer = Trainer::new(config(), TrainingStrategy::Baseline, 42).expect("trainer");
+    let report = trainer.run(&task, 1).expect("training");
+    let cfg = config();
+    let h_bytes =
+        (cfg.layers * cfg.seq_len * cfg.batch_size * cfg.hidden_size * 4) as u64;
+    let snapshot_peak = report.epochs[0].peak_footprint;
+    assert!(
+        snapshot_peak >= h_bytes,
+        "peak footprint {snapshot_peak} cannot be below the stored h bytes {h_bytes}"
+    );
+}
+
+#[test]
+fn measured_ms1_ratio_tracks_the_model_prediction() {
+    // Train with MS1, read the measured density, and check that the
+    // analytic compressed-size ratio predicts the measured peak within
+    // the bitmap-vs-pairs encoding slack.
+    let task = SyntheticTask::classification(16, 3, 20, 3).with_batch_size(4);
+    let mut base = Trainer::new(config(), TrainingStrategy::Baseline, 42).expect("trainer");
+    let base_peak = base.run(&task, 1).expect("training").epochs[0].peak_intermediates as f64;
+    let mut ms1 = Trainer::new(config(), TrainingStrategy::Ms1, 42).expect("trainer");
+    let report = ms1.run(&task, 1).expect("training");
+    let measured_ratio = report.epochs[0].peak_intermediates as f64 / base_peak;
+    let predicted_ratio =
+        OptEffects::ms1(report.epochs[0].p1_density).ms1_intermediate_ratio();
+    assert!(
+        (measured_ratio - predicted_ratio).abs() < 0.15,
+        "measured intermediate ratio {measured_ratio} vs model {predicted_ratio}"
+    );
+}
+
+#[test]
+fn ms2_footprint_scales_with_measured_skip_fraction() {
+    let task = SyntheticTask::classification(16, 3, 20, 3).with_batch_size(4);
+    let mut trainer = Trainer::new(config(), TrainingStrategy::Ms2, 42).expect("trainer");
+    let report = trainer.run(&task, 5).expect("training");
+    let sigma = report.epochs[4].skip_fraction;
+    assert!(sigma > 0.0);
+    let measured = report.epochs[4].peak_intermediates as f64;
+    let baseline = shape().intermediate_bytes() as f64;
+    // Skipped cells store nothing except boundary states; the measured
+    // ratio must track (1 − σ) within the boundary-state slack.
+    let ratio = measured / baseline;
+    assert!(
+        (ratio - (1.0 - sigma)).abs() < 0.1,
+        "MS2 intermediates ratio {ratio} vs 1−σ = {}",
+        1.0 - sigma
+    );
+}
+
+#[test]
+fn footprint_model_total_is_consistent() {
+    // The closed-form total must equal the sum of its parts and scale
+    // linearly in batch size.
+    let s1 = LstmShape::new(64, 64, 2, 10, 8);
+    let s2 = LstmShape::new(64, 64, 2, 10, 16);
+    let f1 = footprint(&s1, &OptEffects::baseline());
+    let f2 = footprint(&s2, &OptEffects::baseline());
+    assert_eq!(f1.total(), f1.weights + f1.activations + f1.intermediates);
+    assert_eq!(f2.intermediates, 2 * f1.intermediates);
+    assert_eq!(f2.activations, 2 * f1.activations);
+    assert_eq!(f2.weights, f1.weights, "weights are batch-independent");
+}
+
+#[test]
+fn trajectory_task_is_learnable_to_the_noise_floor() {
+    // WAYMO analogue: the trained filter's MAE should clearly beat the
+    // raw last-observation predictor (whose MAE ≈ noise + one velocity
+    // step) on held-out data.
+    use eta_lstm::core::Task;
+    use eta_lstm::workloads::metrics;
+
+    let noise = 0.15f32;
+    let cfg = LstmConfig::builder()
+        .input_size(4)
+        .hidden_size(16)
+        .layers(2)
+        .seq_len(12)
+        .batch_size(8)
+        .output_size(2)
+        .build()
+        .expect("valid config");
+    let task = TrajectoryTask::new(4, 12, noise, 3)
+        .with_batch_size(8)
+        .with_batches_per_epoch(8);
+    let mut trainer = Trainer::new(cfg, TrainingStrategy::Baseline, 42)
+        .expect("trainer")
+        .with_optimizer_kind(eta_lstm::core::optimizer::Optimizer::momentum(
+            eta_lstm::core::optimizer::MomentumConfig {
+                lr: 0.1,
+                momentum: 0.9,
+                clip: 5.0,
+            },
+        ));
+    trainer.run(&task, 50).expect("training");
+
+    let mut model_mae = 0.0;
+    let mut last_obs_mae = 0.0;
+    let batches = 4;
+    for i in 0..batches {
+        let batch = task.batch(777, i);
+        if let eta_lstm::core::Targets::Regression(target) = &batch.targets {
+            let out = trainer
+                .model()
+                .forward_inference(&batch.inputs)
+                .expect("inference");
+            let pred = out.last().expect("sequence");
+            let pred2 =
+                eta_lstm::tensor::Matrix::from_fn(pred.rows(), 2, |r, c| pred.get(r, c));
+            model_mae += metrics::mae(&pred2, target);
+            // The naive predictor repeats the last (noisy) observation.
+            let last_obs = eta_lstm::tensor::Matrix::from_fn(pred.rows(), 2, |r, c| {
+                batch.inputs[11].get(r, c)
+            });
+            last_obs_mae += metrics::mae(&last_obs, target);
+        }
+    }
+    model_mae /= batches as f64;
+    last_obs_mae /= batches as f64;
+    assert!(
+        model_mae < last_obs_mae,
+        "trained filter MAE {model_mae} should beat the last-observation baseline {last_obs_mae}"
+    );
+}

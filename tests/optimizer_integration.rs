@@ -1,0 +1,94 @@
+//! Optimizer integration: momentum and Adam must train the same tasks
+//! the SGD-based harness uses, and compose with the memory-saving
+//! strategies (which are optimizer-agnostic).
+
+use eta_lstm::core::optimizer::{AdamConfig, MomentumConfig, Optimizer, Sgd};
+use eta_lstm::core::{LstmConfig, Trainer, TrainingStrategy};
+use eta_lstm::workloads::SyntheticTask;
+
+fn config() -> LstmConfig {
+    LstmConfig::builder()
+        .input_size(12)
+        .hidden_size(16)
+        .layers(2)
+        .seq_len(12)
+        .batch_size(6)
+        .output_size(3)
+        .build()
+        .expect("valid config")
+}
+
+fn task() -> SyntheticTask {
+    SyntheticTask::classification(12, 3, 12, 9).with_batch_size(6)
+}
+
+#[test]
+fn momentum_converges() {
+    let mut trainer = Trainer::new(config(), TrainingStrategy::Baseline, 42)
+        .expect("trainer")
+        .with_optimizer_kind(Optimizer::momentum(MomentumConfig::default()));
+    let report = trainer.run(&task(), 8).expect("training");
+    assert!(
+        report.final_loss() < report.epochs[0].mean_loss * 0.5,
+        "momentum failed to converge: {} -> {}",
+        report.epochs[0].mean_loss,
+        report.final_loss()
+    );
+}
+
+#[test]
+fn adam_converges() {
+    let mut trainer = Trainer::new(config(), TrainingStrategy::Baseline, 42)
+        .expect("trainer")
+        .with_optimizer_kind(Optimizer::adam(AdamConfig {
+            lr: 5e-3,
+            ..AdamConfig::default()
+        }));
+    let report = trainer.run(&task(), 10).expect("training");
+    assert!(
+        report.final_loss() < report.epochs[0].mean_loss * 0.5,
+        "Adam failed to converge: {} -> {}",
+        report.epochs[0].mean_loss,
+        report.final_loss()
+    );
+}
+
+#[test]
+fn adam_composes_with_combine_ms() {
+    // The memory-saving optimizations act on the tape, not the update
+    // rule — they must compose with any optimizer.
+    let mut trainer = Trainer::new(config(), TrainingStrategy::CombinedMs, 42)
+        .expect("trainer")
+        .with_optimizer_kind(Optimizer::adam(AdamConfig {
+            lr: 5e-3,
+            ..AdamConfig::default()
+        }));
+    let report = trainer.run(&task(), 10).expect("training");
+    assert!(report.final_loss() < report.epochs[0].mean_loss * 0.6);
+    assert!(
+        report.epochs.last().expect("epochs").skip_fraction > 0.0,
+        "MS2 still active under Adam"
+    );
+    assert!(report.mean_p1_density() < 1.0, "MS1 still active under Adam");
+}
+
+#[test]
+fn momentum_accelerates_over_plain_sgd_at_same_lr() {
+    let lr = 0.05;
+    let run = |opt: Optimizer| {
+        let mut trainer = Trainer::new(config(), TrainingStrategy::Baseline, 42)
+            .expect("trainer")
+            .with_optimizer_kind(opt);
+        trainer.run(&task(), 6).expect("training").final_loss()
+    };
+    let plain = run(Optimizer::sgd(Sgd { lr, clip: 5.0 }));
+    let momentum = run(Optimizer::momentum(MomentumConfig {
+        lr,
+        momentum: 0.9,
+        clip: 5.0,
+    }));
+    assert!(
+        momentum < plain,
+        "momentum ({momentum}) should reach lower loss than plain SGD ({plain}) at lr {lr}"
+    );
+}
