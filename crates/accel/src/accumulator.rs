@@ -255,6 +255,39 @@ impl AccumulatorResources {
     }
 }
 
+#[cfg(feature = "telemetry")]
+impl AccumulatorSim {
+    /// [`AccumulatorSim::run`] plus metric recording.
+    ///
+    /// For a non-empty stream, observes the drain overhead
+    /// ([`AccumulationRun::drain_overhead`]) into the
+    /// `accel_accumulator_stall_fraction` histogram and counts the cycles
+    /// beyond the ideal `n + L` streaming bound into
+    /// `accel_accumulator_stall_cycles_total`.
+    pub fn run_instrumented(
+        &self,
+        values: &[f32],
+        telemetry: Option<&eta_telemetry::Telemetry>,
+    ) -> AccumulationRun {
+        let run = self.run(values);
+        if let Some(t) = telemetry {
+            if !values.is_empty() {
+                let n = values.len() as u64;
+                t.observe(
+                    "accel_accumulator_stall_fraction",
+                    run.drain_overhead(n, self.add_latency),
+                );
+                let ideal = n + self.add_latency as u64;
+                t.incr(
+                    "accel_accumulator_stall_cycles_total",
+                    run.cycles.saturating_sub(ideal),
+                );
+            }
+        }
+        run
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,7 +372,9 @@ mod tests {
     #[test]
     fn sum_matches_sequential_reference_on_floats() {
         let sim = AccumulatorSim::new(8);
-        let values: Vec<f32> = (0..500).map(|i| ((i * 37 % 100) as f32 - 50.0) / 7.0).collect();
+        let values: Vec<f32> = (0..500)
+            .map(|i| ((i * 37 % 100) as f32 - 50.0) / 7.0)
+            .collect();
         let run = sim.run(&values);
         let reference: f64 = values.iter().map(|&v| v as f64).sum();
         assert!(
@@ -353,9 +388,15 @@ mod tests {
     fn table3_resource_savings_match_paper() {
         let ours = AccumulatorResources::eta_design();
         let ip = AccumulatorResources::xilinx_ip();
-        assert!((ours.lut_saving_vs(&ip) - 0.4361).abs() < 0.001, "LUT saving");
+        assert!(
+            (ours.lut_saving_vs(&ip) - 0.4361).abs() < 0.001,
+            "LUT saving"
+        );
         assert!((ours.ff_saving_vs(&ip) - 0.3725).abs() < 0.001, "FF saving");
-        assert!((ours.power_saving_vs(&ip) - 0.17).abs() < 0.001, "power saving");
+        assert!(
+            (ours.power_saving_vs(&ip) - 0.17).abs() < 0.001,
+            "power saving"
+        );
         assert!(ours.latency_cycles > ip.latency_cycles);
     }
 

@@ -304,8 +304,7 @@ impl EtaAccel {
         // Per-layer aggregation overlaps with the remaining BP work;
         // only ALLREDUCE_EXPOSED of it lands on the critical path.
         let allreduce_time_s = if self.config.boards > 1 {
-            let per_board = 2.0 * shape.weight_bytes() as f64
-                * (self.config.boards as f64 - 1.0)
+            let per_board = 2.0 * shape.weight_bytes() as f64 * (self.config.boards as f64 - 1.0)
                 / self.config.boards as f64;
             per_board / self.config.interconnect_bytes_per_sec * ALLREDUCE_EXPOSED
         } else {
@@ -316,8 +315,7 @@ impl EtaAccel {
 
         let total_ops = fw.pe_ops() + bp.pe_ops();
         let events = EnergyEvents {
-            macs: ((fw.matmul_macs + bp.matmul_macs) as f64 * self.kind.mac_energy_factor())
-                as u64,
+            macs: ((fw.matmul_macs + bp.matmul_macs) as f64 * self.kind.mac_energy_factor()) as u64,
             ew_ops: fw.ew_ops + bp.ew_ops,
             act_ops: fw.act_ops + bp.act_ops,
             dram_bytes: traffic_bytes,
@@ -335,13 +333,70 @@ impl EtaAccel {
             compute_cycles: compute.cycles,
             dma_time_s,
             allreduce_time_s,
-            utilization: (compute.busy_pe_cycles
-                / (compute.cycles * ops_per_cycle).max(1e-9))
-            .min(1.0),
+            utilization: (compute.busy_pe_cycles / (compute.cycles * ops_per_cycle).max(1e-9))
+                .min(1.0),
             traffic_bytes,
             tflops: flops / time_s / 1e12,
             energy,
         }
+    }
+}
+
+/// PE-occupancy histogram buckets: deciles of the busy fraction.
+#[cfg(feature = "telemetry")]
+pub const OCCUPANCY_BUCKETS: &[f64] = &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+#[cfg(feature = "telemetry")]
+impl EtaAccel {
+    /// [`EtaAccel::simulate`] plus metric recording.
+    ///
+    /// With a [`eta_telemetry::Telemetry`] handle the run records, all
+    /// labelled with `arch = `[`ArchKind::label`]:
+    ///
+    /// - `accel_pe_busy_fraction{phase}` — per-phase (fw/bp) PE
+    ///   occupancy histogram over [`OCCUPANCY_BUCKETS`];
+    /// - `accel_utilization`, `accel_iteration_seconds`,
+    ///   `accel_dma_seconds`, `accel_tflops`, `accel_energy_joules` —
+    ///   gauges of the report fields;
+    /// - `accel_traffic_bytes_total` — counter of HBM traffic.
+    pub fn simulate_instrumented(
+        &self,
+        shape: &LstmShape,
+        eff: &OptEffects,
+        telemetry: Option<&eta_telemetry::Telemetry>,
+    ) -> AccelReport {
+        let report = self.simulate(shape, eff);
+        let Some(t) = telemetry else {
+            return report;
+        };
+        let arch = self.kind.label();
+        // Re-derive the per-phase timings (cheap closed forms) so fw and
+        // bp occupancy show up separately rather than only the combined
+        // report utilization.
+        let ops_per_cycle = self.config.ops_per_cycle() / self.kind.pe_area_factor();
+        let fw = Self::forward_workload(shape, eff);
+        let bp = Self::backward_workload(shape, eff);
+        for (phase, w) in [("fw", &fw), ("bp", &bp)] {
+            let timing = if self.kind.dynamic() {
+                scheduler::simulate_dynamic(w, ops_per_cycle)
+            } else {
+                scheduler::simulate_static(w, ops_per_cycle, STATIC_EW_FRACTION)
+            };
+            t.observe_in(
+                "accel_pe_busy_fraction",
+                eta_telemetry::labels!(phase = phase, arch = arch),
+                OCCUPANCY_BUCKETS,
+                timing.utilization(),
+            );
+        }
+        let labels = || eta_telemetry::labels!(arch = arch);
+        t.gauge_with("accel_utilization", labels(), report.utilization);
+        t.gauge_with("accel_iteration_seconds", labels(), report.time_s);
+        t.gauge_with("accel_dma_seconds", labels(), report.dma_time_s);
+        t.gauge_with("accel_tflops", labels(), report.tflops);
+        t.gauge_with("accel_energy_joules", labels(), report.energy_j());
+        t.incr_with("accel_traffic_bytes_total", labels(), report.traffic_bytes);
+        report
     }
 }
 
@@ -390,7 +445,9 @@ mod tests {
         let base = OptEffects::baseline();
         let s = ptb_like();
         let u_dyn = machine(ArchKind::DynArch).simulate(&s, &base).utilization;
-        let u_static = machine(ArchKind::StaticArch).simulate(&s, &base).utilization;
+        let u_static = machine(ArchKind::StaticArch)
+            .simulate(&s, &base)
+            .utilization;
         assert!(u_dyn > 0.9, "R2A should keep PEs busy: {u_dyn}");
         assert!(u_static < u_dyn);
     }
@@ -400,9 +457,7 @@ mod tests {
         let s = ptb_like();
         let m = machine(ArchKind::DynArch);
         let t_base = m.simulate(&s, &OptEffects::baseline()).time_s;
-        let t_full = m
-            .simulate(&s, &OptEffects::combined(0.35, 0.49))
-            .time_s;
+        let t_full = m.simulate(&s, &OptEffects::combined(0.35, 0.49)).time_s;
         let speedup = t_base / t_full;
         // MS1's sparsity is hardware-exploitable here (unlike the GPU):
         // BP MatMul shrinks by ρ and skipped cells disappear.
@@ -442,7 +497,10 @@ mod tests {
         let m = machine(ArchKind::DynArch);
         let base = m.simulate(&s, &OptEffects::baseline()).traffic_bytes;
         let ms1 = m.simulate(&s, &OptEffects::ms1(0.35)).traffic_bytes;
-        assert!(ms1 < base, "DMA compression must cut traffic: {ms1} vs {base}");
+        assert!(
+            ms1 < base,
+            "DMA compression must cut traffic: {ms1} vs {base}"
+        );
     }
 
     #[test]
@@ -474,7 +532,8 @@ mod tests {
             boards: 1,
             ..AccelConfig::paper_4board()
         };
-        let single = EtaAccel::new(single_cfg, ArchKind::DynArch).simulate(&s, &OptEffects::baseline());
+        let single =
+            EtaAccel::new(single_cfg, ArchKind::DynArch).simulate(&s, &OptEffects::baseline());
         assert_eq!(single.allreduce_time_s, 0.0);
     }
 
@@ -482,6 +541,10 @@ mod tests {
     fn report_throughput_is_sane() {
         let r = machine(ArchKind::DynArch).simulate(&ptb_like(), &OptEffects::baseline());
         assert!(r.tflops > 1.0 && r.tflops < 12.0, "tflops {}", r.tflops);
-        assert!(r.gflops_per_watt() > 5.0, "gflops/W {}", r.gflops_per_watt());
+        assert!(
+            r.gflops_per_watt() > 5.0,
+            "gflops/W {}",
+            r.gflops_per_watt()
+        );
     }
 }

@@ -105,7 +105,13 @@ impl ChannelCellEngine {
     /// # Panics
     ///
     /// Panics if operand lengths do not match the weight shapes.
-    pub fn execute(&mut self, weights: &CellWeights, x: &[f32], h_prev: &[f32], s_prev: &[f32]) -> CellExecution {
+    pub fn execute(
+        &mut self,
+        weights: &CellWeights,
+        x: &[f32],
+        h_prev: &[f32],
+        s_prev: &[f32],
+    ) -> CellExecution {
         let h = weights.hidden();
         assert_eq!(x.len(), weights.w.cols(), "input width mismatch");
         assert_eq!(h_prev.len(), h, "context width mismatch");
@@ -237,7 +243,7 @@ mod tests {
         let w = weights(8, 8, 3);
         let mut engine = ChannelCellEngine::baseline();
         let x: Vec<f32> = (0..8).map(|i| (i as f32 - 4.0) / 2.0).collect();
-        let exec = engine.execute(&w, &x, &vec![0.1; 8], &vec![-0.2; 8]);
+        let exec = engine.execute(&w, &x, &[0.1; 8], &[-0.2; 8]);
         let out = &exec.outputs;
         assert!(out.i.iter().all(|&v| (0.0..=1.0).contains(&v)));
         assert!(out.f.iter().all(|&v| (0.0..=1.0).contains(&v)));
@@ -251,10 +257,10 @@ mod tests {
         let mut engine = ChannelCellEngine::baseline();
         let x = vec![0.5f32, -0.5, 0.25, 0.0, 1.0, -1.0];
         let s_prev = vec![0.3f32, -0.3, 0.0, 0.7];
-        let exec = engine.execute(&w, &x, &vec![0.0; 4], &s_prev);
+        let exec = engine.execute(&w, &x, &[0.0; 4], &s_prev);
         let out = &exec.outputs;
-        for k in 0..4 {
-            let expect = out.f[k] * s_prev[k] + out.i[k] * out.c[k];
+        for (k, &s_p) in s_prev.iter().enumerate() {
+            let expect = out.f[k] * s_p + out.i[k] * out.c[k];
             assert!((out.s[k] - expect).abs() < 1e-5);
             assert!((out.h[k] - out.o[k] * out.tanh_s[k]).abs() < 2e-3);
         }
@@ -265,7 +271,7 @@ mod tests {
         let w = weights(8, 8, 11);
         let mut engine = ChannelCellEngine::with_ms1(0.1);
         let x: Vec<f32> = (0..8).map(|i| ((i * 7 % 5) as f32 - 2.0) / 2.0).collect();
-        let exec = engine.execute(&w, &x, &vec![0.1; 8], &vec![0.2; 8]);
+        let exec = engine.execute(&w, &x, &[0.1; 8], &[0.2; 8]);
         assert!(exec.p1_compressed_bytes > 0);
         // Six streams of 8 dense f32 would be 192 bytes; pruning at 0.1
         // must beat that.
@@ -277,7 +283,7 @@ mod tests {
     fn baseline_engine_emits_no_p1() {
         let w = weights(4, 4, 13);
         let mut engine = ChannelCellEngine::baseline();
-        let exec = engine.execute(&w, &[0.1, 0.2, 0.3, 0.4], &vec![0.0; 4], &vec![0.0; 4]);
+        let exec = engine.execute(&w, &[0.1, 0.2, 0.3, 0.4], &[0.0; 4], &[0.0; 4]);
         assert_eq!(exec.p1_compressed_bytes, 0);
     }
 
@@ -299,7 +305,7 @@ mod tests {
     fn stats_accumulate_mac_counts() {
         let w = weights(6, 4, 19);
         let mut engine = ChannelCellEngine::baseline();
-        let exec = engine.execute(&w, &[0.0; 6], &vec![0.0; 4], &vec![0.0; 4]);
+        let exec = engine.execute(&w, &[0.0; 6], &[0.0; 4], &[0.0; 4]);
         // Two matvecs: 16x6 and 16x4 → 96 + 64 = 160 mults, plus EW.
         assert!(exec.stats.mult_ops >= 160);
         assert!(exec.stats.act_ops >= 4 * 4 + 4);

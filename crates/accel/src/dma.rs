@@ -158,6 +158,51 @@ impl DmaModule {
     }
 }
 
+#[cfg(feature = "telemetry")]
+impl DmaModule {
+    /// [`DmaModule::write`] plus metric recording.
+    ///
+    /// Records `accel_dma_write_bytes_total{mode}` (mode = `dense` /
+    /// `compressed`) and, for compressed packets, the achieved
+    /// compressed-over-dense ratio into the
+    /// `accel_dma_compression_ratio` histogram (decile buckets — the
+    /// encoder never exceeds dense size).
+    pub fn write_instrumented(
+        &mut self,
+        values: &[f32],
+        sparse_eligible: bool,
+        telemetry: Option<&eta_telemetry::Telemetry>,
+    ) -> WritePacket {
+        let packet = self.write(values, sparse_eligible);
+        if let Some(t) = telemetry {
+            match &packet {
+                WritePacket::Dense { bytes } => t.incr_with(
+                    "accel_dma_write_bytes_total",
+                    eta_telemetry::labels!(mode = "dense"),
+                    *bytes,
+                ),
+                WritePacket::Compressed { bytes, .. } => {
+                    t.incr_with(
+                        "accel_dma_write_bytes_total",
+                        eta_telemetry::labels!(mode = "compressed"),
+                        *bytes,
+                    );
+                    let dense = (values.len() * 4) as u64;
+                    if dense > 0 {
+                        t.observe_in(
+                            "accel_dma_compression_ratio",
+                            eta_telemetry::Labels::new(),
+                            crate::arch::OCCUPANCY_BUCKETS,
+                            *bytes as f64 / dense as f64,
+                        );
+                    }
+                }
+            }
+        }
+        packet
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

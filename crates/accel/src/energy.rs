@@ -77,7 +77,12 @@ pub struct EnergyEvents {
 }
 
 /// Evaluates the energy of a run of `time_s` seconds on `boards` boards.
-pub fn energy_of(consts: &EnergyConsts, events: &EnergyEvents, time_s: f64, boards: usize) -> EnergyBreakdown {
+pub fn energy_of(
+    consts: &EnergyConsts,
+    events: &EnergyEvents,
+    time_s: f64,
+    boards: usize,
+) -> EnergyBreakdown {
     EnergyBreakdown {
         compute_j: consts.e_mac * events.macs as f64
             + consts.e_ew * events.ew_ops as f64

@@ -178,7 +178,10 @@ mod tests {
                 assert!((x - y).abs() < 1e-5);
             }
         }
-        assert!(s4.cycles < s1.cycles, "partitioning must cut the MatVec makespan");
+        assert!(
+            s4.cycles < s1.cycles,
+            "partitioning must cut the MatVec makespan"
+        );
     }
 
     #[test]

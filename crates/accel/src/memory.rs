@@ -78,7 +78,9 @@ impl Scratchpad {
         self.misses += 1;
         self.hbm_bytes += bytes;
         if bytes > self.capacity {
-            return Access::Miss { evicted: Vec::new() };
+            return Access::Miss {
+                evicted: Vec::new(),
+            };
         }
         let mut evicted = Vec::new();
         while self.used() + bytes > self.capacity {

@@ -7,7 +7,6 @@
 
 use serde::{Deserialize, Serialize};
 
-
 /// Resource allocation policy for the trace.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Alloc {
@@ -29,15 +28,56 @@ pub struct CellKernels {
     pub ew_ops: u64,
 }
 
+/// Which kernel a segment ran.
+///
+/// Formats as `MatMul` / `EW` (honoring padding) and compares equal to
+/// those strings, so display code and tests can keep treating it as a
+/// label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SegmentKind {
+    /// The MatMul kernel group.
+    MatMul,
+    /// The element-wise kernel group.
+    Ew,
+}
+
+impl SegmentKind {
+    /// The paper's label for this kernel group.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SegmentKind::MatMul => "MatMul",
+            SegmentKind::Ew => "EW",
+        }
+    }
+}
+
+impl std::fmt::Display for SegmentKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad(self.as_str())
+    }
+}
+
+impl PartialEq<&str> for SegmentKind {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<SegmentKind> for &str {
+    fn eq(&self, other: &SegmentKind) -> bool {
+        other == self
+    }
+}
+
 /// One contiguous interval of the trace.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Segment {
     /// Start cycle.
     pub start: f64,
     /// End cycle.
     pub end: f64,
-    /// Which kernel ran (`"MatMul"` or `"EW"`).
-    pub kind: &'static str,
+    /// Which kernel ran.
+    pub kind: SegmentKind,
     /// Fraction of PEs busy during the interval.
     pub busy_fraction: f64,
 }
@@ -50,7 +90,7 @@ impl Segment {
 }
 
 /// A full trace over a cell sequence.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Timeline {
     /// Chronological segments.
     pub segments: Vec<Segment>,
@@ -91,7 +131,7 @@ pub fn trace(cells: &[CellKernels], ops_per_cycle: f64, alloc: Alloc) -> Timelin
                 segments.push(Segment {
                     start: now,
                     end: now + mm_dur,
-                    kind: "MatMul",
+                    kind: SegmentKind::MatMul,
                     busy_fraction: 1.0 - ew_fraction,
                 });
                 now += mm_dur;
@@ -100,7 +140,7 @@ pub fn trace(cells: &[CellKernels], ops_per_cycle: f64, alloc: Alloc) -> Timelin
                     segments.push(Segment {
                         start: now,
                         end: now + ew_dur,
-                        kind: "EW",
+                        kind: SegmentKind::Ew,
                         busy_fraction: ew_fraction,
                     });
                     now += ew_dur;
@@ -111,7 +151,7 @@ pub fn trace(cells: &[CellKernels], ops_per_cycle: f64, alloc: Alloc) -> Timelin
                 segments.push(Segment {
                     start: now,
                     end: now + mm_dur,
-                    kind: "MatMul",
+                    kind: SegmentKind::MatMul,
                     busy_fraction: 1.0 / (1.0 + DYN_OVERHEAD),
                 });
                 now += mm_dur;
@@ -120,7 +160,7 @@ pub fn trace(cells: &[CellKernels], ops_per_cycle: f64, alloc: Alloc) -> Timelin
                     segments.push(Segment {
                         start: now,
                         end: now + ew_dur,
-                        kind: "EW",
+                        kind: SegmentKind::Ew,
                         busy_fraction: 1.0 / (1.0 + DYN_OVERHEAD),
                     });
                     now += ew_dur;
@@ -138,6 +178,44 @@ pub fn trace(cells: &[CellKernels], ops_per_cycle: f64, alloc: Alloc) -> Timelin
             0.0
         },
     }
+}
+
+/// [`trace`] plus metric recording.
+///
+/// Every segment's busy fraction is observed into the
+/// `accel_pe_busy_fraction{kind}` histogram (buckets
+/// [`crate::arch::OCCUPANCY_BUCKETS`]), and under [`Alloc::Dynamic`]
+/// each kernel-kind boundary — the moment the swing PEs hand off between
+/// the MatMul and EW groups — increments `accel_swing_handoffs_total`.
+#[cfg(feature = "telemetry")]
+pub fn trace_instrumented(
+    cells: &[CellKernels],
+    ops_per_cycle: f64,
+    alloc: Alloc,
+    telemetry: Option<&eta_telemetry::Telemetry>,
+) -> Timeline {
+    let tl = trace(cells, ops_per_cycle, alloc);
+    let Some(t) = telemetry else {
+        return tl;
+    };
+    for seg in &tl.segments {
+        t.observe_in(
+            "accel_pe_busy_fraction",
+            eta_telemetry::labels!(kind = seg.kind),
+            crate::arch::OCCUPANCY_BUCKETS,
+            seg.busy_fraction,
+        );
+    }
+    if alloc == Alloc::Dynamic {
+        let handoffs = tl
+            .segments
+            .windows(2)
+            .filter(|w| w[0].kind != w[1].kind)
+            .count() as u64;
+        t.incr("accel_swing_handoffs_total", handoffs);
+    }
+    t.gauge("accel_timeline_utilization", tl.utilization);
+    tl
 }
 
 #[cfg(test)]
@@ -167,7 +245,11 @@ mod tests {
     #[test]
     fn dynamic_utilization_near_one() {
         let t = trace(&cells(10), 1000.0, Alloc::Dynamic);
-        assert!(t.utilization > 0.95, "dynamic utilization {}", t.utilization);
+        assert!(
+            t.utilization > 0.95,
+            "dynamic utilization {}",
+            t.utilization
+        );
     }
 
     #[test]
@@ -182,6 +264,16 @@ mod tests {
             "static utilization {}",
             t.utilization
         );
+    }
+
+    #[test]
+    fn timeline_round_trips_through_serde() {
+        let t = trace(&cells(3), 1000.0, Alloc::Static { ew_fraction: 0.4 });
+        let text = serde_json::to_string(&t).expect("serialize timeline");
+        let back: Timeline = serde_json::from_str(&text).expect("deserialize timeline");
+        assert_eq!(back, t);
+        assert_eq!(back.segments[0].kind, SegmentKind::MatMul);
+        assert_eq!(back.segments[1].kind, "EW");
     }
 
     #[test]

@@ -83,5 +83,12 @@ fn bench_outer(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_elementwise, bench_sparse, bench_parallel_matmul, bench_outer);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_elementwise,
+    bench_sparse,
+    bench_parallel_matmul,
+    bench_outer
+);
 criterion_main!(benches);

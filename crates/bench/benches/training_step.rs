@@ -24,6 +24,64 @@ fn bench_strategies(c: &mut Criterion) {
     group.finish();
 }
 
+/// Guard for the `telemetry` feature's hot-path cost: a full
+/// instrumented training run (spans + metric mirrors into the registry,
+/// no sinks) must stay within 5 % of the bare run. The comparison is
+/// measured directly (median of interleaved repetitions) so the guard
+/// can assert, not just display.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let cfg = eta_bench::scaled_config(Benchmark::Imdb);
+    let task = scaled_task(Benchmark::Imdb);
+    let run = |with_telemetry: bool| {
+        let mut trainer = Trainer::new(cfg, TrainingStrategy::CombinedMs, SEED).unwrap();
+        if with_telemetry {
+            let manifest = eta_telemetry::RunManifest::capture(
+                "bench",
+                eta_telemetry::config_hash(&SEED),
+                SEED,
+            );
+            trainer = trainer.with_telemetry(eta_telemetry::Telemetry::new(manifest));
+        }
+        trainer.run(&task, 4).unwrap()
+    };
+
+    let mut group = c.benchmark_group("telemetry_overhead_scaled_imdb");
+    group.sample_size(10);
+    group.bench_function("without_telemetry", |bench| {
+        bench.iter(|| black_box(run(false)));
+    });
+    group.bench_function("with_telemetry", |bench| {
+        bench.iter(|| black_box(run(true)));
+    });
+    group.finish();
+
+    // Interleave the two variants so drift hits both equally, and
+    // compare medians (robust against a stray slow repetition).
+    let mut bare = Vec::new();
+    let mut instrumented = Vec::new();
+    for _ in 0..7 {
+        let t0 = std::time::Instant::now();
+        black_box(run(false));
+        bare.push(t0.elapsed().as_secs_f64());
+        let t1 = std::time::Instant::now();
+        black_box(run(true));
+        instrumented.push(t1.elapsed().as_secs_f64());
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    let ratio = median(&mut instrumented) / median(&mut bare);
+    println!(
+        "telemetry overhead: {:+.2}% (instrumented/bare ratio {ratio:.4})",
+        (ratio - 1.0) * 100.0
+    );
+    assert!(
+        ratio < 1.05,
+        "telemetry hot path exceeds the 5% overhead budget: ratio {ratio:.4}"
+    );
+}
+
 fn bench_inference(c: &mut Criterion) {
     let mut group = c.benchmark_group("inference_scaled_ptb");
     group.sample_size(20);
@@ -37,5 +95,10 @@ fn bench_inference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_strategies, bench_inference);
+criterion_group!(
+    benches,
+    bench_strategies,
+    bench_telemetry_overhead,
+    bench_inference
+);
 criterion_main!(benches);

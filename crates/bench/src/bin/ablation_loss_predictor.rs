@@ -31,12 +31,7 @@ fn main() {
             }
             None => ("warm-up".to_string(), "-".to_string()),
         };
-        table.row(&[
-            epoch.to_string(),
-            fmt(e.mean_loss, 4),
-            cell.0,
-            cell.1,
-        ]);
+        table.row(&[epoch.to_string(), fmt(e.mean_loss, 4), cell.0, cell.1]);
         history.push(e.mean_loss);
     }
     table.print();

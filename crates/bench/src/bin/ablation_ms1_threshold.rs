@@ -28,7 +28,13 @@ fn main() {
 
     let mut table = Table::new(
         "MS1 pruning-threshold ablation (scaled IMDB analogue)",
-        &["threshold", "P1 density", "int footprint", "final loss", "held-out acc"],
+        &[
+            "threshold",
+            "P1 density",
+            "int footprint",
+            "final loss",
+            "held-out acc",
+        ],
     );
     for threshold in [0.0f32, 0.02, 0.05, 0.1, 0.2, 0.4] {
         let mut trainer = Trainer::new(cfg, TrainingStrategy::Ms1, SEED)

@@ -15,7 +15,13 @@ fn main() {
 
     let mut table = Table::new(
         "Channel scaling (PTB workload, eta-LSTM flow)",
-        &["channels/board", "peak TFLOPS", "achieved TFLOPS", "speedup vs 10ch", "scaling eff."],
+        &[
+            "channels/board",
+            "peak TFLOPS",
+            "achieved TFLOPS",
+            "speedup vs 10ch",
+            "scaling eff.",
+        ],
     );
     let mut first_time = None;
     let mut first_channels = None;

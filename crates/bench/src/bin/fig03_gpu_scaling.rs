@@ -12,13 +12,7 @@ use eta_bench::Table;
 use eta_gpu::{GpuModel, GpuSpec};
 use eta_memsim::model::{LstmShape, OptEffects};
 
-fn row(
-    table: &mut Table,
-    label: &str,
-    shape: &LstmShape,
-    rtx: &GpuModel,
-    v100: &GpuModel,
-) {
+fn row(table: &mut Table, label: &str, shape: &LstmShape, rtx: &GpuModel, v100: &GpuModel) {
     let base = OptEffects::baseline();
     let r = rtx.estimate(shape, &base);
     let v = v100.estimate(shape, &base);
@@ -50,10 +44,7 @@ fn main() {
     ];
 
     // (a) hidden-size sweep: LN=3, LL=35 (PTB-style), batch 128.
-    let mut a = Table::new(
-        "Fig. 3a — hidden size sweep (LN=3, LL=35)",
-        &headers,
-    );
+    let mut a = Table::new("Fig. 3a — hidden size sweep (LN=3, LL=35)", &headers);
     for h in [256usize, 512, 1024, 2048, 3072] {
         row(
             &mut a,

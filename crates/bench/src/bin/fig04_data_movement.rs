@@ -26,7 +26,14 @@ fn sweep() -> Vec<(String, LstmShape)> {
 fn main() {
     let mut table = Table::new(
         "Fig. 4 — data movement per training iteration (GB)",
-        &["config", "parameter", "activations", "intermediates", "int/act", "param/act"],
+        &[
+            "config",
+            "parameter",
+            "activations",
+            "intermediates",
+            "int/act",
+            "param/act",
+        ],
     );
     let base = OptEffects::baseline();
     let mut int_act = Vec::new();

@@ -9,9 +9,17 @@ use eta_bench::{mean, Table};
 use eta_memsim::model::{footprint, LstmShape, OptEffects};
 
 fn main() {
+    let telemetry = eta_bench::telemetry_from_env("fig05_footprint");
     let mut table = Table::new(
         "Fig. 5 — memory footprint per training iteration (GB)",
-        &["config", "parameter", "activations", "intermediates", "total", "int share"],
+        &[
+            "config",
+            "parameter",
+            "activations",
+            "intermediates",
+            "total",
+            "int share",
+        ],
     );
     let base = OptEffects::baseline();
     let mut shares = Vec::new();
@@ -28,6 +36,20 @@ fn main() {
     for (label, shape) in configs {
         let f = footprint(&shape, &base);
         shares.push(f.intermediate_share());
+        if let Some(t) = &telemetry {
+            for (component, bytes) in [
+                ("weights", f.weights),
+                ("activations", f.activations),
+                ("intermediates", f.intermediates),
+                ("total", f.total()),
+            ] {
+                t.gauge_with(
+                    "footprint_bytes",
+                    eta_telemetry::labels!(config = label, component = component),
+                    bytes as f64,
+                );
+            }
+        }
         table.row(&[
             label,
             gb(f.weights),
@@ -50,4 +72,7 @@ fn main() {
         "paper: intermediate variables average 47.18% of the footprint\n\
          (up to 74.01%). Measured average above."
     );
+    if let Some(t) = telemetry {
+        t.flush();
+    }
 }

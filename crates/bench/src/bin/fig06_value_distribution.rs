@@ -58,7 +58,9 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 6 — cumulative |value| distribution (fraction below x)",
-        &["epoch", "stream", "<0.1", "<0.2", "<0.3", "<0.5", "<0.7", "<1.0"],
+        &[
+            "epoch", "stream", "<0.1", "<0.2", "<0.3", "<0.5", "<0.7", "<1.0",
+        ],
     );
 
     let mut trainer = Trainer::new(cfg, TrainingStrategy::Baseline, SEED).expect("trainer");

@@ -3,7 +3,7 @@
 //! logic idles while MatMul runs (and vice versa); dynamic allocation
 //! keeps all PEs busy.
 
-use eta_accel::timeline::{trace, Alloc, CellKernels};
+use eta_accel::timeline::{trace_instrumented, Alloc, CellKernels};
 use eta_bench::table::pct;
 
 fn render(label: &str, tl: &eta_accel::timeline::Timeline, scale: f64) {
@@ -24,6 +24,7 @@ fn render(label: &str, tl: &eta_accel::timeline::Timeline, scale: f64) {
 }
 
 fn main() {
+    let telemetry = eta_bench::telemetry_from_env("fig10_utilization");
     // Three cells of a reordered (MS1) forward phase: heavy MatMul
     // followed by a significant EW burst.
     let cells = vec![
@@ -35,8 +36,13 @@ fn main() {
     ];
     let ops_per_cycle = 1024.0;
 
-    let stat = trace(&cells, ops_per_cycle, Alloc::Static { ew_fraction: 0.4 });
-    let dynamic = trace(&cells, ops_per_cycle, Alloc::Dynamic);
+    let stat = trace_instrumented(
+        &cells,
+        ops_per_cycle,
+        Alloc::Static { ew_fraction: 0.4 },
+        telemetry.as_ref(),
+    );
+    let dynamic = trace_instrumented(&cells, ops_per_cycle, Alloc::Dynamic, telemetry.as_ref());
 
     println!(
         "== Fig. 10 — kernel timeline, static vs dynamic allocation ==\n\
@@ -51,4 +57,7 @@ fn main() {
         dynamic.makespan,
         pct(stat.makespan / dynamic.makespan - 1.0)
     );
+    if let Some(t) = telemetry {
+        t.flush();
+    }
 }

@@ -12,7 +12,12 @@ fn main() {
     let run = sim2.run(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
     let mut chart = Table::new(
         "Fig. 11 — streaming accumulation of A..H, 2-cycle adder",
-        &["issue cycle", "adder input 1", "adder input 2", "result ready"],
+        &[
+            "issue cycle",
+            "adder input 1",
+            "adder input 2",
+            "result ready",
+        ],
     );
     for e in &run.events {
         chart.row(&[

@@ -22,6 +22,7 @@ struct DesignPoint {
 }
 
 fn main() {
+    let telemetry = eta_bench::telemetry_from_env("fig15_speedup_energy");
     let gpu = baseline_gpu();
     let machines = [
         EtaAccel::new(AccelConfig::paper_4board(), ArchKind::LstmInf),
@@ -30,13 +31,41 @@ fn main() {
     ];
 
     let mut points: Vec<DesignPoint> = vec![
-        DesignPoint { name: "MS1", speedups: vec![], energies: vec![] },
-        DesignPoint { name: "MS2", speedups: vec![], energies: vec![] },
-        DesignPoint { name: "Combine-MS", speedups: vec![], energies: vec![] },
-        DesignPoint { name: "LSTM-Inf", speedups: vec![], energies: vec![] },
-        DesignPoint { name: "Static-Arch", speedups: vec![], energies: vec![] },
-        DesignPoint { name: "Dyn-Arch", speedups: vec![], energies: vec![] },
-        DesignPoint { name: "eta-LSTM", speedups: vec![], energies: vec![] },
+        DesignPoint {
+            name: "MS1",
+            speedups: vec![],
+            energies: vec![],
+        },
+        DesignPoint {
+            name: "MS2",
+            speedups: vec![],
+            energies: vec![],
+        },
+        DesignPoint {
+            name: "Combine-MS",
+            speedups: vec![],
+            energies: vec![],
+        },
+        DesignPoint {
+            name: "LSTM-Inf",
+            speedups: vec![],
+            energies: vec![],
+        },
+        DesignPoint {
+            name: "Static-Arch",
+            speedups: vec![],
+            energies: vec![],
+        },
+        DesignPoint {
+            name: "Dyn-Arch",
+            speedups: vec![],
+            energies: vec![],
+        },
+        DesignPoint {
+            name: "eta-LSTM",
+            speedups: vec![],
+            energies: vec![],
+        },
     ];
 
     let mut labels = Vec::new();
@@ -61,12 +90,20 @@ fn main() {
         }
         // Hardware points, no software optimizations.
         for (i, m) in machines.iter().enumerate() {
-            let r = m.simulate(&shape, &eff.for_strategy(TrainingStrategy::Baseline));
+            let r = m.simulate_instrumented(
+                &shape,
+                &eff.for_strategy(TrainingStrategy::Baseline),
+                telemetry.as_ref(),
+            );
             points[3 + i].speedups.push(base.time_s / r.time_s);
             points[3 + i].energies.push(r.energy_j() / base.energy_j);
         }
         // Full eta-LSTM: Dyn-Arch hardware + Combine-MS software.
-        let full = machines[2].simulate(&shape, &eff.for_strategy(TrainingStrategy::CombinedMs));
+        let full = machines[2].simulate_instrumented(
+            &shape,
+            &eff.for_strategy(TrainingStrategy::CombinedMs),
+            telemetry.as_ref(),
+        );
         points[6].speedups.push(base.time_s / full.time_s);
         points[6].energies.push(full.energy_j() / base.energy_j);
     }
@@ -107,4 +144,7 @@ fn main() {
          Static-Arch 1.33, Dyn-Arch 0.91, eta-LSTM 0.36 (energy saving 63.7%,\n\
          up to 76.5%)."
     );
+    if let Some(t) = telemetry {
+        t.flush();
+    }
 }

@@ -2,8 +2,13 @@
 //! in sequence (the same binaries `results/` is built from), printing
 //! each to stdout with a separator.
 //!
-//! `cargo run --release -p eta-bench --bin run_all`
+//! `cargo run --release -p eta-bench --bin run_all [-- --telemetry <dir>]`
+//!
+//! With `--telemetry <dir>`, every child binary writes a JSONL
+//! telemetry stream to `<dir>/<binary>.jsonl` (manifest line first;
+//! see DESIGN.md "Observability" for the schema).
 
+use std::path::PathBuf;
 use std::process::Command;
 
 /// Every harness binary, in paper order.
@@ -29,30 +34,59 @@ pub const ALL_BINARIES: [&str; 19] = [
     "ablation_loss_predictor",
 ];
 
+fn parse_args() -> Option<PathBuf> {
+    let mut telemetry_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--telemetry" => {
+                let dir = args.next().unwrap_or_else(|| {
+                    eprintln!("--telemetry needs a directory argument");
+                    std::process::exit(2);
+                });
+                telemetry_dir = Some(PathBuf::from(dir));
+            }
+            other => {
+                eprintln!("unknown argument: {other} (expected --telemetry <dir>)");
+                std::process::exit(2);
+            }
+        }
+    }
+    telemetry_dir
+}
+
 fn main() {
+    let telemetry_dir = parse_args();
+    if let Some(dir) = &telemetry_dir {
+        std::fs::create_dir_all(dir).expect("create telemetry directory");
+    }
     let exe = std::env::current_exe().expect("own path");
     let bin_dir = exe.parent().expect("bin dir");
     let mut failures = Vec::new();
-    for name in ALL_BINARIES {
+    let mut run = |name: &'static str| {
         println!("\n================ {name} ================\n");
-        let status = Command::new(bin_dir.join(name))
+        let mut cmd = Command::new(bin_dir.join(name));
+        if let Some(dir) = &telemetry_dir {
+            cmd.env(eta_bench::TELEMETRY_DIR_ENV, dir);
+        }
+        let status = cmd
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
         if !status.success() {
             failures.push(name);
         }
+    };
+    for name in ALL_BINARIES {
+        run(name);
     }
     // ablation_scalability is intentionally excluded from the default
     // sweep only if it were slow; it is fast, so run it too.
-    println!("\n================ ablation_scalability ================\n");
-    let status = Command::new(bin_dir.join("ablation_scalability"))
-        .status()
-        .expect("launch ablation_scalability");
-    if !status.success() {
-        failures.push("ablation_scalability");
-    }
+    run("ablation_scalability");
     if failures.is_empty() {
         println!("\nall harnesses completed");
+        if let Some(dir) = &telemetry_dir {
+            println!("telemetry streams in {}", dir.display());
+        }
     } else {
         eprintln!("\nFAILED: {failures:?}");
         std::process::exit(1);

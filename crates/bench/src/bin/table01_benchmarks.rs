@@ -12,7 +12,14 @@ fn main() {
     let mut table = Table::new(
         "Table I — large LSTM training benchmarks",
         &[
-            "name", "abbr", "hidden", "layers", "length", "loss", "params (GB)", "MS2 skip",
+            "name",
+            "abbr",
+            "hidden",
+            "layers",
+            "length",
+            "loss",
+            "params (GB)",
+            "MS2 skip",
         ],
     );
     for b in Benchmark::ALL {

@@ -58,8 +58,7 @@ fn evaluate(trainer: &Trainer, task: &dyn Task, metric: Metric) -> f64 {
                         .iter()
                         .map(|logits| argmax(logits.row(row)) as u32)
                         .collect();
-                    let reference: Vec<u32> =
-                        steps.iter().map(|s| s[row] as u32).collect();
+                    let reference: Vec<u32> = steps.iter().map(|s| s[row] as u32).collect();
                     bleu_cands.push(cand);
                     bleu_refs.push(reference);
                 }
@@ -94,6 +93,7 @@ fn metric_name(m: Metric) -> &'static str {
 }
 
 fn main() {
+    let telemetry = eta_bench::telemetry_from_env("table02_accuracy");
     let mut table = Table::new(
         "Table II — accuracy impact (scaled synthetic analogues)",
         &[
@@ -125,10 +125,9 @@ fn main() {
         // they need a proportionally larger step to converge in the same
         // epoch budget.
         let sgd = match spec.loss_kind {
-            eta_lstm_core::LossKind::PerTimestamp => eta_lstm_core::optimizer::Sgd {
-                lr: 4.0,
-                clip: 5.0,
-            },
+            eta_lstm_core::LossKind::PerTimestamp => {
+                eta_lstm_core::optimizer::Sgd { lr: 4.0, clip: 5.0 }
+            }
             eta_lstm_core::LossKind::SingleLoss => eta_lstm_core::optimizer::Sgd::default(),
         };
 
@@ -139,12 +138,18 @@ fn main() {
         let mut base = Trainer::new(cfg, TrainingStrategy::Baseline, SEED)
             .expect("trainer")
             .with_optimizer(sgd);
+        if let Some(t) = &telemetry {
+            base = base.with_telemetry(t.clone());
+        }
         let base_report = base.run(&task, epochs).expect("training");
         let base_metric = evaluate(&base, &task, spec.metric);
 
         let mut comb = Trainer::new(cfg, TrainingStrategy::CombinedMs, SEED)
             .expect("trainer")
             .with_optimizer(sgd);
+        if let Some(t) = &telemetry {
+            comb = comb.with_telemetry(t.clone());
+        }
         let comb_report = comb.run(&task, epochs).expect("training");
         let comb_metric = evaluate(&comb, &task, spec.metric);
 
@@ -166,4 +171,7 @@ fn main() {
          The reproduction criterion is the same: Combine-MS within ~1% of the\n\
          baseline metric on each scaled analogue, with comparable loss curves."
     );
+    if let Some(t) = telemetry {
+        t.flush();
+    }
 }

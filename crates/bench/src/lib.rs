@@ -19,9 +19,9 @@
 
 use eta_gpu::{GpuModel, GpuSpec};
 use eta_lstm_core::ms2::{self, GradPredictor, Ms2Config};
+use eta_lstm_core::{Batch, LossKind, Task};
 use eta_lstm_core::{LstmConfig, Trainer, TrainingStrategy};
 use eta_memsim::model::OptEffects;
-use eta_lstm_core::{Batch, LossKind, Task};
 use eta_workloads::{Benchmark, MarkovChain, MarkovLmTask, SyntheticTask, TrajectoryTask};
 
 pub mod table;
@@ -30,6 +30,30 @@ pub use table::Table;
 
 /// Default training seed for every harness run (reproducibility).
 pub const SEED: u64 = 42;
+
+/// Environment variable naming the directory where harness binaries
+/// write their JSONL telemetry streams (`run_all --telemetry <dir>`
+/// sets it for every child).
+pub const TELEMETRY_DIR_ENV: &str = "ETA_TELEMETRY_DIR";
+
+/// Opens `binary`'s JSONL telemetry stream at `<dir>/<binary>.jsonl`.
+///
+/// Returns `None` (telemetry stays off) if the directory cannot be
+/// created or the file cannot be opened — the harness output is the
+/// product; observability must never fail a run.
+pub fn telemetry_to(dir: &std::path::Path, binary: &str) -> Option<eta_telemetry::Telemetry> {
+    std::fs::create_dir_all(dir).ok()?;
+    let manifest =
+        eta_telemetry::RunManifest::capture(binary, eta_telemetry::config_hash(&SEED), SEED);
+    eta_telemetry::Telemetry::with_jsonl(manifest, dir.join(format!("{binary}.jsonl"))).ok()
+}
+
+/// Builds this binary's telemetry handle when [`TELEMETRY_DIR_ENV`] is
+/// set; `None` (every hook a no-op) otherwise.
+pub fn telemetry_from_env(binary: &str) -> Option<eta_telemetry::Telemetry> {
+    let dir = std::env::var(TELEMETRY_DIR_ENV).ok()?;
+    telemetry_to(std::path::Path::new(&dir), binary)
+}
 
 /// Measured/derived optimization effects for one benchmark.
 #[derive(Debug, Clone, Copy)]
@@ -150,14 +174,9 @@ pub fn scaled_task(benchmark: Benchmark) -> ScaledTask {
     let cfg = scaled_config(benchmark);
     use eta_workloads::TaskCategory::*;
     let task = match benchmark.spec().category {
-        QuestionClassification | SentimentAnalysis | QuestionAnswering => {
-            ScaledTask::Synthetic(SyntheticTask::classification(
-                cfg.input_size,
-                cfg.output_size,
-                cfg.seq_len,
-                SEED,
-            ))
-        }
+        QuestionClassification | SentimentAnalysis | QuestionAnswering => ScaledTask::Synthetic(
+            SyntheticTask::classification(cfg.input_size, cfg.output_size, cfg.seq_len, SEED),
+        ),
         LanguageModeling | MachineTranslation => ScaledTask::Markov(MarkovLmTask::new(
             MarkovChain::peaked(cfg.output_size, 0.8, SEED),
             cfg.input_size,
@@ -171,7 +190,8 @@ pub fn scaled_task(benchmark: Benchmark) -> ScaledTask {
             SEED,
         )),
     };
-    task.with_batch_size(cfg.batch_size).with_batches_per_epoch(4)
+    task.with_batch_size(cfg.batch_size)
+        .with_batches_per_epoch(4)
 }
 
 /// Measures the MS1 P1 density of a benchmark by running a short,
@@ -179,8 +199,7 @@ pub fn scaled_task(benchmark: Benchmark) -> ScaledTask {
 pub fn measure_p1_density(benchmark: Benchmark) -> f64 {
     let cfg = scaled_config(benchmark);
     let task = scaled_task(benchmark);
-    let mut trainer =
-        Trainer::new(cfg, TrainingStrategy::Ms1, SEED).expect("valid scaled config");
+    let mut trainer = Trainer::new(cfg, TrainingStrategy::Ms1, SEED).expect("valid scaled config");
     let report = trainer.run(&task, 2).expect("scaled training runs");
     report.mean_p1_density()
 }

@@ -1,0 +1,141 @@
+//! End-to-end check of the `--telemetry <dir>` pipeline: produce JSONL
+//! streams through the exact helpers the harness binaries use
+//! ([`eta_bench::telemetry_to`] / the env-var path `run_all` sets), then
+//! re-read and parse every line, asserting the acceptance metrics —
+//! trainer epochs, memsim footprint, accelerator PE occupancy — appear
+//! under their documented names.
+
+use eta_accel::timeline::{trace_instrumented, Alloc, CellKernels};
+use eta_bench::{scaled_config, scaled_task, SEED};
+use eta_lstm_core::{Trainer, TrainingStrategy};
+use eta_workloads::Benchmark;
+use std::collections::BTreeSet;
+use std::io::BufRead;
+
+fn stream_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("eta-telemetry-test-{}", std::process::id()));
+    // Stale leftovers from a previous crashed run would confuse the
+    // per-file assertions below.
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn jsonl_streams_reread_with_expected_metrics() {
+    let dir = stream_dir();
+
+    // Trainer-side stream, as table02_accuracy builds it.
+    {
+        let t = eta_bench::telemetry_to(&dir, "itest_trainer").expect("open stream");
+        let cfg = scaled_config(Benchmark::Trec10);
+        let task = scaled_task(Benchmark::Trec10);
+        let mut trainer = Trainer::new(cfg, TrainingStrategy::CombinedMs, SEED)
+            .expect("trainer")
+            .with_telemetry(t.clone());
+        trainer.run(&task, 2).expect("training");
+        t.flush();
+    }
+
+    // Accelerator-side stream, as fig10_utilization builds it.
+    {
+        let t = eta_bench::telemetry_to(&dir, "itest_accel").expect("open stream");
+        let cells = vec![
+            CellKernels {
+                mm_ops: 800_000,
+                ew_ops: 200_000,
+            };
+            3
+        ];
+        trace_instrumented(&cells, 1024.0, Alloc::Dynamic, Some(&t));
+        t.flush();
+    }
+
+    let mut all_metrics = BTreeSet::new();
+    let mut all_spans = BTreeSet::new();
+    for name in ["itest_trainer", "itest_accel"] {
+        let path = dir.join(format!("{name}.jsonl"));
+        let file =
+            std::fs::File::open(&path).unwrap_or_else(|e| panic!("open {}: {e}", path.display()));
+        let mut lines = 0usize;
+        for (i, line) in std::io::BufReader::new(file).lines().enumerate() {
+            let line = line.expect("read line");
+            let value: serde_json::Value = serde_json::from_str(&line)
+                .unwrap_or_else(|e| panic!("{name} line {i} is not JSON: {e}\n{line}"));
+            let event_type = value
+                .get("type")
+                .and_then(|t| t.as_str())
+                .unwrap_or_else(|| panic!("{name} line {i} has no type tag"));
+            if i == 0 {
+                assert_eq!(event_type, "manifest", "{name} must lead with its manifest");
+                let run = value.get("run").expect("manifest event carries the run");
+                assert_eq!(
+                    run.get("binary").and_then(|b| b.as_str()),
+                    Some(name),
+                    "manifest names its binary"
+                );
+                assert!(run.get("seed").is_some());
+                assert!(run.get("config_hash").is_some());
+            } else {
+                match event_type {
+                    "metric" => {
+                        all_metrics.insert(
+                            value
+                                .get("metric")
+                                .and_then(|m| m.get("name"))
+                                .and_then(|n| n.as_str())
+                                .expect("metric has a name")
+                                .to_string(),
+                        );
+                    }
+                    "span" => {
+                        all_spans.insert(
+                            value
+                                .get("path")
+                                .and_then(|p| p.as_str())
+                                .expect("span has a path")
+                                .to_string(),
+                        );
+                    }
+                    "span_summary" => {
+                        all_spans.insert(
+                            value
+                                .get("span")
+                                .and_then(|s| s.get("path"))
+                                .and_then(|p| p.as_str())
+                                .expect("span summary has a path")
+                                .to_string(),
+                        );
+                    }
+                    other => panic!("{name} line {i}: unexpected event type {other}"),
+                }
+            }
+            lines += 1;
+        }
+        assert!(
+            lines > 1,
+            "{name} stream must hold events beyond the manifest"
+        );
+    }
+
+    // The acceptance triple: trainer epochs, memsim footprint, accel PE
+    // occupancy, all under their documented names.
+    for required in [
+        "train_epochs_total",
+        "train_peak_footprint_bytes",
+        "memsim_peak_total_bytes",
+        "accel_pe_busy_fraction",
+        "accel_swing_handoffs_total",
+    ] {
+        assert!(
+            all_metrics.contains(required),
+            "missing metric {required}; streams held {all_metrics:?}"
+        );
+    }
+    assert!(all_spans.contains("epoch"), "spans held {all_spans:?}");
+    assert!(
+        all_spans.contains("epoch/batch"),
+        "spans held {all_spans:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

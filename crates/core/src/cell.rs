@@ -155,7 +155,9 @@ impl P1Dense {
     /// The six product matrices in a fixed order
     /// (`p_i, p_f, p_c, p_o, p_h, p_s`).
     pub fn streams(&self) -> [&Matrix; 6] {
-        [&self.p_i, &self.p_f, &self.p_c, &self.p_o, &self.p_h, &self.p_s]
+        [
+            &self.p_i, &self.p_f, &self.p_c, &self.p_o, &self.p_h, &self.p_s,
+        ]
     }
 
     /// Total dense bytes of the six streams.
@@ -442,8 +444,7 @@ mod tests {
             s_plus.set(r, c, s_prev.get(r, c) + eps);
             let mut s_minus = s_prev.clone();
             s_minus.set(r, c, s_prev.get(r, c) - eps);
-            let num = (loss(&params, &x, &h_prev, &s_plus)
-                - loss(&params, &x, &h_prev, &s_minus))
+            let num = (loss(&params, &x, &h_prev, &s_plus) - loss(&params, &x, &h_prev, &s_minus))
                 / (2.0 * eps as f64);
             let ana = out.ds_prev.get(r, c) as f64;
             assert!(
@@ -457,8 +458,7 @@ mod tests {
             h_plus.set(r, c, h_prev.get(r, c) + eps);
             let mut h_minus = h_prev.clone();
             h_minus.set(r, c, h_prev.get(r, c) - eps);
-            let num = (loss(&params, &x, &h_plus, &s_prev)
-                - loss(&params, &x, &h_minus, &s_prev))
+            let num = (loss(&params, &x, &h_plus, &s_prev) - loss(&params, &x, &h_minus, &s_prev))
                 / (2.0 * eps as f64);
             let ana = out.dh_prev.get(r, c) as f64;
             assert!(

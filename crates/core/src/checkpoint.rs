@@ -77,7 +77,9 @@ mod tests {
         // Training steps also agree.
         let targets = Targets::Classes(vec![0, 2]);
         let inst = Instruments::new();
-        let ra = m.train_step(&xs, &targets, &StepPlan::baseline(), &inst).unwrap();
+        let ra = m
+            .train_step(&xs, &targets, &StepPlan::baseline(), &inst)
+            .unwrap();
         let rb = restored
             .train_step(&xs, &targets, &StepPlan::baseline(), &inst)
             .unwrap();

@@ -52,9 +52,8 @@ pub fn check_step(
     let mut max_rel = 0.0f64;
     let layers = model.layers().len();
 
-    let loss_with = |m: &LstmModel| -> Result<f64> {
-        Ok(m.train_step(xs, targets, &plan, &instruments)?.loss)
-    };
+    let loss_with =
+        |m: &LstmModel| -> Result<f64> { Ok(m.train_step(xs, targets, &plan, &instruments)?.loss) };
 
     for _ in 0..samples {
         // Pick a parameter uniformly over {layer W, layer U, head W}.
@@ -186,9 +185,15 @@ mod tests {
         let analytic = wrong.grads.cells[0].dw.get(0, 0) as f64;
         let eps = 1e-3f32;
         let mut plus = model.clone();
-        plus.layers_mut()[0].params.w.set(0, 0, model.layers()[0].params.w.get(0, 0) + eps);
+        plus.layers_mut()[0]
+            .params
+            .w
+            .set(0, 0, model.layers()[0].params.w.get(0, 0) + eps);
         let mut minus = model.clone();
-        minus.layers_mut()[0].params.w.set(0, 0, model.layers()[0].params.w.get(0, 0) - eps);
+        minus.layers_mut()[0]
+            .params
+            .w
+            .set(0, 0, model.layers()[0].params.w.get(0, 0) - eps);
         let lp = plus
             .train_step(&xs, &targets, &StepPlan::baseline(), &instruments)
             .unwrap()

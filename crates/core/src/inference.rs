@@ -143,10 +143,7 @@ mod tests {
         let mut session = StreamingSession::new(&m, 3);
         for (t, x) in xs.iter().enumerate() {
             let logits = session.step(x).unwrap();
-            assert!(
-                logits.rel_diff(&batch_out[t]) < 1e-6,
-                "divergence at t={t}"
-            );
+            assert!(logits.rel_diff(&batch_out[t]) < 1e-6, "divergence at t={t}");
         }
     }
 

@@ -36,8 +36,9 @@ pub enum StorageMode {
 pub enum TapeEntry {
     /// Dense forward intermediates.
     Dense(Box<CellForward>),
-    /// Compressed P1 products.
-    Compressed(P1Packet),
+    /// Compressed P1 products (boxed: the packet is an order of
+    /// magnitude larger than the other variants).
+    Compressed(Box<P1Packet>),
     /// Skipped BP cell; `s` is retained only when the next cell is kept
     /// and will need `s_{t−1}` for its dense backward.
     Skipped {
@@ -68,6 +69,16 @@ impl Instruments {
     /// Fresh zeroed instruments.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Instruments whose footprint and traffic events are mirrored
+    /// into `telemetry` (as `memsim_*` and `dram_*` metrics).
+    #[cfg(feature = "telemetry")]
+    pub fn with_telemetry(telemetry: eta_telemetry::Telemetry) -> Self {
+        Instruments {
+            mem: eta_memsim::SharedTracker::with_telemetry(telemetry.clone()),
+            traffic: eta_memsim::SharedTraffic::with_telemetry(telemetry),
+        }
     }
 
     fn store(&self, cat: DataCategory, bytes: u64) {
@@ -185,7 +196,7 @@ impl LstmLayer {
                         let p1 = P1Dense::compute(&fw, &s_prev)?;
                         let packet = P1Packet::compress(&p1, cfg.threshold);
                         instruments.store(DataCategory::Intermediates, packet.compressed_bytes());
-                        TapeEntry::Compressed(packet)
+                        TapeEntry::Compressed(Box::new(packet))
                     }
                 }
             };
@@ -408,7 +419,12 @@ mod tests {
             .forward_sequence(&xs, StorageMode::Dense, &[], &inst)
             .unwrap();
         let (_, tape_c) = layer
-            .forward_sequence(&xs, StorageMode::Compressed(Ms1Config::default()), &[], &inst)
+            .forward_sequence(
+                &xs,
+                StorageMode::Compressed(Ms1Config::default()),
+                &[],
+                &inst,
+            )
             .unwrap();
         let mut dys = zeros_grads(6, 4, 8);
         dys[5] = Matrix::filled(4, 8, 0.5);
@@ -507,7 +523,12 @@ mod tests {
             .forward_sequence(&xs, StorageMode::Dense, &[], &dense_inst)
             .unwrap();
         layer
-            .forward_sequence(&xs, StorageMode::Compressed(Ms1Config::default()), &[], &comp_inst)
+            .forward_sequence(
+                &xs,
+                StorageMode::Compressed(Ms1Config::default()),
+                &[],
+                &comp_inst,
+            )
             .unwrap();
         let dense_peak = dense_inst.mem.snapshot().peak(DataCategory::Intermediates);
         let comp_peak = comp_inst.mem.snapshot().peak(DataCategory::Intermediates);
@@ -527,7 +548,12 @@ mod tests {
             .unwrap();
         assert_eq!(LstmLayer::tape_compression_stats(&tape).total, 0);
         let (_, tape_c) = layer
-            .forward_sequence(&xs, StorageMode::Compressed(Ms1Config::default()), &[], &inst)
+            .forward_sequence(
+                &xs,
+                StorageMode::Compressed(Ms1Config::default()),
+                &[],
+                &inst,
+            )
             .unwrap();
         assert!(LstmLayer::tape_compression_stats(&tape_c).total > 0);
     }

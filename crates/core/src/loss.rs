@@ -150,11 +150,13 @@ pub fn softmax_xent(logits: &Matrix, classes: &[usize]) -> Result<(f64, Matrix)>
     let batch = logits.rows();
     let mut dlogits = Matrix::zeros(batch, logits.cols());
     let mut loss = 0.0f64;
-    for r in 0..batch {
-        let cls = classes[r];
+    for (r, &cls) in classes.iter().enumerate() {
         if cls >= logits.cols() {
             return Err(LstmError::BatchShape {
-                detail: format!("class index {cls} out of range for {} outputs", logits.cols()),
+                detail: format!(
+                    "class index {cls} out of range for {} outputs",
+                    logits.cols()
+                ),
             });
         }
         let probs = activation::softmax(logits.row(r));
@@ -194,7 +196,7 @@ pub fn accuracy(logits: &Matrix, classes: &[usize]) -> f64 {
         return 0.0;
     }
     let mut correct = 0usize;
-    for r in 0..logits.rows() {
+    for (r, &cls) in classes.iter().enumerate() {
         let row = logits.row(r);
         let argmax = row
             .iter()
@@ -202,7 +204,7 @@ pub fn accuracy(logits: &Matrix, classes: &[usize]) -> f64 {
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
             .map(|(i, _)| i)
             .unwrap_or(0);
-        if argmax == classes[r] {
+        if argmax == cls {
             correct += 1;
         }
     }
@@ -311,7 +313,10 @@ mod tests {
             let mut minus = head.clone();
             minus.w.set(r, c, head.w.get(r, c) - eps);
             let num = (loss_of(&plus, &h) - loss_of(&minus, &h)) / (2.0 * eps as f64);
-            assert!((num - grads.dw.get(r, c) as f64).abs() < 1e-4, "dW[{r},{c}]");
+            assert!(
+                (num - grads.dw.get(r, c) as f64).abs() < 1e-4,
+                "dW[{r},{c}]"
+            );
         }
         for &(r, c) in &[(0usize, 2usize), (1, 0)] {
             let mut plus = h.clone();
@@ -325,8 +330,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax_hits() {
-        let logits =
-            Matrix::from_vec(3, 2, vec![2.0, 1.0, 0.0, 1.0, 3.0, -1.0]).unwrap();
+        let logits = Matrix::from_vec(3, 2, vec![2.0, 1.0, 0.0, 1.0, 3.0, -1.0]).unwrap();
         assert!((accuracy(&logits, &[0, 1, 0]) - 1.0).abs() < 1e-12);
         assert!((accuracy(&logits, &[1, 1, 0]) - 2.0 / 3.0).abs() < 1e-12);
     }

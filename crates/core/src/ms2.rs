@@ -199,11 +199,7 @@ impl GradPredictor {
     /// `measured[layer][t]` are the observed per-cell `|δW| + |δU|`
     /// magnitudes. Returns a predictor with the fitted α. Cells measured
     /// at exactly zero are still included (they inform the fit).
-    pub fn calibrate(
-        measured: &[Vec<f64>],
-        epoch_loss: f64,
-        beta: f64,
-    ) -> GradPredictor {
+    pub fn calibrate(measured: &[Vec<f64>], epoch_loss: f64, beta: f64) -> GradPredictor {
         let layers = measured.len();
         let mut num = 0.0;
         let mut den = 0.0;
@@ -288,9 +284,7 @@ pub fn plan_skips(
         let max_skipped = (seq_len as f64 * MAX_SKIP_FRACTION).floor() as usize;
         let mut skipped: Vec<usize> = (0..seq_len).filter(|&t| !row[t]).collect();
         if skipped.len() > max_skipped {
-            skipped.sort_by(|&a, &b| {
-                preds[b].partial_cmp(&preds[a]).expect("finite predictions")
-            });
+            skipped.sort_by(|&a, &b| preds[b].partial_cmp(&preds[a]).expect("finite predictions"));
             for &t in skipped.iter().take(skipped.len() - max_skipped) {
                 row[t] = true;
             }
@@ -312,7 +306,11 @@ pub fn plan_skips(
             .filter(|(_, &k)| k)
             .map(|(&p, _)| p)
             .sum();
-        let factor = if kept > 0.0 { (total / kept).max(1.0) } else { 1.0 };
+        let factor = if kept > 0.0 {
+            (total / kept).max(1.0)
+        } else {
+            1.0
+        };
         keep.push(row);
         scale.push(factor as f32);
     }
@@ -368,7 +366,10 @@ mod tests {
         let beta = GradPredictor::beta_for(LossKind::SingleLoss);
         let late = GradPredictor::unit_prediction(beta, 0, 2, 9, 10);
         let early = GradPredictor::unit_prediction(beta, 0, 2, 0, 10);
-        assert!(late > early, "single-loss gradients peak at the last timestep");
+        assert!(
+            late > early,
+            "single-loss gradients peak at the last timestep"
+        );
     }
 
     #[test]
@@ -376,7 +377,10 @@ mod tests {
         let beta = GradPredictor::beta_for(LossKind::PerTimestamp);
         let late = GradPredictor::unit_prediction(beta, 0, 2, 9, 10);
         let early = GradPredictor::unit_prediction(beta, 0, 2, 0, 10);
-        assert!(early > late, "per-timestamp gradients peak at the first timestep");
+        assert!(
+            early > late,
+            "per-timestamp gradients peak at the first timestep"
+        );
     }
 
     #[test]
@@ -394,7 +398,9 @@ mod tests {
         let measured: Vec<Vec<f64>> = (0..layers)
             .map(|l| {
                 (0..seq_len)
-                    .map(|t| truth * loss * GradPredictor::unit_prediction(beta, l, layers, t, seq_len))
+                    .map(|t| {
+                        truth * loss * GradPredictor::unit_prediction(beta, l, layers, t, seq_len)
+                    })
                     .collect()
             })
             .collect();
@@ -404,7 +410,10 @@ mod tests {
 
     #[test]
     fn skip_plan_skips_early_cells_for_single_loss() {
-        let p = GradPredictor { alpha: 1.0, beta: 1.0 };
+        let p = GradPredictor {
+            alpha: 1.0,
+            beta: 1.0,
+        };
         let plan = plan_skips(&p, 1.0, 2, 20, &Ms2Config::default());
         // Last timestep always strongest → kept.
         assert!(plan.keeps(0, 19));
@@ -416,7 +425,10 @@ mod tests {
 
     #[test]
     fn skip_plan_skips_late_cells_for_per_timestamp_loss() {
-        let p = GradPredictor { alpha: 1.0, beta: -1.0 };
+        let p = GradPredictor {
+            alpha: 1.0,
+            beta: -1.0,
+        };
         let plan = plan_skips(&p, 1.0, 1, 20, &Ms2Config::default());
         assert!(plan.keeps(0, 0), "earliest cell has the largest magnitude");
         assert!(!plan.keeps(0, 19), "latest cell is insignificant");
@@ -431,8 +443,13 @@ mod tests {
 
     #[test]
     fn scaling_compensates_skipped_mass() {
-        let p = GradPredictor { alpha: 1.0, beta: 1.0 };
-        let cfg = Ms2Config { skip_threshold: 0.5 };
+        let p = GradPredictor {
+            alpha: 1.0,
+            beta: 1.0,
+        };
+        let cfg = Ms2Config {
+            skip_threshold: 0.5,
+        };
         let plan = plan_skips(&p, 1.0, 1, 10, &cfg);
         // Total unit mass: sum over t of 1/(10−t); kept mass: cells ≥ 0.5·max.
         let total: f64 = (0..10).map(|t| 1.0 / (10 - t) as f64).sum();
@@ -445,8 +462,13 @@ mod tests {
 
     #[test]
     fn at_least_one_cell_kept_even_with_absurd_threshold() {
-        let p = GradPredictor { alpha: 1.0, beta: 1.0 };
-        let cfg = Ms2Config { skip_threshold: 2.0 };
+        let p = GradPredictor {
+            alpha: 1.0,
+            beta: 1.0,
+        };
+        let cfg = Ms2Config {
+            skip_threshold: 2.0,
+        };
         let plan = plan_skips(&p, 1.0, 2, 10, &cfg);
         for l in 0..2 {
             assert!(plan.keep[l].iter().any(|&k| k));

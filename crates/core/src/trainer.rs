@@ -83,7 +83,11 @@ impl TrainingReport {
 
     /// Largest peak footprint across epochs.
     pub fn peak_footprint(&self) -> u64 {
-        self.epochs.iter().map(|e| e.peak_footprint).max().unwrap_or(0)
+        self.epochs
+            .iter()
+            .map(|e| e.peak_footprint)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean measured P1 density across post-warm-up epochs.
@@ -126,6 +130,8 @@ pub struct Trainer {
     optimizer: Optimizer,
     history: LossHistory,
     predictor: Option<GradPredictor>,
+    #[cfg(feature = "telemetry")]
+    telemetry: Option<eta_telemetry::Telemetry>,
 }
 
 impl Trainer {
@@ -143,7 +149,18 @@ impl Trainer {
             optimizer: Optimizer::sgd(Sgd::default()),
             history: LossHistory::new(),
             predictor: None,
+            #[cfg(feature = "telemetry")]
+            telemetry: None,
         })
+    }
+
+    /// Attaches a telemetry pipeline: epochs and batches become spans,
+    /// and per-epoch loss/density/skip/footprint land in the metric
+    /// registry (see the README's Observability section for names).
+    #[cfg(feature = "telemetry")]
+    pub fn with_telemetry(mut self, telemetry: eta_telemetry::Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// Overrides the strategy knobs (thresholds).
@@ -192,6 +209,21 @@ impl Trainer {
         StepPlan { ms1, skip }
     }
 
+    /// Fresh per-epoch instruments, mirrored into telemetry when a
+    /// pipeline is attached.
+    #[cfg(feature = "telemetry")]
+    fn epoch_instruments(&self) -> Instruments {
+        match &self.telemetry {
+            Some(t) => Instruments::with_telemetry(t.clone()),
+            None => Instruments::new(),
+        }
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    fn epoch_instruments(&self) -> Instruments {
+        Instruments::new()
+    }
+
     /// Runs `epochs` training epochs over `task` and reports the
     /// measurements.
     ///
@@ -205,7 +237,12 @@ impl Trainer {
 
         for epoch in 0..epochs {
             let plan = self.plan_for_epoch(epoch);
-            let instruments = Instruments::new();
+            let instruments = self.epoch_instruments();
+            #[cfg(feature = "telemetry")]
+            let _epoch_span = self
+                .telemetry
+                .as_ref()
+                .map(|t| eta_telemetry::span!(t, "epoch", index = epoch));
             let mut losses = Vec::new();
             let mut density_acc = Vec::new();
             let mut skipped = 0usize;
@@ -213,6 +250,11 @@ impl Trainer {
             let mut magnitude_acc: Vec<Vec<f64>> = Vec::new();
 
             for b in 0..task.batches_per_epoch() {
+                #[cfg(feature = "telemetry")]
+                let _batch_span = self
+                    .telemetry
+                    .as_ref()
+                    .map(|t| eta_telemetry::span!(t, "batch", index = b));
                 let batch = task.batch(epoch, b);
                 let result =
                     self.model
@@ -237,10 +279,9 @@ impl Trainer {
                 self.model.apply(&mut self.optimizer, &result.grads)?;
                 // The simulated DRAM frees everything between iterations.
                 let snap = instruments.mem.snapshot();
-                instruments.mem.free(
-                    DataCategory::Weights,
-                    snap.live(DataCategory::Weights),
-                );
+                instruments
+                    .mem
+                    .free(DataCategory::Weights, snap.live(DataCategory::Weights));
                 instruments.mem.free(
                     DataCategory::Activations,
                     snap.live(DataCategory::Activations),
@@ -285,6 +326,21 @@ impl Trainer {
                     traffic.total(DataCategory::Intermediates),
                 ],
             });
+
+            #[cfg(feature = "telemetry")]
+            if let Some(t) = &self.telemetry {
+                let report = reports.last().expect("epoch report just pushed");
+                t.incr("train_epochs_total", 1);
+                t.incr("train_batches_total", task.batches_per_epoch() as u64);
+                t.gauge("train_loss_mean", report.mean_loss);
+                t.gauge("ms1_p1_density", report.p1_density);
+                t.gauge("ms2_skip_fraction", report.skip_fraction);
+                t.gauge("train_peak_footprint_bytes", report.peak_footprint as f64);
+                t.gauge(
+                    "train_peak_intermediates_bytes",
+                    report.peak_intermediates as f64,
+                );
+            }
         }
 
         Ok(TrainingReport {
@@ -334,9 +390,7 @@ mod tests {
                 .collect();
             let targets = match self.kind {
                 LossKind::SingleLoss => Targets::Classes(classes),
-                LossKind::PerTimestamp => {
-                    Targets::StepClasses(vec![classes; cfg.seq_len])
-                }
+                LossKind::PerTimestamp => Targets::StepClasses(vec![classes; cfg.seq_len]),
             };
             Batch { inputs, targets }
         }
@@ -435,6 +489,45 @@ mod tests {
         let e = &report.epochs[0];
         assert!(e.traffic.iter().all(|&b| b > 0));
         assert!(e.peak_footprint > 0);
+    }
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn telemetry_records_epochs_footprint_and_loss() {
+        use eta_telemetry::{RunManifest, Telemetry};
+
+        let (telemetry, handle) =
+            Telemetry::with_memory(RunManifest::capture("trainer_test", "0".into(), 3));
+        let task = ToyTask::new(config(), LossKind::SingleLoss);
+        let mut t = Trainer::new(config(), TrainingStrategy::CombinedMs, 3)
+            .unwrap()
+            .with_telemetry(telemetry.clone());
+        let report = t.run(&task, 4).unwrap();
+
+        let snap = telemetry.flush();
+        assert_eq!(snap.counter_total("train_epochs_total"), 4);
+        assert_eq!(
+            snap.counter_total("train_batches_total"),
+            4 * task.batches_per_epoch() as u64
+        );
+        assert_eq!(
+            snap.gauge("train_loss_mean"),
+            Some(report.final_loss()),
+            "gauge keeps the last epoch's loss"
+        );
+        assert!(snap.gauge("train_peak_footprint_bytes").unwrap() > 0.0);
+        // Memsim mirror fired through the Instruments path.
+        assert!(snap.counter_total("memsim_alloc_bytes_total") > 0);
+        assert!(snap.counter_total("dram_read_bytes_total") > 0);
+        // Spans: 4 epochs, each containing the batches.
+        assert_eq!(snap.span("epoch").unwrap().count, 4);
+        assert_eq!(
+            snap.span("epoch/batch").unwrap().count,
+            4 * task.batches_per_epoch() as u64
+        );
+        // The event stream saw the manifest first.
+        let events = handle.events();
+        assert!(matches!(events[0], eta_telemetry::Event::Manifest(_)));
     }
 
     #[test]

@@ -164,8 +164,8 @@ impl GpuModel {
         let par_eff = Self::parallel_efficiency(shape.hidden);
         let t_gemm = flops_exec / (self.spec.peak_tflops * 1e12 * par_eff);
 
-        let t_mem = traffic as f64 / (self.spec.mem_bw_gbs * 1e9 * BANDWIDTH_EFF)
-            * MEM_EXPOSED_FRACTION;
+        let t_mem =
+            traffic as f64 / (self.spec.mem_bw_gbs * 1e9 * BANDWIDTH_EFF) * MEM_EXPOSED_FRACTION;
 
         let cells_exec = shape.cells() as f64 * (2.0 - sigma) / 2.0 * 2.0;
         let fp_pressure = 1.0 + footprint as f64 / STALL_FOOTPRINT_REF;
@@ -173,8 +173,8 @@ impl GpuModel {
 
         let time_s = t_gemm + t_mem + t_stall;
 
-        let e_byte_eff = self.energy.joules_per_byte
-            * (1.0 + footprint as f64 / ENERGY_FOOTPRINT_REF);
+        let e_byte_eff =
+            self.energy.joules_per_byte * (1.0 + footprint as f64 / ENERGY_FOOTPRINT_REF);
         let energy_j = self.energy.static_watts * time_s
             + self.energy.joules_per_flop * flops_exec
             + e_byte_eff * traffic as f64;
@@ -235,9 +235,18 @@ mod tests {
             .iter()
             .map(|&h| m.estimate(&shape(h, 3, 35), &base).gflops_per_watt)
             .collect();
-        assert!(eff[1] > eff[0], "efficiency climbs to the sweet spot: {eff:?}");
-        assert!(eff[2] < eff[1], "efficiency declines past saturation: {eff:?}");
-        assert!((10.0..60.0).contains(&eff[1]), "peak {eff:?} out of Fig. 3 band");
+        assert!(
+            eff[1] > eff[0],
+            "efficiency climbs to the sweet spot: {eff:?}"
+        );
+        assert!(
+            eff[2] < eff[1],
+            "efficiency declines past saturation: {eff:?}"
+        );
+        assert!(
+            (10.0..60.0).contains(&eff[1]),
+            "peak {eff:?} out of Fig. 3 band"
+        );
     }
 
     #[test]

@@ -99,7 +99,13 @@ pub struct LstmShape {
 impl LstmShape {
     /// Creates a shape. Any dimension may be small (for tests) or
     /// paper-scale.
-    pub fn new(input_size: usize, hidden: usize, layers: usize, seq_len: usize, batch: usize) -> Self {
+    pub fn new(
+        input_size: usize,
+        hidden: usize,
+        layers: usize,
+        seq_len: usize,
+        batch: usize,
+    ) -> Self {
         LstmShape {
             input_size,
             hidden,
@@ -314,8 +320,7 @@ impl OptEffects {
         }
         let per_element =
             (BITMAP_BITS_PER_ELEMENT + self.p1_density * BYTES_F32 as f64) / BYTES_F32 as f64;
-        ((P1_STREAMS_PER_CELL as f64 / STORED_INTERMEDIATES_PER_CELL as f64) * per_element)
-            .min(1.0)
+        ((P1_STREAMS_PER_CELL as f64 / STORED_INTERMEDIATES_PER_CELL as f64) * per_element).min(1.0)
     }
 
     /// Fraction of cells whose BP (and FW intermediate storage) survives
@@ -363,8 +368,9 @@ pub fn traffic(shape: &LstmShape, eff: &OptEffects) -> TrafficBreakdown {
     // Weights: streaming refetch (FW + BP halves) + gradient write-back.
     let mut stream = 0.0f64;
     for l in 0..shape.layers {
-        let per_phase =
-            shape.seq_len as f64 * shape.layer_weight_bytes(l) as f64 * shape.weight_miss_fraction(l);
+        let per_phase = shape.seq_len as f64
+            * shape.layer_weight_bytes(l) as f64
+            * shape.weight_miss_fraction(l);
         stream += 2.0 * per_phase;
     }
     let grad = shape.weight_bytes() as f64;
@@ -484,7 +490,10 @@ mod tests {
         assert!((0.15..0.35).contains(&wred), "weight reduction {wred}");
         // Intermediate reduction ≈ σ ≈ 49 %.
         let ired = 1.0 - ms2.intermediates as f64 / base.intermediates as f64;
-        assert!((0.40..0.60).contains(&ired), "intermediate reduction {ired}");
+        assert!(
+            (0.40..0.60).contains(&ired),
+            "intermediate reduction {ired}"
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Live/peak memory footprint accounting.
 
 use crate::DataCategory;
+use eta_telemetry::Telemetry;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -95,10 +96,34 @@ impl MemoryTracker {
     }
 }
 
+/// Cumulative alloc/free byte totals per category, plus the high-water
+/// mark of what has already been published to telemetry (so repeated
+/// publishes emit counter *deltas*, not re-counts).
+#[derive(Debug, Default)]
+struct TrackerMirror {
+    allocated: [u64; 3],
+    freed: [u64; 3],
+    published_alloc: [u64; 3],
+    published_free: [u64; 3],
+}
+
 /// A cheaply-clonable, thread-safe handle to a [`MemoryTracker`], for
 /// instrumentation shared between a model's layers.
+///
+/// With a [`Telemetry`] handle attached ([`SharedTracker::with_telemetry`])
+/// alloc/free totals are mirrored into the metric registry as
+/// `memsim_alloc_bytes_total{category}` / `memsim_free_bytes_total{category}`
+/// counters plus the `memsim_live_bytes{category}` and
+/// `memsim_peak_total_bytes` gauges. The hot path only accumulates;
+/// registry writes happen at [`SharedTracker::publish`] — which
+/// [`SharedTracker::snapshot`] calls — keeping the per-event cost to one
+/// uncontended add (see the `telemetry_overhead` benchmark guard).
 #[derive(Debug, Clone, Default)]
-pub struct SharedTracker(Arc<Mutex<MemoryTracker>>);
+pub struct SharedTracker {
+    tracker: Arc<Mutex<MemoryTracker>>,
+    telemetry: Option<Telemetry>,
+    mirror: Arc<Mutex<TrackerMirror>>,
+}
 
 impl SharedTracker {
     /// Creates a handle around an empty tracker.
@@ -106,25 +131,86 @@ impl SharedTracker {
         Self::default()
     }
 
+    /// Creates a handle that mirrors alloc/free totals into `telemetry`
+    /// on every [`SharedTracker::publish`]/[`SharedTracker::snapshot`].
+    pub fn with_telemetry(telemetry: Telemetry) -> Self {
+        SharedTracker {
+            tracker: Arc::default(),
+            telemetry: Some(telemetry),
+            mirror: Arc::default(),
+        }
+    }
+
     /// Records an allocation. See [`MemoryTracker::alloc`].
     pub fn alloc(&self, category: DataCategory, bytes: u64) {
-        self.0.lock().alloc(category, bytes);
+        self.tracker.lock().alloc(category, bytes);
+        if self.telemetry.is_some() {
+            self.mirror.lock().allocated[category.index()] += bytes;
+        }
     }
 
     /// Records a release. See [`MemoryTracker::free`].
     pub fn free(&self, category: DataCategory, bytes: u64) {
-        self.0.lock().free(category, bytes);
+        self.tracker.lock().free(category, bytes);
+        if self.telemetry.is_some() {
+            self.mirror.lock().freed[category.index()] += bytes;
+        }
     }
 
-    /// Snapshot of the current tracker state.
+    /// Pushes the accumulated totals into the attached telemetry (a
+    /// no-op without one): counter deltas since the last publish plus
+    /// the current live/peak gauges.
+    pub fn publish(&self) {
+        let Some(t) = &self.telemetry else {
+            return;
+        };
+        let deltas: Vec<(DataCategory, u64, u64)> = {
+            let mut m = self.mirror.lock();
+            DataCategory::ALL
+                .into_iter()
+                .map(|c| {
+                    let i = c.index();
+                    let alloc = m.allocated[i] - m.published_alloc[i];
+                    let free = m.freed[i] - m.published_free[i];
+                    m.published_alloc[i] = m.allocated[i];
+                    m.published_free[i] = m.freed[i];
+                    (c, alloc, free)
+                })
+                .collect()
+        };
+        let snap = self.tracker.lock().clone();
+        for (category, alloc, free) in deltas {
+            if alloc > 0 {
+                t.incr_with("memsim_alloc_bytes_total", category_labels(category), alloc);
+            }
+            if free > 0 {
+                t.incr_with("memsim_free_bytes_total", category_labels(category), free);
+            }
+            t.gauge_with(
+                "memsim_live_bytes",
+                category_labels(category),
+                snap.live(category) as f64,
+            );
+        }
+        t.gauge("memsim_peak_total_bytes", snap.peak_total() as f64);
+    }
+
+    /// Snapshot of the current tracker state; also publishes the
+    /// telemetry mirror (snapshots are the natural aggregation points).
     pub fn snapshot(&self) -> MemoryTracker {
-        self.0.lock().clone()
+        self.publish();
+        self.tracker.lock().clone()
     }
 
-    /// Resets everything to zero.
+    /// Resets everything to zero (and the publish marks with it).
     pub fn reset(&self) {
-        self.0.lock().reset();
+        self.tracker.lock().reset();
+        *self.mirror.lock() = TrackerMirror::default();
     }
+}
+
+fn category_labels(category: DataCategory) -> eta_telemetry::Labels {
+    eta_telemetry::labels!(category = category)
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! DRAM data-movement accounting.
 
 use crate::DataCategory;
+use eta_telemetry::Telemetry;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -81,9 +82,27 @@ impl TrafficCounter {
     }
 }
 
+/// Read/write byte totals already published to telemetry, so repeated
+/// publishes emit counter deltas.
+#[derive(Debug, Default)]
+struct TrafficMirror {
+    published_reads: [u64; 3],
+    published_writes: [u64; 3],
+}
+
 /// Thread-safe shared handle to a [`TrafficCounter`].
+///
+/// With a [`Telemetry`] handle attached ([`SharedTraffic::with_telemetry`])
+/// transfer totals are mirrored as the `dram_read_bytes_total{category}` /
+/// `dram_write_bytes_total{category}` counters. The hot path only
+/// accumulates into the [`TrafficCounter`]; registry writes happen at
+/// [`SharedTraffic::publish`] — which [`SharedTraffic::snapshot`] calls.
 #[derive(Debug, Clone, Default)]
-pub struct SharedTraffic(Arc<Mutex<TrafficCounter>>);
+pub struct SharedTraffic {
+    counter: Arc<Mutex<TrafficCounter>>,
+    telemetry: Option<Telemetry>,
+    mirror: Arc<Mutex<TrafficMirror>>,
+}
 
 impl SharedTraffic {
     /// Creates a handle around a zeroed counter.
@@ -91,24 +110,68 @@ impl SharedTraffic {
         Self::default()
     }
 
+    /// Creates a handle that mirrors transfer totals into `telemetry`
+    /// on every [`SharedTraffic::publish`]/[`SharedTraffic::snapshot`].
+    pub fn with_telemetry(telemetry: Telemetry) -> Self {
+        SharedTraffic {
+            counter: Arc::default(),
+            telemetry: Some(telemetry),
+            mirror: Arc::default(),
+        }
+    }
+
     /// Records a DRAM read. See [`TrafficCounter::read`].
     pub fn read(&self, category: DataCategory, bytes: u64) {
-        self.0.lock().read(category, bytes);
+        self.counter.lock().read(category, bytes);
     }
 
     /// Records a DRAM write. See [`TrafficCounter::write`].
     pub fn write(&self, category: DataCategory, bytes: u64) {
-        self.0.lock().write(category, bytes);
+        self.counter.lock().write(category, bytes);
     }
 
-    /// Snapshot of the current counters.
+    /// Pushes the accumulated totals into the attached telemetry as
+    /// counter deltas since the last publish (a no-op without one).
+    pub fn publish(&self) {
+        let Some(t) = &self.telemetry else {
+            return;
+        };
+        let snap = self.counter.lock().clone();
+        let mut m = self.mirror.lock();
+        for category in DataCategory::ALL {
+            let i = category.index();
+            let reads = snap.reads(category) - m.published_reads[i];
+            let writes = snap.writes(category) - m.published_writes[i];
+            m.published_reads[i] = snap.reads(category);
+            m.published_writes[i] = snap.writes(category);
+            if reads > 0 {
+                t.incr_with(
+                    "dram_read_bytes_total",
+                    eta_telemetry::labels!(category = category),
+                    reads,
+                );
+            }
+            if writes > 0 {
+                t.incr_with(
+                    "dram_write_bytes_total",
+                    eta_telemetry::labels!(category = category),
+                    writes,
+                );
+            }
+        }
+    }
+
+    /// Snapshot of the current counters; also publishes the telemetry
+    /// mirror (snapshots are the natural aggregation points).
     pub fn snapshot(&self) -> TrafficCounter {
-        self.0.lock().clone()
+        self.publish();
+        self.counter.lock().clone()
     }
 
-    /// Resets all counters to zero.
+    /// Resets all counters to zero (and the publish marks with them).
     pub fn reset(&self) {
-        self.0.lock().reset();
+        self.counter.lock().reset();
+        *self.mirror.lock() = TrafficMirror::default();
     }
 }
 

@@ -1,0 +1,99 @@
+//! Property-based tests of the footprint tracker's invariants: the
+//! peak is a true high-water mark (monotone, bounding live), frees
+//! never underflow the live count, and the serde round-trip preserves
+//! every peak.
+
+use eta_memsim::{DataCategory, MemoryTracker};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const CATEGORIES: [DataCategory; 3] = [
+    DataCategory::Weights,
+    DataCategory::Activations,
+    DataCategory::Intermediates,
+];
+
+fn category(i: usize) -> DataCategory {
+    CATEGORIES[i % 3]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn peak_total_is_monotone_and_bounds_live(
+        ops in vec((0usize..3, 0usize..2, 0u64..4096), 1..64),
+    ) {
+        let mut t = MemoryTracker::new();
+        let mut prev_peak = 0u64;
+        for (c, kind, bytes) in ops {
+            let cat = category(c);
+            if kind == 0 {
+                t.alloc(cat, bytes);
+            } else {
+                // Matched frees only: never release more than is live.
+                t.free(cat, bytes.min(t.live(cat)));
+            }
+            prop_assert!(
+                t.peak_total() >= prev_peak,
+                "peak_total regressed: {} -> {}",
+                prev_peak,
+                t.peak_total()
+            );
+            prop_assert!(t.peak_total() >= t.live_total());
+            for cat in CATEGORIES {
+                prop_assert!(t.peak(cat) >= t.live(cat));
+            }
+            prev_peak = t.peak_total();
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_peaks(
+        ops in vec((0usize..3, 1u64..4096), 1..48),
+    ) {
+        let mut t = MemoryTracker::new();
+        for (c, bytes) in &ops {
+            t.alloc(category(*c), *bytes);
+        }
+        // Free half of each allocation so live diverges from peak.
+        for (c, bytes) in &ops {
+            t.free(category(*c), bytes / 2);
+        }
+        let text = serde_json::to_string(&t).expect("tracker serializes");
+        let back: MemoryTracker = serde_json::from_str(&text).expect("tracker parses");
+        prop_assert_eq!(back.peak_total(), t.peak_total());
+        for cat in CATEGORIES {
+            prop_assert_eq!(back.peak(cat), t.peak(cat));
+            prop_assert_eq!(back.live(cat), t.live(cat));
+        }
+        prop_assert_eq!(back, t);
+    }
+}
+
+// `MemoryTracker::free` debug-asserts on unmatched frees (they are
+// caller bugs), so the saturation contract is only observable — and
+// only promised — in release builds.
+#[cfg(not(debug_assertions))]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn unmatched_free_saturates_in_release(
+        ops in vec((0usize..3, 0usize..2, 0u64..4096), 1..64),
+    ) {
+        let mut t = MemoryTracker::new();
+        for (c, kind, bytes) in ops {
+            let cat = category(c);
+            if kind == 0 {
+                t.alloc(cat, bytes);
+            } else {
+                // Deliberately unmatched: may exceed the live count.
+                let live_before = t.live(cat);
+                t.free(cat, bytes);
+                prop_assert_eq!(t.live(cat), live_before.saturating_sub(bytes));
+            }
+            prop_assert!(t.peak_total() >= t.live_total());
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Per-run provenance: every JSONL stream starts with a manifest line
+//! identifying the binary, configuration, seed, source revision, and
+//! wall-clock start time.
+
+use std::process::Command;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Identity of one telemetry-producing run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunManifest {
+    /// Name of the producing binary or test.
+    pub binary: String,
+    /// Stable hash of the run configuration (see [`config_hash`]).
+    pub config_hash: String,
+    /// RNG seed the run was started with.
+    pub seed: u64,
+    /// `git describe --always --dirty` of the source tree, or
+    /// "unknown" outside a git checkout.
+    pub git_describe: String,
+    /// Wall-clock start of the run, milliseconds since the Unix epoch.
+    pub started_unix_ms: u64,
+}
+
+impl RunManifest {
+    /// Captures a manifest for the calling process.
+    pub fn capture(binary: &str, config_hash: String, seed: u64) -> Self {
+        RunManifest {
+            binary: binary.to_string(),
+            config_hash,
+            seed,
+            git_describe: git_describe(),
+            started_unix_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+        }
+    }
+}
+
+fn git_describe() -> String {
+    Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Stable FNV-1a hash of any serializable configuration, hex-encoded.
+/// Uses the serde value tree, so field order and float formatting are
+/// deterministic across runs of the same build.
+pub fn config_hash<T: serde::Serialize>(config: &T) -> String {
+    let encoded = serde_json::to_string(&config.to_value()).unwrap_or_default();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in encoded.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_fills_every_field() {
+        let m = RunManifest::capture("unit_test", "abc".into(), 7);
+        assert_eq!(m.binary, "unit_test");
+        assert_eq!(m.seed, 7);
+        assert!(!m.git_describe.is_empty());
+        assert!(m.started_unix_ms > 0);
+    }
+
+    #[test]
+    fn config_hash_is_stable_and_discriminating() {
+        let a = config_hash(&vec![1u64, 2, 3]);
+        let b = config_hash(&vec![1u64, 2, 3]);
+        let c = config_hash(&vec![1u64, 2, 4]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let m = RunManifest::capture("rt", "00ff".into(), 42);
+        let text = serde_json::to_string(&m).unwrap();
+        let back: RunManifest = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,119 @@
+//! Human-readable summary table over a registry snapshot.
+
+use crate::metrics::{MetricValue, Snapshot};
+use std::fmt::Write as _;
+
+/// Renders spans and metrics as two aligned text tables.
+pub fn render_summary(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+
+    if !snapshot.spans.is_empty() {
+        out.push_str("spans\n");
+        let path_w = column_width("path", snapshot.spans.iter().map(|s| s.path.len()));
+        let _ = writeln!(
+            out,
+            "  {:<path_w$}  {:>8}  {:>12}  {:>12}  {:>12}  {:>12}",
+            "path", "count", "total", "mean", "min", "max"
+        );
+        for s in &snapshot.spans {
+            let _ = writeln!(
+                out,
+                "  {:<path_w$}  {:>8}  {:>12}  {:>12}  {:>12}  {:>12}",
+                s.path,
+                s.count,
+                fmt_seconds(s.total_s),
+                fmt_seconds(s.mean_s()),
+                fmt_seconds(s.min_s),
+                fmt_seconds(s.max_s),
+            );
+        }
+    }
+
+    if !snapshot.metrics.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("metrics\n");
+        let rows: Vec<(String, String)> = snapshot
+            .metrics
+            .iter()
+            .map(|m| {
+                let mut name = m.name.clone();
+                if !m.labels.is_empty() {
+                    let labels: Vec<String> =
+                        m.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                    let _ = write!(name, "{{{}}}", labels.join(","));
+                }
+                let value = match &m.value {
+                    MetricValue::Counter { value } => value.to_string(),
+                    MetricValue::Gauge { value } => format!("{value:.6}"),
+                    MetricValue::Histogram { histogram: h } => format!(
+                        "count={} mean={:.4} min={:.4} max={:.4}",
+                        h.count,
+                        h.mean(),
+                        h.min,
+                        h.max
+                    ),
+                };
+                (name, value)
+            })
+            .collect();
+        let name_w = column_width("name", rows.iter().map(|(n, _)| n.len()));
+        let _ = writeln!(out, "  {:<name_w$}  value", "name");
+        for (name, value) in rows {
+            let _ = writeln!(out, "  {name:<name_w$}  {value}");
+        }
+    }
+
+    if out.is_empty() {
+        out.push_str("(no telemetry recorded)\n");
+    }
+    out
+}
+
+fn column_width(header: &str, lens: impl Iterator<Item = usize>) -> usize {
+    lens.fold(header.len(), usize::max)
+}
+
+fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{MetricSnapshot, SpanStats};
+
+    #[test]
+    fn renders_both_tables() {
+        let snapshot = Snapshot {
+            metrics: vec![MetricSnapshot {
+                name: "train_batches_total".into(),
+                labels: vec![("epoch".into(), "0".into())],
+                value: MetricValue::Counter { value: 12 },
+            }],
+            spans: vec![SpanStats {
+                path: "epoch/batch".into(),
+                count: 12,
+                total_s: 0.6,
+                min_s: 0.04,
+                max_s: 0.07,
+            }],
+        };
+        let text = render_summary(&snapshot);
+        assert!(text.contains("epoch/batch"));
+        assert!(text.contains("train_batches_total{epoch=0}"));
+        assert!(text.contains("12"));
+    }
+
+    #[test]
+    fn empty_snapshot_says_so() {
+        assert!(render_summary(&Snapshot::default()).contains("no telemetry"));
+    }
+}

@@ -36,7 +36,10 @@ impl fmt::Display for TensorError {
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "buffer length {actual} does not match {expected} elements")
+                write!(
+                    f,
+                    "buffer length {actual} does not match {expected} elements"
+                )
             }
             TensorError::EmptyDimension { op } => {
                 write!(f, "zero dimension passed to {op}")

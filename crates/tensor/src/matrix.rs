@@ -306,8 +306,7 @@ impl Matrix {
                 for i in i0..i1 {
                     let a_row = &self.data[i * k..(i + 1) * k];
                     let out_row = &mut out.data[i * n..(i + 1) * n];
-                    for p in p0..p1 {
-                        let a = a_row[p];
+                    for (p, &a) in a_row.iter().enumerate().take(p1).skip(p0) {
                         if a == 0.0 {
                             continue;
                         }
@@ -650,7 +649,11 @@ mod tests {
     #[test]
     fn matmul_nt_equals_explicit_transpose() {
         let a = m(2, 3, &[1.0, -2.0, 0.5, 3.0, 4.0, -1.0]);
-        let b = m(4, 3, &[1.0, 0.0, 2.0, -1.0, 1.0, 0.0, 0.5, 0.5, 0.5, 2.0, -2.0, 1.0]);
+        let b = m(
+            4,
+            3,
+            &[1.0, 0.0, 2.0, -1.0, 1.0, 0.0, 0.5, 0.5, 0.5, 2.0, -2.0, 1.0],
+        );
         let fast = a.matmul_nt(&b).unwrap();
         let slow = a.matmul_nn(&b.transpose()).unwrap();
         assert_eq!(fast, slow);
@@ -659,7 +662,11 @@ mod tests {
     #[test]
     fn matmul_tn_equals_explicit_transpose() {
         let a = m(3, 2, &[1.0, -2.0, 0.5, 3.0, 4.0, -1.0]);
-        let b = m(3, 4, &[1.0, 0.0, 2.0, -1.0, 1.0, 0.0, 0.5, 0.5, 0.5, 2.0, -2.0, 1.0]);
+        let b = m(
+            3,
+            4,
+            &[1.0, 0.0, 2.0, -1.0, 1.0, 0.0, 0.5, 0.5, 0.5, 2.0, -2.0, 1.0],
+        );
         let fast = a.matmul_tn(&b).unwrap();
         let slow = a.transpose().matmul_nn(&b).unwrap();
         assert_eq!(fast, slow);

@@ -393,7 +393,13 @@ mod tests {
     #[test]
     fn bitmap_wire_format_round_trips() {
         let dense: Vec<f32> = (0..37)
-            .map(|i| if i % 3 == 0 { 0.5 + i as f32 / 100.0 } else { 0.0 })
+            .map(|i| {
+                if i % 3 == 0 {
+                    0.5 + i as f32 / 100.0
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let sv = SparseVec::compress(&dense, 0.1);
         let bytes = sv.encode_bitmap();
@@ -420,14 +426,19 @@ mod tests {
     #[test]
     fn empty_vector_wire_round_trips() {
         let sv = SparseVec::empty(10);
-        assert_eq!(SparseVec::decode_pairs(&sv.encode_pairs()), Some(sv.clone()));
+        assert_eq!(
+            SparseVec::decode_pairs(&sv.encode_pairs()),
+            Some(sv.clone())
+        );
         assert_eq!(SparseVec::decode_bitmap(&sv.encode_bitmap()), Some(sv));
     }
 
     #[test]
     fn bitmap_encoding_beats_pairs_when_dense() {
         // 100 elements, 50 kept: pairs = 400 B, bitmap = 13 + 200 = 213 B.
-        let dense: Vec<f32> = (0..100).map(|i| if i % 2 == 0 { 0.5 } else { 0.0 }).collect();
+        let dense: Vec<f32> = (0..100)
+            .map(|i| if i % 2 == 0 { 0.5 } else { 0.0 })
+            .collect();
         let sv = SparseVec::compress(&dense, 0.1);
         assert_eq!(sv.size_bytes(), 400);
         assert_eq!(sv.bitmap_bytes(), 13 + 200);

@@ -33,11 +33,11 @@
 
 pub mod markov;
 pub mod metrics;
-pub mod trajectory;
 pub mod spec;
 pub mod synth;
+pub mod trajectory;
 
 pub use markov::{MarkovChain, MarkovLmTask};
-pub use trajectory::TrajectoryTask;
 pub use spec::{Benchmark, BenchmarkSpec, TaskCategory};
 pub use synth::SyntheticTask;
+pub use trajectory::TrajectoryTask;

@@ -85,11 +85,7 @@ impl MarkovChain {
     pub fn conditional_entropy(&self) -> f64 {
         let mut h = 0.0;
         for row in &self.transition {
-            let row_h: f64 = row
-                .iter()
-                .filter(|&&p| p > 0.0)
-                .map(|&p| -p * p.ln())
-                .sum();
+            let row_h: f64 = row.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum();
             h += row_h / self.vocab as f64;
         }
         h
@@ -234,8 +230,7 @@ mod tests {
 
     #[test]
     fn batches_are_deterministic_and_shaped() {
-        let task = MarkovLmTask::new(MarkovChain::peaked(8, 0.8, 2), 12, 10, 7)
-            .with_batch_size(4);
+        let task = MarkovLmTask::new(MarkovChain::peaked(8, 0.8, 2), 12, 10, 7).with_batch_size(4);
         let a = eta_lstm_core::Task::batch(&task, 1, 2);
         let b = eta_lstm_core::Task::batch(&task, 1, 2);
         assert_eq!(a.inputs, b.inputs);
@@ -253,16 +248,15 @@ mod tests {
     #[test]
     fn targets_follow_the_sampled_chain() {
         // Input one-hot at t must equal target at t−1 (next-token setup).
-        let task = MarkovLmTask::new(MarkovChain::peaked(6, 0.8, 9), 6, 5, 11)
-            .with_batch_size(3);
+        let task = MarkovLmTask::new(MarkovChain::peaked(6, 0.8, 9), 6, 5, 11).with_batch_size(3);
         let batch = eta_lstm_core::Task::batch(&task, 0, 0);
         if let Targets::StepClasses(steps) = &batch.targets {
             for t in 1..5 {
-                for row in 0..3 {
+                for (row, &prev_token) in steps[t - 1].iter().enumerate().take(3) {
                     let token_at_t = (0..6)
                         .find(|&c| batch.inputs[t].get(row, c) == 1.0)
                         .expect("one-hot input");
-                    assert_eq!(token_at_t, steps[t - 1][row]);
+                    assert_eq!(token_at_t, prev_token);
                 }
             }
         }

@@ -282,9 +282,7 @@ mod tests {
                     // Input token is the argmax slot; target = token + 1.
                     let x = &b.inputs[t_idx];
                     let token = (0..16)
-                        .max_by(|&a, &c| {
-                            x.get(row, a).partial_cmp(&x.get(row, c)).unwrap()
-                        })
+                        .max_by(|&a, &c| x.get(row, a).partial_cmp(&x.get(row, c)).unwrap())
                         .unwrap();
                     assert_eq!(target, (token + 1) % 8);
                 }

@@ -24,11 +24,7 @@ fn main() {
     let shape = benchmark.spec().shape();
     println!(
         "workload: {} (H{} x LN{} x LL{}, batch {})\n",
-        benchmark,
-        shape.hidden,
-        shape.layers,
-        shape.seq_len,
-        shape.batch
+        benchmark, shape.hidden, shape.layers, shape.seq_len, shape.batch
     );
 
     println!(

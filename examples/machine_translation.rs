@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let max = mags.iter().cloned().fold(1e-30, f64::max);
     println!("per-timestep |dW|+|dU| of layer 0 (first epoch, normalized):");
     for (t, &m) in mags.iter().enumerate() {
-        println!("  t={t:>2} {}", "#".repeat((m / max * 40.0).round() as usize));
+        println!(
+            "  t={t:>2} {}",
+            "#".repeat((m / max * 40.0).round() as usize)
+        );
     }
     println!("per-timestamp models: magnitude grows toward early timesteps.\n");
 

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
     let task = SyntheticTask::classification(24, 2, 24, 7).with_batch_size(8);
 
-    println!("training a {}x{} 2-layer LSTM under all four strategies\n", 24, 32);
+    println!(
+        "training a {}x{} 2-layer LSTM under all four strategies\n",
+        24, 32
+    );
     println!(
         "{:<12} {:>10} {:>12} {:>14} {:>12} {:>10}",
         "strategy", "final loss", "peak footpr.", "intermediates", "P1 density", "skipped"

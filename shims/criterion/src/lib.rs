@@ -1,0 +1,211 @@
+//! In-tree, offline stand-in for the `criterion` crate.
+//!
+//! Implements the group/bench-function API surface this workspace uses
+//! with a plain wall-clock harness: per benchmark it calibrates an
+//! inner iteration count, takes `sample_size` samples, and prints
+//! min/mean/max. No plotting, no statistics beyond the summary line.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time per sample; keeps total runtime bounded on slow
+/// single-core machines while still averaging over noise.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// Identifier combining a function name with a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), &mut |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            mode: Mode::Calibrate,
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Calibrate: grow the inner iteration count until one sample
+        // takes at least SAMPLE_TARGET.
+        loop {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            if bencher.elapsed >= SAMPLE_TARGET || bencher.iters >= 1 << 20 {
+                break;
+            }
+            bencher.iters *= 2;
+        }
+        bencher.mode = Mode::Measure;
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_secs_f64() / bencher.iters as f64);
+        }
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0f64, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "  {group}/{id}: mean {mean} min {min} max {max} ({n} samples x {iters} iters)",
+            group = self.name,
+            mean = fmt_time(mean),
+            min = fmt_time(min),
+            max = fmt_time(max),
+            n = samples.len(),
+            iters = bencher.iters,
+        );
+    }
+}
+
+enum Mode {
+    Calibrate,
+    Measure,
+}
+
+/// Per-benchmark timing handle passed to the closure.
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times for a stable sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let _ = &self.mode; // calibrate and measure share the loop
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares the benchmark entry list, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut count = 0u64;
+        group.bench_function("increment", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("add", 4), &4u64, |b, &n| b.iter(|| n + 1));
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("nn", 128).to_string(), "nn/128");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

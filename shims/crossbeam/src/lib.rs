@@ -1,0 +1,84 @@
+//! In-tree, offline stand-in for the `crossbeam` crate.
+//!
+//! Only scoped threads are provided, implemented over
+//! `std::thread::scope` (stable since 1.63) behind crossbeam's
+//! closure-takes-scope API.
+
+pub mod thread {
+    use std::any::Any;
+    use std::thread as std_thread;
+
+    /// Scope handle passed to [`scope`]'s closure and to each spawned
+    /// closure (crossbeam passes the scope so children can spawn).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope,
+        /// matching crossbeam's signature (`move |_| ...`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the environment
+    /// can be spawned; all are joined before `scope` returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the panic payload if any spawned thread (or
+    /// the closure itself) panicked, matching crossbeam's contract of
+    /// not propagating child panics implicitly.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std_thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mid = data.len() / 2;
+        let (lo, hi) = data.split_at(mid);
+        let total = crate::thread::scope(|scope| {
+            let a = scope.spawn(move |_| lo.iter().sum::<u64>());
+            let b = scope.spawn(move |_| hi.iter().sum::<u64>());
+            a.join().unwrap() + b.join().unwrap()
+        })
+        .expect("scope should succeed");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let result = crate::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

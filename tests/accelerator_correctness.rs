@@ -14,8 +14,7 @@ fn channel_matvec_matches_tensor_matmul() {
     let ch = Channel::new();
     for seed in 0..5u64 {
         let w = init::uniform(40, 24, -1.0, 1.0, seed);
-        let xv: Vec<f32> = init::uniform(1, 24, -1.0, 1.0, seed + 100)
-            .into_vec();
+        let xv: Vec<f32> = init::uniform(1, 24, -1.0, 1.0, seed + 100).into_vec();
         let (out, stats) = ch.matvec(&w, &xv);
         let xm = Matrix::from_vec(24, 1, xv.clone()).expect("shape");
         let reference = w.matmul(&xm).expect("matmul");

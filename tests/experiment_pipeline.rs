@@ -26,7 +26,9 @@ fn eta_lstm_beats_every_other_design_on_every_benchmark() {
     for b in Benchmark::ALL {
         let shape = b.spec().shape();
         let base = gpu().estimate(&shape, &OptEffects::baseline());
-        let t_full = machine(ArchKind::DynArch).simulate(&shape, &effects()).time_s;
+        let t_full = machine(ArchKind::DynArch)
+            .simulate(&shape, &effects())
+            .time_s;
         let others = [
             gpu().estimate(&shape, &effects()).time_s,
             machine(ArchKind::LstmInf)
@@ -82,7 +84,10 @@ fn dyn_arch_energy_efficiency_beats_baseline_everywhere() {
         let ratio = (g.time_s / a.time_s) * (g.energy_j / a.energy_j());
         // Weight-heavy short-sequence benchmarks (TREC-10) pay the
         // replicated-gradient all-reduce tax, landing at ≈1.0.
-        assert!(ratio > 0.9, "{b}: Dyn-Arch perf/W ratio {ratio} below baseline");
+        assert!(
+            ratio > 0.9,
+            "{b}: Dyn-Arch perf/W ratio {ratio} below baseline"
+        );
         ratios.push(ratio);
     }
     let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
@@ -104,7 +109,11 @@ fn combined_footprint_reduction_grows_with_layer_length() {
         1.0 - c as f64 / b as f64
     };
     assert!(red(long) > red(short) + 0.1, "long layers must save more");
-    assert!(red(long) > 0.4, "BABI-scale reduction {} too small", red(long));
+    assert!(
+        red(long) > 0.4,
+        "BABI-scale reduction {} too small",
+        red(long)
+    );
 }
 
 #[test]

@@ -45,8 +45,7 @@ fn measured_activation_footprint_matches_closed_form() {
     let mut trainer = Trainer::new(config(), TrainingStrategy::Baseline, 42).expect("trainer");
     let report = trainer.run(&task, 1).expect("training");
     let cfg = config();
-    let h_bytes =
-        (cfg.layers * cfg.seq_len * cfg.batch_size * cfg.hidden_size * 4) as u64;
+    let h_bytes = (cfg.layers * cfg.seq_len * cfg.batch_size * cfg.hidden_size * 4) as u64;
     let snapshot_peak = report.epochs[0].peak_footprint;
     assert!(
         snapshot_peak >= h_bytes,
@@ -65,8 +64,7 @@ fn measured_ms1_ratio_tracks_the_model_prediction() {
     let mut ms1 = Trainer::new(config(), TrainingStrategy::Ms1, 42).expect("trainer");
     let report = ms1.run(&task, 1).expect("training");
     let measured_ratio = report.epochs[0].peak_intermediates as f64 / base_peak;
-    let predicted_ratio =
-        OptEffects::ms1(report.epochs[0].p1_density).ms1_intermediate_ratio();
+    let predicted_ratio = OptEffects::ms1(report.epochs[0].p1_density).ms1_intermediate_ratio();
     assert!(
         (measured_ratio - predicted_ratio).abs() < 0.15,
         "measured intermediate ratio {measured_ratio} vs model {predicted_ratio}"
@@ -149,8 +147,7 @@ fn trajectory_task_is_learnable_to_the_noise_floor() {
                 .forward_inference(&batch.inputs)
                 .expect("inference");
             let pred = out.last().expect("sequence");
-            let pred2 =
-                eta_lstm::tensor::Matrix::from_fn(pred.rows(), 2, |r, c| pred.get(r, c));
+            let pred2 = eta_lstm::tensor::Matrix::from_fn(pred.rows(), 2, |r, c| pred.get(r, c));
             model_mae += metrics::mae(&pred2, target);
             // The naive predictor repeats the last (noisy) observation.
             let last_obs = eta_lstm::tensor::Matrix::from_fn(pred.rows(), 2, |r, c| {

@@ -69,7 +69,10 @@ fn adam_composes_with_combine_ms() {
         report.epochs.last().expect("epochs").skip_fraction > 0.0,
         "MS2 still active under Adam"
     );
-    assert!(report.mean_p1_density() < 1.0, "MS1 still active under Adam");
+    assert!(
+        report.mean_p1_density() < 1.0,
+        "MS1 still active under Adam"
+    );
 }
 
 #[test]
