@@ -12,7 +12,9 @@ use eta_workloads::Benchmark;
 fn main() {
     let cfg = scaled_config(Benchmark::Imdb);
     let task = scaled_task(Benchmark::Imdb).with_batches_per_epoch(8);
-    let mut trainer = Trainer::new(cfg, TrainingStrategy::Baseline, SEED).expect("trainer");
+    let mut trainer = Trainer::new(cfg, TrainingStrategy::Baseline, SEED)
+        .expect("trainer")
+        .with_parallelism(eta_bench::engine_from_env());
     let report = trainer.run(&task, 12).expect("training");
 
     let mut history = LossHistory::new();

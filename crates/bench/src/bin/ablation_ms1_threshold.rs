@@ -18,7 +18,9 @@ fn main() {
     let task = scaled_task(Benchmark::Imdb).with_batches_per_epoch(8);
 
     // Baseline footprint reference.
-    let mut base = Trainer::new(cfg, TrainingStrategy::Baseline, SEED).expect("trainer");
+    let mut base = Trainer::new(cfg, TrainingStrategy::Baseline, SEED)
+        .expect("trainer")
+        .with_parallelism(eta_bench::engine_from_env());
     let base_report = base.run(&task, 10).expect("training");
     let base_int = base_report
         .epochs
@@ -39,6 +41,7 @@ fn main() {
     for threshold in [0.0f32, 0.02, 0.05, 0.1, 0.2, 0.4] {
         let mut trainer = Trainer::new(cfg, TrainingStrategy::Ms1, SEED)
             .expect("trainer")
+            .with_parallelism(eta_bench::engine_from_env())
             .with_params(StrategyParams {
                 ms1: Ms1Config { threshold },
                 ..StrategyParams::default()

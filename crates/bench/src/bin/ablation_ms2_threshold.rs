@@ -57,6 +57,7 @@ fn main() {
     for threshold in [0.0f64, 0.05, 0.1, 0.3] {
         let mut trainer = Trainer::new(cfg, TrainingStrategy::Ms2, SEED)
             .expect("trainer")
+            .with_parallelism(eta_bench::engine_from_env())
             .with_params(StrategyParams {
                 ms2: Ms2Config {
                     skip_threshold: threshold,

@@ -63,7 +63,9 @@ fn main() {
         ],
     );
 
-    let mut trainer = Trainer::new(cfg, TrainingStrategy::Baseline, SEED).expect("trainer");
+    let mut trainer = Trainer::new(cfg, TrainingStrategy::Baseline, SEED)
+        .expect("trainer")
+        .with_parallelism(eta_bench::engine_from_env());
     // Checkpoints at epochs 1, 5 and 10 (epochs accumulate across the
     // incremental `run` calls).
     for checkpoint in [1usize, 5, 10] {

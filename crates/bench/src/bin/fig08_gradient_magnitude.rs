@@ -15,7 +15,9 @@ use eta_workloads::Benchmark;
 fn magnitudes_for(benchmark: Benchmark) -> Vec<Vec<f64>> {
     let cfg = scaled_config(benchmark);
     let task = scaled_task(benchmark);
-    let mut trainer = Trainer::new(cfg, TrainingStrategy::Baseline, SEED).expect("trainer");
+    let mut trainer = Trainer::new(cfg, TrainingStrategy::Baseline, SEED)
+        .expect("trainer")
+        .with_parallelism(eta_bench::engine_from_env());
     let report = trainer.run(&task, 1).expect("train");
     report.first_epoch_magnitudes
 }

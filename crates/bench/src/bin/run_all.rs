@@ -2,14 +2,25 @@
 //! in sequence (the same binaries `results/` is built from), printing
 //! each to stdout with a separator.
 //!
-//! `cargo run --release -p eta-bench --bin run_all [-- --telemetry <dir>]`
+//! `cargo run --release -p eta-bench --bin run_all [-- --telemetry <dir>] [--threads N]`
 //!
 //! With `--telemetry <dir>`, every child binary writes a JSONL
 //! telemetry stream to `<dir>/<binary>.jsonl` (manifest line first;
 //! see DESIGN.md "Observability" for the schema).
+//!
+//! With `--threads N` (default: the machine's available parallelism),
+//! every child trains under the data-parallel engine with `N` worker
+//! threads (exported as `ETA_THREADS`). Thread count never changes the
+//! printed numbers — the microbatch shard count is fixed — only the
+//! wall-clock time.
 
 use std::path::PathBuf;
 use std::process::Command;
+
+struct Args {
+    telemetry_dir: Option<PathBuf>,
+    threads: usize,
+}
 
 /// Every harness binary, in paper order.
 pub const ALL_BINARIES: [&str; 19] = [
@@ -34,8 +45,15 @@ pub const ALL_BINARIES: [&str; 19] = [
     "ablation_loss_predictor",
 ];
 
-fn parse_args() -> Option<PathBuf> {
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn parse_args() -> Args {
     let mut telemetry_dir = None;
+    let mut threads = default_threads();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -46,27 +64,46 @@ fn parse_args() -> Option<PathBuf> {
                 });
                 telemetry_dir = Some(PathBuf::from(dir));
             }
+            "--threads" => {
+                let n = args.next().unwrap_or_else(|| {
+                    eprintln!("--threads needs a count argument");
+                    std::process::exit(2);
+                });
+                threads = n.parse().unwrap_or_else(|_| {
+                    eprintln!("--threads needs a positive integer, got {n:?}");
+                    std::process::exit(2);
+                });
+                if threads == 0 {
+                    eprintln!("--threads must be at least 1");
+                    std::process::exit(2);
+                }
+            }
             other => {
-                eprintln!("unknown argument: {other} (expected --telemetry <dir>)");
+                eprintln!("unknown argument: {other} (expected --telemetry <dir> | --threads <n>)");
                 std::process::exit(2);
             }
         }
     }
-    telemetry_dir
+    Args {
+        telemetry_dir,
+        threads,
+    }
 }
 
 fn main() {
-    let telemetry_dir = parse_args();
-    if let Some(dir) = &telemetry_dir {
+    let args = parse_args();
+    if let Some(dir) = &args.telemetry_dir {
         std::fs::create_dir_all(dir).expect("create telemetry directory");
     }
+    println!("worker threads: {} (ETA_THREADS)", args.threads);
     let exe = std::env::current_exe().expect("own path");
     let bin_dir = exe.parent().expect("bin dir");
     let mut failures = Vec::new();
     let mut run = |name: &'static str| {
         println!("\n================ {name} ================\n");
         let mut cmd = Command::new(bin_dir.join(name));
-        if let Some(dir) = &telemetry_dir {
+        cmd.env(eta_bench::THREADS_ENV, args.threads.to_string());
+        if let Some(dir) = &args.telemetry_dir {
             cmd.env(eta_bench::TELEMETRY_DIR_ENV, dir);
         }
         let status = cmd
@@ -84,7 +121,7 @@ fn main() {
     run("ablation_scalability");
     if failures.is_empty() {
         println!("\nall harnesses completed");
-        if let Some(dir) = &telemetry_dir {
+        if let Some(dir) = &args.telemetry_dir {
             println!("telemetry streams in {}", dir.display());
         }
     } else {

@@ -137,6 +137,7 @@ fn main() {
         };
         let mut base = Trainer::new(cfg, TrainingStrategy::Baseline, SEED)
             .expect("trainer")
+            .with_parallelism(eta_bench::engine_from_env())
             .with_optimizer(sgd);
         if let Some(t) = &telemetry {
             base = base.with_telemetry(t.clone());
@@ -146,6 +147,7 @@ fn main() {
 
         let mut comb = Trainer::new(cfg, TrainingStrategy::CombinedMs, SEED)
             .expect("trainer")
+            .with_parallelism(eta_bench::engine_from_env())
             .with_optimizer(sgd);
         if let Some(t) = &telemetry {
             comb = comb.with_telemetry(t.clone());

@@ -20,7 +20,7 @@
 use eta_gpu::{GpuModel, GpuSpec};
 use eta_lstm_core::ms2::{self, GradPredictor, Ms2Config};
 use eta_lstm_core::{Batch, LossKind, Task};
-use eta_lstm_core::{LstmConfig, Trainer, TrainingStrategy};
+use eta_lstm_core::{LstmConfig, Parallelism, Trainer, TrainingStrategy};
 use eta_memsim::model::OptEffects;
 use eta_workloads::{Benchmark, MarkovChain, MarkovLmTask, SyntheticTask, TrajectoryTask};
 
@@ -28,8 +28,22 @@ pub mod table;
 
 pub use table::Table;
 
+/// Environment variable naming the worker-thread count
+/// (`run_all --threads N` exports it for every child binary).
+pub use eta_tensor::parallel::THREADS_ENV;
+
 /// Default training seed for every harness run (reproducibility).
 pub const SEED: u64 = 42;
+
+/// The execution policy harness binaries train under: thread count from
+/// [`THREADS_ENV`] when set, otherwise the hardware's available
+/// parallelism. The microbatch shard count is fixed (see
+/// `eta_lstm_core::parallel::DEFAULT_SHARDS`) independent of the thread
+/// count, so every figure/table prints identical numbers at any
+/// `--threads N` — threads only change wall-clock time.
+pub fn engine_from_env() -> Parallelism {
+    Parallelism::from_env()
+}
 
 /// Environment variable naming the directory where harness binaries
 /// write their JSONL telemetry streams (`run_all --telemetry <dir>`
@@ -199,7 +213,9 @@ pub fn scaled_task(benchmark: Benchmark) -> ScaledTask {
 pub fn measure_p1_density(benchmark: Benchmark) -> f64 {
     let cfg = scaled_config(benchmark);
     let task = scaled_task(benchmark);
-    let mut trainer = Trainer::new(cfg, TrainingStrategy::Ms1, SEED).expect("valid scaled config");
+    let mut trainer = Trainer::new(cfg, TrainingStrategy::Ms1, SEED)
+        .expect("valid scaled config")
+        .with_parallelism(engine_from_env());
     let report = trainer.run(&task, 2).expect("scaled training runs");
     report.mean_p1_density()
 }

@@ -15,7 +15,7 @@
 //! `[input | forget | cell | output]`.
 
 use crate::Result;
-use eta_tensor::{activation, init, Matrix};
+use eta_tensor::{activation, init, Matrix, ParallelConfig};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of one LSTM layer's cell: `W [4H × in]`, `U [4H × H]`,
@@ -243,10 +243,28 @@ pub fn forward(
     h_prev: &Matrix,
     s_prev: &Matrix,
 ) -> Result<CellForward> {
+    forward_with(params, x, h_prev, s_prev, &ParallelConfig::serial())
+}
+
+/// [`forward`] with an explicit kernel-parallelism config: the two GEMMs
+/// run row-panelled when `kernel` allows it, with bit-identical results
+/// (see [`eta_tensor::parallel`]).
+///
+/// # Errors
+///
+/// Returns a tensor shape error if the operand shapes are inconsistent
+/// with `params`.
+pub fn forward_with(
+    params: &CellParams,
+    x: &Matrix,
+    h_prev: &Matrix,
+    s_prev: &Matrix,
+    kernel: &ParallelConfig,
+) -> Result<CellForward> {
     let h = params.hidden();
     // preact = x·Wᵀ + h_prev·Uᵀ + b : [batch, 4H]
-    let mut preact = x.matmul_nt(&params.w)?;
-    preact.add_assign(&h_prev.matmul_nt(&params.u)?)?;
+    let mut preact = x.par_matmul_nt(&params.w, kernel)?;
+    preact.add_assign(&h_prev.par_matmul_nt(&params.u, kernel)?)?;
     preact.add_row_broadcast(&params.b)?;
 
     let i = preact.col_slice(0, h).map(activation::sigmoid);
@@ -287,6 +305,35 @@ pub fn backward(
     ds: &Matrix,
     grads: &mut CellGrads,
 ) -> Result<CellBackwardOut> {
+    backward_with(
+        params,
+        p1,
+        x,
+        h_prev,
+        dh_total,
+        ds,
+        grads,
+        &ParallelConfig::serial(),
+    )
+}
+
+/// [`backward`] with an explicit kernel-parallelism config for the four
+/// BP-MatMul GEMMs (Eq. 2–3). Bit-identical to the serial path.
+///
+/// # Errors
+///
+/// Returns a tensor shape error on inconsistent operand shapes.
+#[allow(clippy::too_many_arguments)]
+pub fn backward_with(
+    params: &CellParams,
+    p1: &P1Dense,
+    x: &Matrix,
+    h_prev: &Matrix,
+    dh_total: &Matrix,
+    ds: &Matrix,
+    grads: &mut CellGrads,
+    kernel: &ParallelConfig,
+) -> Result<CellBackwardOut> {
     // BP-EW-P2: combine incoming gradients with the P1 products.
     let do_hat = dh_total.hadamard(&p1.p_o)?;
     let mut ds_acc = ds.clone();
@@ -300,13 +347,15 @@ pub fn backward(
     let dgates = di_hat.hcat(&df_hat)?.hcat(&dc_hat)?.hcat(&do_hat)?;
 
     // BP-MatMul (Eq. 2): input and context gradients.
-    let dx = dgates.matmul_nn(&params.w)?;
-    let dh_prev = dgates.matmul_nn(&params.u)?;
+    let dx = dgates.par_matmul_nn(&params.w, kernel)?;
+    let dh_prev = dgates.par_matmul_nn(&params.u, kernel)?;
 
     // BP-MatMul (Eq. 3): weight gradients (outer products summed over
     // the batch).
-    grads.dw.add_assign(&dgates.matmul_tn(x)?)?;
-    grads.du.add_assign(&dgates.matmul_tn(h_prev)?)?;
+    grads.dw.add_assign(&dgates.par_matmul_tn(x, kernel)?)?;
+    grads
+        .du
+        .add_assign(&dgates.par_matmul_tn(h_prev, kernel)?)?;
     for r in 0..dgates.rows() {
         for (acc, &g) in grads.db.iter_mut().zip(dgates.row(r).iter()) {
             *acc += g;

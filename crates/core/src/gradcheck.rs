@@ -6,6 +6,7 @@
 use crate::layer::Instruments;
 use crate::loss::Targets;
 use crate::model::{LstmModel, StepPlan};
+use crate::parallel::{self, Parallelism};
 use crate::Result;
 use eta_tensor::Matrix;
 use rand::rngs::StdRng;
@@ -45,15 +46,47 @@ pub fn check_step(
     eps: f32,
     seed: u64,
 ) -> Result<GradCheck> {
+    check_step_with(
+        model,
+        xs,
+        targets,
+        &StepPlan::baseline(),
+        &Parallelism::serial(),
+        samples,
+        eps,
+        seed,
+    )
+}
+
+/// [`check_step`] under an arbitrary storage/skip plan and execution
+/// policy: both the analytic gradients and the perturbed losses run
+/// through [`parallel::train_step_sharded`], so the check validates the
+/// exact code path a [`crate::Trainer`] with the same settings uses —
+/// MS1 compression, MS2 skipping, sharded reduction and all.
+///
+/// # Errors
+///
+/// Propagates shape errors from malformed inputs.
+#[allow(clippy::too_many_arguments)]
+pub fn check_step_with(
+    model: &LstmModel,
+    xs: &[Matrix],
+    targets: &Targets,
+    plan: &StepPlan,
+    par: &Parallelism,
+    samples: usize,
+    eps: f32,
+    seed: u64,
+) -> Result<GradCheck> {
     let instruments = Instruments::new();
-    let plan = StepPlan::baseline();
-    let result = model.train_step(xs, targets, &plan, &instruments)?;
+    let result = parallel::train_step_sharded(model, xs, targets, plan, &instruments, par)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut max_rel = 0.0f64;
     let layers = model.layers().len();
 
-    let loss_with =
-        |m: &LstmModel| -> Result<f64> { Ok(m.train_step(xs, targets, &plan, &instruments)?.loss) };
+    let loss_with = |m: &LstmModel| -> Result<f64> {
+        Ok(parallel::train_step_sharded(m, xs, targets, plan, &instruments, par)?.loss)
+    };
 
     for _ in 0..samples {
         // Pick a parameter uniformly over {layer W, layer U, head W}.

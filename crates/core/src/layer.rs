@@ -20,7 +20,7 @@ use crate::cell::{self, CellForward, CellGrads, CellParams, P1Dense};
 use crate::ms1::{Ms1Config, P1Packet};
 use crate::Result;
 use eta_memsim::DataCategory;
-use eta_tensor::{CompressionStats, Matrix};
+use eta_tensor::{CompressionStats, Matrix, ParallelConfig};
 
 /// How the layer stores per-cell state during the forward pass.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -133,6 +133,9 @@ impl LstmLayer {
     /// `keep[t] == false` marks a cell the MS2 plan skips; `keep` must be
     /// either empty (keep all) or the sequence length.
     ///
+    /// `kernel` controls GEMM-level parallelism inside each cell; the
+    /// result is bit-identical for every setting.
+    ///
     /// # Errors
     ///
     /// Returns a tensor shape error on inconsistent input shapes.
@@ -145,6 +148,7 @@ impl LstmLayer {
         xs: &[Matrix],
         mode: StorageMode,
         keep: &[bool],
+        kernel: &ParallelConfig,
         instruments: &Instruments,
     ) -> Result<(Vec<Matrix>, LayerTape)> {
         assert!(!xs.is_empty(), "empty input sequence");
@@ -162,7 +166,7 @@ impl LstmLayer {
         for (t, x) in xs.iter().enumerate() {
             // Every cell loads the layer weights.
             instruments.load(DataCategory::Weights, self.params.size_bytes());
-            let fw = cell::forward(&self.params, x, &h_prev, &s_prev)?;
+            let fw = cell::forward_with(&self.params, x, &h_prev, &s_prev, kernel)?;
             let kept = keep.is_empty() || keep[t];
             let entry = if !kept {
                 // Inference-style cell: store s only if the successor is
@@ -215,6 +219,7 @@ impl LstmLayer {
     /// `dys[t]` is the gradient arriving on `h_t` from above (the head
     /// and/or the next layer). `scale` is the MS2 convergence-aware
     /// compensation factor applied to the accumulated weight gradients.
+    /// `kernel` controls GEMM-level parallelism inside each BP cell.
     ///
     /// # Errors
     ///
@@ -229,6 +234,7 @@ impl LstmLayer {
         tape: &LayerTape,
         dys: &[Matrix],
         scale: f32,
+        kernel: &ParallelConfig,
         instruments: &Instruments,
     ) -> Result<LayerBackward> {
         let t_len = tape.entries.len();
@@ -281,7 +287,7 @@ impl LstmLayer {
             );
 
             let mut cell_grads = CellGrads::zeros_like(&self.params);
-            let out = cell::backward(
+            let out = cell::backward_with(
                 &self.params,
                 &p1,
                 &xs[t],
@@ -289,6 +295,7 @@ impl LstmLayer {
                 &dh_total,
                 &ds_next,
                 &mut cell_grads,
+                kernel,
             )?;
             magnitudes[t] = cell_grads.magnitude();
             grads.accumulate(&cell_grads)?;
@@ -364,13 +371,17 @@ mod tests {
         (0..seq).map(|_| Matrix::zeros(batch, h)).collect()
     }
 
+    fn ser() -> ParallelConfig {
+        ParallelConfig::serial()
+    }
+
     #[test]
     fn forward_produces_one_output_per_timestep() {
         let layer = LstmLayer::new(6, 4, 1);
         let xs = inputs(5, 3, 6);
         let inst = Instruments::new();
         let (hs, tape) = layer
-            .forward_sequence(&xs, StorageMode::Dense, &[], &inst)
+            .forward_sequence(&xs, StorageMode::Dense, &[], &ser(), &inst)
             .unwrap();
         assert_eq!(hs.len(), 5);
         assert_eq!(tape.entries.len(), 5);
@@ -383,13 +394,14 @@ mod tests {
         let xs = inputs(4, 2, 5);
         let inst = Instruments::new();
         let (hs_d, tape_d) = layer
-            .forward_sequence(&xs, StorageMode::Dense, &[], &inst)
+            .forward_sequence(&xs, StorageMode::Dense, &[], &ser(), &inst)
             .unwrap();
         let (hs_c, tape_c) = layer
             .forward_sequence(
                 &xs,
                 StorageMode::Compressed(Ms1Config { threshold: 0.0 }),
                 &[],
+                &ser(),
                 &inst,
             )
             .unwrap();
@@ -398,10 +410,10 @@ mod tests {
         let mut dys = zeros_grads(4, 2, 4);
         dys[3] = Matrix::filled(2, 4, 1.0);
         let bd = layer
-            .backward_sequence(&xs, &tape_d, &dys, 1.0, &inst)
+            .backward_sequence(&xs, &tape_d, &dys, 1.0, &ser(), &inst)
             .unwrap();
         let bc = layer
-            .backward_sequence(&xs, &tape_c, &dys, 1.0, &inst)
+            .backward_sequence(&xs, &tape_c, &dys, 1.0, &ser(), &inst)
             .unwrap();
         assert!(bd.grads.dw.rel_diff(&bc.grads.dw) < 1e-6);
         assert!(bd.grads.du.rel_diff(&bc.grads.du) < 1e-6);
@@ -416,23 +428,24 @@ mod tests {
         let xs = inputs(6, 4, 8);
         let inst = Instruments::new();
         let (_, tape_d) = layer
-            .forward_sequence(&xs, StorageMode::Dense, &[], &inst)
+            .forward_sequence(&xs, StorageMode::Dense, &[], &ser(), &inst)
             .unwrap();
         let (_, tape_c) = layer
             .forward_sequence(
                 &xs,
                 StorageMode::Compressed(Ms1Config::default()),
                 &[],
+                &ser(),
                 &inst,
             )
             .unwrap();
         let mut dys = zeros_grads(6, 4, 8);
         dys[5] = Matrix::filled(4, 8, 0.5);
         let bd = layer
-            .backward_sequence(&xs, &tape_d, &dys, 1.0, &inst)
+            .backward_sequence(&xs, &tape_d, &dys, 1.0, &ser(), &inst)
             .unwrap();
         let bc = layer
-            .backward_sequence(&xs, &tape_c, &dys, 1.0, &inst)
+            .backward_sequence(&xs, &tape_c, &dys, 1.0, &ser(), &inst)
             .unwrap();
         // Pruning perturbs but must not destroy the gradient signal.
         let diff = bd.grads.dw.rel_diff(&bc.grads.dw);
@@ -448,12 +461,12 @@ mod tests {
         // Skip the first three cells (single-loss pattern).
         let keep = [false, false, false, true, true, true];
         let (_, tape) = layer
-            .forward_sequence(&xs, StorageMode::Dense, &keep, &inst)
+            .forward_sequence(&xs, StorageMode::Dense, &keep, &ser(), &inst)
             .unwrap();
         let mut dys = zeros_grads(6, 2, 4);
         dys[5] = Matrix::filled(2, 4, 1.0);
         let b = layer
-            .backward_sequence(&xs, &tape, &dys, 1.0, &inst)
+            .backward_sequence(&xs, &tape, &dys, 1.0, &ser(), &inst)
             .unwrap();
         for t in 0..3 {
             assert_eq!(b.magnitudes[t], 0.0);
@@ -471,7 +484,7 @@ mod tests {
         let inst = Instruments::new();
         let keep = [false, true, true, true];
         let (_, tape) = layer
-            .forward_sequence(&xs, StorageMode::Dense, &keep, &inst)
+            .forward_sequence(&xs, StorageMode::Dense, &keep, &ser(), &inst)
             .unwrap();
         match &tape.entries[0] {
             TapeEntry::Skipped { s: Some(_) } => {}
@@ -482,7 +495,7 @@ mod tests {
         let mut dys = zeros_grads(4, 2, 4);
         dys[3] = Matrix::filled(2, 4, 1.0);
         let b = layer
-            .backward_sequence(&xs, &tape, &dys, 1.0, &inst)
+            .backward_sequence(&xs, &tape, &dys, 1.0, &ser(), &inst)
             .unwrap();
         assert!(b.magnitudes[1] > 0.0);
     }
@@ -497,16 +510,16 @@ mod tests {
         // Separate forward passes: each tape's stored intermediates are
         // consumed (and released) by exactly one backward sweep.
         let (_, tape1) = layer
-            .forward_sequence(&xs, StorageMode::Dense, &[], &inst)
+            .forward_sequence(&xs, StorageMode::Dense, &[], &ser(), &inst)
             .unwrap();
         let b1 = layer
-            .backward_sequence(&xs, &tape1, &dys, 1.0, &inst)
+            .backward_sequence(&xs, &tape1, &dys, 1.0, &ser(), &inst)
             .unwrap();
         let (_, tape2) = layer
-            .forward_sequence(&xs, StorageMode::Dense, &[], &inst)
+            .forward_sequence(&xs, StorageMode::Dense, &[], &ser(), &inst)
             .unwrap();
         let b2 = layer
-            .backward_sequence(&xs, &tape2, &dys, 2.0, &inst)
+            .backward_sequence(&xs, &tape2, &dys, 2.0, &ser(), &inst)
             .unwrap();
         let mut doubled = b1.grads.dw.clone();
         doubled.scale(2.0);
@@ -520,13 +533,14 @@ mod tests {
         let dense_inst = Instruments::new();
         let comp_inst = Instruments::new();
         layer
-            .forward_sequence(&xs, StorageMode::Dense, &[], &dense_inst)
+            .forward_sequence(&xs, StorageMode::Dense, &[], &ser(), &dense_inst)
             .unwrap();
         layer
             .forward_sequence(
                 &xs,
                 StorageMode::Compressed(Ms1Config::default()),
                 &[],
+                &ser(),
                 &comp_inst,
             )
             .unwrap();
@@ -544,7 +558,7 @@ mod tests {
         let xs = inputs(2, 2, 4);
         let inst = Instruments::new();
         let (_, tape) = layer
-            .forward_sequence(&xs, StorageMode::Dense, &[], &inst)
+            .forward_sequence(&xs, StorageMode::Dense, &[], &ser(), &inst)
             .unwrap();
         assert_eq!(LstmLayer::tape_compression_stats(&tape).total, 0);
         let (_, tape_c) = layer
@@ -552,6 +566,7 @@ mod tests {
                 &xs,
                 StorageMode::Compressed(Ms1Config::default()),
                 &[],
+                &ser(),
                 &inst,
             )
             .unwrap();

@@ -52,6 +52,7 @@ pub mod model;
 pub mod ms1;
 pub mod ms2;
 pub mod optimizer;
+pub mod parallel;
 pub mod strategy;
 pub mod trainer;
 
@@ -61,6 +62,7 @@ pub use config::{LstmConfig, LstmConfigBuilder};
 pub use error::LstmError;
 pub use loss::{LossKind, Targets};
 pub use model::LstmModel;
+pub use parallel::Parallelism;
 pub use strategy::TrainingStrategy;
 pub use trainer::{Batch, EpochReport, Task, Trainer, TrainingReport};
 

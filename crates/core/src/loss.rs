@@ -126,6 +126,20 @@ impl HeadGrads {
             *v *= factor;
         }
     }
+
+    /// Accumulates another gradient set into this one (the shard-merge
+    /// step of the data-parallel reduction).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the gradient shapes differ.
+    pub fn accumulate(&mut self, other: &HeadGrads) -> Result<()> {
+        self.dw.add_assign(&other.dw)?;
+        for (a, &b) in self.db.iter_mut().zip(other.db.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
 }
 
 /// Softmax cross-entropy, mean over the batch.

@@ -10,7 +10,7 @@ use crate::loss::{self, Head, HeadGrads, LossKind, Targets};
 use crate::ms1::Ms1Config;
 use crate::ms2::SkipPlan;
 use crate::{LstmError, Result};
-use eta_tensor::{CompressionStats, Matrix};
+use eta_tensor::{CompressionStats, Matrix, ParallelConfig};
 
 /// Storage/skip decisions for one training step.
 #[derive(Debug, Clone)]
@@ -19,15 +19,26 @@ pub struct StepPlan {
     pub ms1: Option<Ms1Config>,
     /// MS2 skip plan (None = run every BP cell).
     pub skip: Option<SkipPlan>,
+    /// GEMM-level parallelism inside the step's cells. Bit-identical
+    /// results at any setting; kept serial when the microbatch engine
+    /// shards the batch (shard workers own the threads then).
+    pub kernel: ParallelConfig,
 }
 
 impl StepPlan {
-    /// The baseline plan: dense storage, no skipping.
+    /// The baseline plan: dense storage, no skipping, serial kernels.
     pub fn baseline() -> Self {
         StepPlan {
             ms1: None,
             skip: None,
+            kernel: ParallelConfig::serial(),
         }
+    }
+
+    /// The same plan with a different kernel-parallelism config.
+    pub fn with_kernel(mut self, kernel: ParallelConfig) -> Self {
+        self.kernel = kernel;
+        self
     }
 }
 
@@ -56,6 +67,11 @@ pub struct StepResult {
     pub cells_skipped: usize,
     /// Total BP cells.
     pub cells_total: usize,
+    /// Microbatch shards this step ran as (1 = plain serial step).
+    pub shards: usize,
+    /// Wall-clock seconds spent in the gradient tree reduction
+    /// (0 for an unsharded step).
+    pub reduce_seconds: f64,
 }
 
 /// A stacked LSTM with a projection head.
@@ -126,6 +142,11 @@ impl LstmModel {
     }
 
     /// Validates an input sequence against the configuration.
+    ///
+    /// The batch dimension is data-defined: any uniform non-zero row
+    /// count is accepted (the microbatch engine feeds row shards of the
+    /// nominal `config.batch_size` through the same step), but every
+    /// timestep must agree on it.
     fn check_inputs(&self, xs: &[Matrix]) -> Result<()> {
         if xs.len() != self.config.seq_len {
             return Err(LstmError::BatchShape {
@@ -136,14 +157,20 @@ impl LstmModel {
                 ),
             });
         }
+        let batch = xs[0].rows();
+        if batch == 0 {
+            return Err(LstmError::BatchShape {
+                detail: "empty batch (0 rows)".into(),
+            });
+        }
         for (t, x) in xs.iter().enumerate() {
-            if x.rows() != self.config.batch_size || x.cols() != self.config.input_size {
+            if x.rows() != batch || x.cols() != self.config.input_size {
                 return Err(LstmError::BatchShape {
                     detail: format!(
                         "input at t={t} is {}x{}, expected {}x{}",
                         x.rows(),
                         x.cols(),
-                        self.config.batch_size,
+                        batch,
                         self.config.input_size
                     ),
                 });
@@ -161,9 +188,10 @@ impl LstmModel {
     pub fn forward_inference(&self, xs: &[Matrix]) -> Result<Vec<Matrix>> {
         self.check_inputs(xs)?;
         let inst = Instruments::new();
+        let kernel = ParallelConfig::serial();
         let mut seq: Vec<Matrix> = xs.to_vec();
         for layer in &self.layers {
-            let (hs, _) = layer.forward_sequence(&seq, StorageMode::Dense, &[], &inst)?;
+            let (hs, _) = layer.forward_sequence(&seq, StorageMode::Dense, &[], &kernel, &inst)?;
             seq = hs;
         }
         seq.iter().map(|h| self.head.forward(h)).collect()
@@ -186,7 +214,7 @@ impl LstmModel {
     ) -> Result<StepResult> {
         self.check_inputs(xs)?;
         let seq_len = self.config.seq_len;
-        let batch = self.config.batch_size;
+        let batch = xs[0].rows();
         let hidden = self.config.hidden_size;
 
         let mode = match plan.ms1 {
@@ -203,7 +231,8 @@ impl LstmModel {
                 Some(p) => &p.keep[l],
                 None => &empty_keep,
             };
-            let (hs, tape) = layer.forward_sequence(&layer_inputs[l], mode, keep, instruments)?;
+            let (hs, tape) =
+                layer.forward_sequence(&layer_inputs[l], mode, keep, &plan.kernel, instruments)?;
             tapes.push(tape);
             layer_inputs.push(hs);
         }
@@ -284,6 +313,7 @@ impl LstmModel {
                 &tapes[l],
                 &dys_current,
                 scale,
+                &plan.kernel,
                 instruments,
             )?;
             p1_stats.merge(&LstmLayer::tape_compression_stats(&tapes[l]));
@@ -312,6 +342,8 @@ impl LstmModel {
             p1_stats,
             cells_skipped,
             cells_total,
+            shards: 1,
+            reduce_seconds: 0.0,
         })
     }
 
@@ -453,7 +485,7 @@ mod tests {
                 &targets,
                 &StepPlan {
                     ms1: Some(Ms1Config { threshold: 0.0 }),
-                    skip: None,
+                    ..StepPlan::baseline()
                 },
                 &inst,
             )
@@ -525,8 +557,8 @@ mod tests {
                 &xs,
                 &targets,
                 &StepPlan {
-                    ms1: None,
                     skip: Some(skip),
+                    ..StepPlan::baseline()
                 },
                 &inst,
             )

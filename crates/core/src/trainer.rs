@@ -16,10 +16,11 @@ use crate::loss::{LossKind, Targets};
 use crate::model::{LstmModel, StepPlan};
 use crate::ms2::{self, GradPredictor, LossHistory};
 use crate::optimizer::{Optimizer, Sgd};
+use crate::parallel::{self, Parallelism};
 use crate::strategy::{StrategyParams, TrainingStrategy};
 use crate::Result;
 use eta_memsim::{DataCategory, MemoryTracker, TrafficCounter};
-use eta_tensor::Matrix;
+use eta_tensor::{Matrix, ParallelConfig};
 use serde::{Deserialize, Serialize};
 
 /// One batch of training data.
@@ -130,6 +131,7 @@ pub struct Trainer {
     optimizer: Optimizer,
     history: LossHistory,
     predictor: Option<GradPredictor>,
+    parallelism: Parallelism,
     #[cfg(feature = "telemetry")]
     telemetry: Option<eta_telemetry::Telemetry>,
 }
@@ -149,6 +151,7 @@ impl Trainer {
             optimizer: Optimizer::sgd(Sgd::default()),
             history: LossHistory::new(),
             predictor: None,
+            parallelism: Parallelism::serial(),
             #[cfg(feature = "telemetry")]
             telemetry: None,
         })
@@ -167,6 +170,20 @@ impl Trainer {
     pub fn with_params(mut self, params: StrategyParams) -> Self {
         self.params = params;
         self
+    }
+
+    /// Sets the data-parallel execution policy. The shard count fixes
+    /// the numerics; the thread count only sets concurrency, so the
+    /// loss trajectory is bit-identical at any `threads` (the
+    /// determinism contract in `crates/core/src/parallel.rs`).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The current execution policy.
+    pub fn parallelism(&self) -> &Parallelism {
+        &self.parallelism
     }
 
     /// Overrides the optimizer with plain SGD settings.
@@ -206,7 +223,14 @@ impl Trainer {
         } else {
             None
         };
-        StepPlan { ms1, skip }
+        // When the batch is sharded, the shard workers own the threads;
+        // kernel-level parallelism only engages for unsharded runs.
+        let kernel = if self.parallelism.is_sharded() {
+            ParallelConfig::serial()
+        } else {
+            self.parallelism.kernel
+        };
+        StepPlan { ms1, skip, kernel }
     }
 
     /// Fresh per-epoch instruments, mirrored into telemetry when a
@@ -248,6 +272,8 @@ impl Trainer {
             let mut skipped = 0usize;
             let mut total = 0usize;
             let mut magnitude_acc: Vec<Vec<f64>> = Vec::new();
+            let mut shards_used = 1usize;
+            let mut reduce_seconds = 0.0f64;
 
             for b in 0..task.batches_per_epoch() {
                 #[cfg(feature = "telemetry")]
@@ -256,10 +282,17 @@ impl Trainer {
                     .as_ref()
                     .map(|t| eta_telemetry::span!(t, "batch", index = b));
                 let batch = task.batch(epoch, b);
-                let result =
-                    self.model
-                        .train_step(&batch.inputs, &batch.targets, &plan, &instruments)?;
+                let result = parallel::train_step_sharded(
+                    &self.model,
+                    &batch.inputs,
+                    &batch.targets,
+                    &plan,
+                    &instruments,
+                    &self.parallelism,
+                )?;
                 losses.push(result.loss);
+                shards_used = shards_used.max(result.shards);
+                reduce_seconds += result.reduce_seconds;
                 if result.p1_stats.total > 0 {
                     density_acc.push(result.p1_stats.kept as f64 / result.p1_stats.total as f64);
                 }
@@ -340,6 +373,13 @@ impl Trainer {
                     "train_peak_intermediates_bytes",
                     report.peak_intermediates as f64,
                 );
+                t.gauge("parallel_shards", shards_used as f64);
+                t.gauge("parallel_threads", self.parallelism.threads as f64);
+                t.gauge("parallel_reduce_seconds", reduce_seconds);
+            }
+            #[cfg(not(feature = "telemetry"))]
+            {
+                let _ = (shards_used, reduce_seconds);
             }
         }
 

@@ -28,12 +28,14 @@
 pub mod activation;
 pub mod init;
 pub mod matrix;
+pub mod parallel;
 pub mod sparse;
 
 mod error;
 
 pub use error::TensorError;
 pub use matrix::Matrix;
+pub use parallel::ParallelConfig;
 pub use sparse::{CompressionStats, SparseVec};
 
 /// Crate-wide result alias.

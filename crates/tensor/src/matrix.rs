@@ -10,8 +10,58 @@
 //! - input gradient `Wᵀ δ`: [`Matrix::matmul_nn`] (`δ · W`)
 //! - weight gradient `δ ⊗ x`: [`Matrix::matmul_tn`] (`δᵀ · x`)
 
+use crate::parallel::ParallelConfig;
 use crate::{Result, TensorError};
 use serde::{Deserialize, Serialize};
+
+/// Per-row kernel shared by the serial and parallel `nn` paths:
+/// `out_row += a_row · B` with the zero-skip the serial kernel uses.
+/// Keeping one implementation guarantees the parallel panels are
+/// bit-identical to the serial sweep.
+#[inline]
+fn nn_row(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+    for (p, &a) in a_row.iter().enumerate() {
+        if a == 0.0 {
+            continue;
+        }
+        let b_row = &b[p * n..(p + 1) * n];
+        for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+            *o += a * bv;
+        }
+    }
+}
+
+/// Per-row kernel shared by the serial and parallel `nt` paths:
+/// `out_row[j] = a_row · b_row_j`.
+#[inline]
+fn nt_row(a_row: &[f32], b: &[f32], k: usize, out_row: &mut [f32]) {
+    for (j, o) in out_row.iter_mut().enumerate() {
+        let b_row = &b[j * k..(j + 1) * k];
+        let mut acc = 0.0f32;
+        for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+            acc += x * y;
+        }
+        *o = acc;
+    }
+}
+
+/// Per-row kernel of the parallel `tn` path: output row `i` of
+/// `Aᵀ · B` accumulates `A[p][i] * B[p][:]` in ascending `p` — the
+/// same per-element accumulation order as the serial `p`-outer sweep,
+/// so panels are bit-identical to it.
+#[inline]
+fn tn_row(a: &[f32], b: &[f32], m: usize, n: usize, k: usize, i: usize, out_row: &mut [f32]) {
+    for p in 0..k {
+        let av = a[p * m + i];
+        if av == 0.0 {
+            continue;
+        }
+        let b_row = &b[p * n..(p + 1) * n];
+        for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+            *o += av * bv;
+        }
+    }
+}
 
 /// A dense row-major `f32` matrix.
 ///
@@ -196,16 +246,7 @@ impl Matrix {
         let mut out = Matrix::zeros(m, n);
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
+            nn_row(a_row, &rhs.data, n, &mut out.data[i * n..(i + 1) * n]);
         }
         Ok(out)
     }
@@ -230,14 +271,7 @@ impl Matrix {
         let mut out = Matrix::zeros(m, n);
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &rhs.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out.data[i * n + j] = acc;
-            }
+            nt_row(a_row, &rhs.data, k, &mut out.data[i * n..(i + 1) * n]);
         }
         Ok(out)
     }
@@ -321,56 +355,118 @@ impl Matrix {
         Ok(out)
     }
 
-    /// Multi-threaded `self · rhsᵀ` (the forward-propagation
-    /// orientation), splitting output rows across `threads` worker
-    /// threads via scoped crossbeam threads. Numerically identical to
-    /// [`Matrix::matmul_nt`]; falls back to the serial kernel for small
-    /// problems where thread spawn would dominate.
+    /// Multi-threaded `self · rhsᵀ` with an explicit thread count;
+    /// kept for callers that predate [`ParallelConfig`]. Equivalent to
+    /// [`Matrix::par_matmul_nt`] under
+    /// [`ParallelConfig::with_threads`].
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if `self.cols != rhs.cols`.
     pub fn matmul_nt_par(&self, rhs: &Matrix, threads: usize) -> Result<Matrix> {
-        if self.cols != rhs.cols {
+        self.par_matmul_nt(rhs, &ParallelConfig::with_threads(threads))
+    }
+
+    /// Splits the output of an `[m, n]` product into one disjoint
+    /// row-panel per worker and runs `kernel` on each panel in a scoped
+    /// thread. `kernel(i, out_row)` fills output row `i`.
+    fn par_row_panels<K>(m: usize, n: usize, threads: usize, kernel: K) -> Matrix
+    where
+        K: Fn(usize, &mut [f32]) + Sync,
+    {
+        let mut out = Matrix::zeros(m, n);
+        let rows_per = m.div_ceil(threads);
+        let kernel = &kernel;
+        rayon::scope(|scope| {
+            for (chunk_idx, chunk) in out.data.chunks_mut(rows_per * n).enumerate() {
+                let row0 = chunk_idx * rows_per;
+                scope.spawn(move |_| {
+                    for (local_i, out_row) in chunk.chunks_mut(n).enumerate() {
+                        kernel(row0 + local_i, out_row);
+                    }
+                });
+            }
+        });
+        out
+    }
+
+    /// Parallel `self · rhs` — row-panel partitioned, bit-identical to
+    /// [`Matrix::matmul_nn`] (each panel runs the serial per-row
+    /// kernel), with a serial fallback below the config's size
+    /// threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols != rhs.rows`.
+    pub fn par_matmul_nn(&self, rhs: &Matrix, cfg: &ParallelConfig) -> Result<Matrix> {
+        if self.cols != rhs.rows {
             return Err(TensorError::ShapeMismatch {
-                op: "matmul_nt_par",
+                op: "par_matmul_nn",
                 lhs: (self.rows, self.cols),
                 rhs: (rhs.rows, rhs.cols),
             });
         }
-        let threads = threads.max(1);
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        if !cfg.should_parallelize(m, k, n, m) {
+            return self.matmul_nn(rhs);
+        }
+        let (a, b) = (&self.data, &rhs.data);
+        Ok(Self::par_row_panels(m, n, cfg.threads, |i, out_row| {
+            nn_row(&a[i * k..(i + 1) * k], b, n, out_row);
+        }))
+    }
+
+    /// Parallel `self · rhsᵀ` (the forward-propagation orientation) —
+    /// row-panel partitioned, bit-identical to [`Matrix::matmul_nt`],
+    /// with a serial fallback below the config's size threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols != rhs.cols`.
+    pub fn par_matmul_nt(&self, rhs: &Matrix, cfg: &ParallelConfig) -> Result<Matrix> {
+        if self.cols != rhs.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "par_matmul_nt",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
         let (m, k, n) = (self.rows, self.cols, rhs.rows);
-        if threads == 1 || m * k * n < 128 * 128 * 128 || m < threads {
+        if !cfg.should_parallelize(m, k, n, m) {
             return self.matmul_nt(rhs);
         }
-        let mut out = Matrix::zeros(m, n);
-        let rows_per = m.div_ceil(threads);
-        let a = &self.data;
-        let b = &rhs.data;
-        // Split the output buffer into disjoint row chunks; each worker
-        // owns its chunk exclusively.
-        let chunks: Vec<&mut [f32]> = out.data.chunks_mut(rows_per * n).collect();
-        crossbeam::thread::scope(|scope| {
-            for (chunk_idx, chunk) in chunks.into_iter().enumerate() {
-                let row0 = chunk_idx * rows_per;
-                scope.spawn(move |_| {
-                    for (local_i, out_row) in chunk.chunks_mut(n).enumerate() {
-                        let i = row0 + local_i;
-                        let a_row = &a[i * k..(i + 1) * k];
-                        for (j, o) in out_row.iter_mut().enumerate() {
-                            let b_row = &b[j * k..(j + 1) * k];
-                            let mut acc = 0.0f32;
-                            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
-                                acc += x * y;
-                            }
-                            *o = acc;
-                        }
-                    }
-                });
-            }
-        })
-        .expect("worker threads do not panic");
-        Ok(out)
+        let (a, b) = (&self.data, &rhs.data);
+        Ok(Self::par_row_panels(m, n, cfg.threads, |i, out_row| {
+            nt_row(&a[i * k..(i + 1) * k], b, k, out_row);
+        }))
+    }
+
+    /// Parallel `selfᵀ · rhs` (the weight-gradient orientation) —
+    /// partitioned over **output** rows (columns of `self`), with each
+    /// element accumulating over the batch dimension in the same
+    /// ascending order as [`Matrix::matmul_tn`], so results are
+    /// bit-identical to the serial kernel. Serial fallback below the
+    /// config's size threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.rows != rhs.rows`.
+    pub fn par_matmul_tn(&self, rhs: &Matrix, cfg: &ParallelConfig) -> Result<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "par_matmul_tn",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        let (k, m, n) = (self.rows, self.cols, rhs.cols);
+        if !cfg.should_parallelize(m, k, n, m) {
+            return self.matmul_tn(rhs);
+        }
+        let (a, b) = (&self.data, &rhs.data);
+        Ok(Self::par_row_panels(m, n, cfg.threads, |i, out_row| {
+            tn_row(a, b, m, n, k, i, out_row);
+        }))
     }
 
     /// Element-wise sum `self + rhs`.
@@ -570,6 +666,23 @@ impl Matrix {
         Ok(out)
     }
 
+    /// Returns rows `[start, start + count)` as a new matrix — the
+    /// microbatch-sharding primitive (batch rows are independent
+    /// through the whole LSTM, so a row slice trains bit-identically
+    /// to the same rows inside a larger batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + count > rows`.
+    pub fn rows_slice(&self, start: usize, count: usize) -> Matrix {
+        assert!(start + count <= self.rows, "row slice out of bounds");
+        Matrix {
+            rows: count,
+            cols: self.cols,
+            data: self.data[start * self.cols..(start + count) * self.cols].to_vec(),
+        }
+    }
+
     /// Returns columns `[start, start + width)` as a new matrix.
     ///
     /// # Panics
@@ -690,6 +803,64 @@ mod tests {
             small.matmul_nt(&small).unwrap()
         );
         assert!(a.matmul_nt_par(&Matrix::zeros(5, 9), 2).is_err());
+    }
+
+    /// The determinism contract of the η-parallel kernels: above the
+    /// fallback threshold, every orientation is **bit-identical** to
+    /// its serial kernel at every thread count (not merely close).
+    #[test]
+    fn parallel_kernels_are_bit_identical_to_serial() {
+        use crate::init;
+        // Force the parallel path on modest shapes.
+        let mut cfg = ParallelConfig::with_threads(2);
+        cfg.min_kernel_flops = 1;
+        let a = init::uniform(64, 48, -1.0, 1.0, 21);
+        let b_nn = init::uniform(48, 40, -1.0, 1.0, 22);
+        let b_nt = init::uniform(40, 48, -1.0, 1.0, 23);
+        let b_tn = init::uniform(64, 40, -1.0, 1.0, 24);
+        for threads in [2usize, 3, 5, 8] {
+            cfg.threads = threads;
+            assert_eq!(
+                a.par_matmul_nn(&b_nn, &cfg).unwrap(),
+                a.matmul_nn(&b_nn).unwrap(),
+                "nn threads={threads}"
+            );
+            assert_eq!(
+                a.par_matmul_nt(&b_nt, &cfg).unwrap(),
+                a.matmul_nt(&b_nt).unwrap(),
+                "nt threads={threads}"
+            );
+            assert_eq!(
+                a.par_matmul_tn(&b_tn, &cfg).unwrap(),
+                a.matmul_tn(&b_tn).unwrap(),
+                "tn threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_kernels_reject_shape_mismatches() {
+        let cfg = ParallelConfig::with_threads(4);
+        let a = Matrix::zeros(4, 6);
+        assert!(a.par_matmul_nn(&Matrix::zeros(5, 4), &cfg).is_err());
+        assert!(a.par_matmul_nt(&Matrix::zeros(4, 5), &cfg).is_err());
+        assert!(a.par_matmul_tn(&Matrix::zeros(5, 4), &cfg).is_err());
+    }
+
+    #[test]
+    fn rows_slice_extracts_contiguous_rows() {
+        let a = m(4, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let mid = a.rows_slice(1, 2);
+        assert_eq!(mid.rows(), 2);
+        assert_eq!(mid.as_slice(), &[3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.rows_slice(0, 4), a);
+        assert_eq!(a.rows_slice(4, 0).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row slice out of bounds")]
+    fn rows_slice_rejects_out_of_bounds() {
+        Matrix::zeros(2, 2).rows_slice(1, 2);
     }
 
     #[test]

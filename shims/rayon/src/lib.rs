@@ -1,0 +1,131 @@
+//! In-tree, offline stand-in for the `rayon` crate.
+//!
+//! Implements the structured-parallelism subset this workspace uses —
+//! [`scope`]/[`Scope::spawn`], [`join`], and [`current_num_threads`] —
+//! over `std::thread::scope` (stable since 1.63). Unlike real rayon
+//! there is no global work-stealing pool: every `spawn` is an OS
+//! thread, so callers are expected to spawn one long-lived task per
+//! worker (the `eta-parallel` kernels partition work into per-thread
+//! panels before spawning, which is also what keeps their results
+//! deterministic).
+
+use std::num::NonZeroUsize;
+use std::thread as std_thread;
+
+/// Number of threads the machine can usefully run concurrently
+/// (rayon reports its pool size here; the shim reports the hardware's
+/// available parallelism, falling back to 1 when unknown).
+pub fn current_num_threads() -> usize {
+    std_thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Scope handle passed to [`scope`]'s closure and to each spawned
+/// closure (rayon passes the scope so children can spawn siblings).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std_thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task in the scope. Matches rayon's fire-and-forget
+    /// signature: no join handle, the task's result is discarded, and
+    /// [`scope`] does not return until every spawned task finishes.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Creates a scope in which tasks borrowing from the environment can be
+/// spawned; all tasks are joined before `scope` returns. A panic in any
+/// spawned task propagates to the caller when the scope joins, matching
+/// rayon's contract.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    std_thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Runs both closures, potentially in parallel, and returns both
+/// results. The shim runs `a` on a scoped worker thread and `b` on the
+/// calling thread; a panic in either propagates.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std_thread::scope(|s| {
+        let ha = s.spawn(a);
+        let rb = b();
+        let ra = ha.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_spawned_tasks() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_handle() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn scope_borrows_mutable_disjoint_chunks() {
+        let mut data = [0u32; 16];
+        scope(|s| {
+            for chunk in data.chunks_mut(4) {
+                s.spawn(move |_| {
+                    for v in chunk {
+                        *v += 1;
+                    }
+                });
+            }
+        });
+        assert!(data.iter().all(|&v| v == 1));
+    }
+}

@@ -1,0 +1,136 @@
+//! Full-BPTT finite-difference gradient checks on a 2-layer model,
+//! across every training strategy and both execution engines (PR
+//! satellite: gradcheck × {Baseline, MS1, CombinedMs} × {serial,
+//! sharded-parallel}).
+//!
+//! Tolerance note: the model computes in `f32`, so a central difference
+//! `(L(w+ε) − L(w−ε)) / 2ε` at ε = 5e-3 carries roughly 1e-4 absolute
+//! noise from rounding in the forward pass alone — a 1e-4 *relative*
+//! bound is unattainable without an f64 forward. The repo-wide
+//! contract (see `eta_lstm::core::gradcheck`) is `passes(0.05)` with
+//! sub-resolution gradients excluded, which reliably separates correct
+//! backward passes from broken ones (the corrupted-gradient test in
+//! the gradcheck module shows wrong gradients land far above 0.05).
+
+use eta_lstm::core::gradcheck::check_step_with;
+use eta_lstm::core::layer::Instruments;
+use eta_lstm::core::model::{LstmModel, StepPlan};
+use eta_lstm::core::ms1::Ms1Config;
+use eta_lstm::core::ms2::SkipPlan;
+use eta_lstm::core::parallel::{train_step_sharded, Parallelism};
+use eta_lstm::core::{LstmConfig, Targets};
+use eta_lstm::tensor::{init, Matrix};
+
+const LAYERS: usize = 2;
+const SEQ: usize = 6;
+
+fn two_layer_case() -> (LstmModel, Vec<Matrix>, Targets) {
+    let cfg = LstmConfig::builder()
+        .input_size(5)
+        .hidden_size(7)
+        .layers(LAYERS)
+        .seq_len(SEQ)
+        .batch_size(4)
+        .output_size(3)
+        .build()
+        .expect("valid config");
+    let model = LstmModel::new(&cfg, 41);
+    let xs: Vec<_> = (0..SEQ)
+        .map(|t| init::uniform(4, 5, -1.0, 1.0, 100 + t as u64))
+        .collect();
+    (model, xs, Targets::Classes(vec![0, 1, 2, 0]))
+}
+
+/// The three strategies' step plans, pinned to exact-gradient settings
+/// (MS1 threshold 0 keeps all P1 values; `SkipPlan::keep_all` drives
+/// the MS2 skip machinery without dropping any cell — a pruning
+/// threshold or a real skip plan approximates gradients *by design*
+/// and has no finite-difference ground truth to check against).
+fn strategy_plans() -> Vec<(&'static str, StepPlan)> {
+    vec![
+        ("baseline", StepPlan::baseline()),
+        (
+            "ms1",
+            StepPlan {
+                ms1: Some(Ms1Config { threshold: 0.0 }),
+                ..StepPlan::baseline()
+            },
+        ),
+        (
+            "combined",
+            StepPlan {
+                ms1: Some(Ms1Config { threshold: 0.0 }),
+                skip: Some(SkipPlan::keep_all(LAYERS, SEQ)),
+                ..StepPlan::baseline()
+            },
+        ),
+    ]
+}
+
+#[test]
+fn gradcheck_passes_for_every_strategy_and_engine() {
+    let (model, xs, targets) = two_layer_case();
+    let engines = [
+        ("serial", Parallelism::serial()),
+        ("parallel", Parallelism::with_threads(4)),
+    ];
+    for (strategy, plan) in strategy_plans() {
+        for (engine, par) in &engines {
+            let check = check_step_with(&model, &xs, &targets, &plan, par, 24, 5e-3, 7)
+                .unwrap_or_else(|e| panic!("{strategy}/{engine} gradcheck errored: {e}"));
+            assert!(
+                check.passes(0.05),
+                "{strategy}/{engine}: max relative gradient error {}",
+                check.max_rel_error
+            );
+        }
+    }
+}
+
+#[test]
+fn serial_and_sharded_analytic_gradients_agree() {
+    let (model, xs, targets) = two_layer_case();
+    let inst = Instruments::new();
+    for (strategy, plan) in strategy_plans() {
+        let serial = model
+            .train_step(&xs, &targets, &plan, &inst)
+            .expect("serial step");
+        let sharded = train_step_sharded(
+            &model,
+            &xs,
+            &targets,
+            &plan,
+            &inst,
+            &Parallelism::with_threads(4),
+        )
+        .expect("sharded step");
+        assert!(
+            (serial.loss - sharded.loss).abs() < 1e-9,
+            "{strategy}: loss {} vs {}",
+            serial.loss,
+            sharded.loss
+        );
+        for (l, (gs, gp)) in serial
+            .grads
+            .cells
+            .iter()
+            .zip(sharded.grads.cells.iter())
+            .enumerate()
+        {
+            assert!(
+                gs.dw.rel_diff(&gp.dw) < 1e-5,
+                "{strategy}: layer {l} dW rel diff {}",
+                gs.dw.rel_diff(&gp.dw)
+            );
+            assert!(
+                gs.du.rel_diff(&gp.du) < 1e-5,
+                "{strategy}: layer {l} dU rel diff {}",
+                gs.du.rel_diff(&gp.du)
+            );
+        }
+        assert!(
+            serial.grads.head.dw.rel_diff(&sharded.grads.head.dw) < 1e-5,
+            "{strategy}: head dW diverges"
+        );
+    }
+}
