@@ -274,12 +274,12 @@ impl AccumulatorSim {
             if !values.is_empty() {
                 let n = values.len() as u64;
                 t.observe(
-                    "accel_accumulator_stall_fraction",
+                    eta_telemetry::keys::ACCEL_ACCUMULATOR_STALL_FRACTION,
                     run.drain_overhead(n, self.add_latency),
                 );
                 let ideal = n + self.add_latency as u64;
                 t.incr(
-                    "accel_accumulator_stall_cycles_total",
+                    eta_telemetry::keys::ACCEL_ACCUMULATOR_STALL_CYCLES_TOTAL,
                     run.cycles.saturating_sub(ideal),
                 );
             }

@@ -383,19 +383,24 @@ impl EtaAccel {
                 scheduler::simulate_static(w, ops_per_cycle, STATIC_EW_FRACTION)
             };
             t.observe_in(
-                "accel_pe_busy_fraction",
+                eta_telemetry::keys::ACCEL_PE_BUSY_FRACTION,
                 eta_telemetry::labels!(phase = phase, arch = arch),
                 OCCUPANCY_BUCKETS,
                 timing.utilization(),
             );
         }
+        use eta_telemetry::keys;
         let labels = || eta_telemetry::labels!(arch = arch);
-        t.gauge_with("accel_utilization", labels(), report.utilization);
-        t.gauge_with("accel_iteration_seconds", labels(), report.time_s);
-        t.gauge_with("accel_dma_seconds", labels(), report.dma_time_s);
-        t.gauge_with("accel_tflops", labels(), report.tflops);
-        t.gauge_with("accel_energy_joules", labels(), report.energy_j());
-        t.incr_with("accel_traffic_bytes_total", labels(), report.traffic_bytes);
+        t.gauge_with(keys::ACCEL_UTILIZATION, labels(), report.utilization);
+        t.gauge_with(keys::ACCEL_ITERATION_SECONDS, labels(), report.time_s);
+        t.gauge_with(keys::ACCEL_DMA_SECONDS, labels(), report.dma_time_s);
+        t.gauge_with(keys::ACCEL_TFLOPS, labels(), report.tflops);
+        t.gauge_with(keys::ACCEL_ENERGY_JOULES, labels(), report.energy_j());
+        t.incr_with(
+            keys::ACCEL_TRAFFIC_BYTES_TOTAL,
+            labels(),
+            report.traffic_bytes,
+        );
         report
     }
 }

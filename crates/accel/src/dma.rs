@@ -177,20 +177,20 @@ impl DmaModule {
         if let Some(t) = telemetry {
             match &packet {
                 WritePacket::Dense { bytes } => t.incr_with(
-                    "accel_dma_write_bytes_total",
+                    eta_telemetry::keys::ACCEL_DMA_WRITE_BYTES_TOTAL,
                     eta_telemetry::labels!(mode = "dense"),
                     *bytes,
                 ),
                 WritePacket::Compressed { bytes, .. } => {
                     t.incr_with(
-                        "accel_dma_write_bytes_total",
+                        eta_telemetry::keys::ACCEL_DMA_WRITE_BYTES_TOTAL,
                         eta_telemetry::labels!(mode = "compressed"),
                         *bytes,
                     );
                     let dense = (values.len() * 4) as u64;
                     if dense > 0 {
                         t.observe_in(
-                            "accel_dma_compression_ratio",
+                            eta_telemetry::keys::ACCEL_DMA_COMPRESSION_RATIO,
                             eta_telemetry::Labels::new(),
                             crate::arch::OCCUPANCY_BUCKETS,
                             *bytes as f64 / dense as f64,

@@ -200,7 +200,7 @@ pub fn trace_instrumented(
     };
     for seg in &tl.segments {
         t.observe_in(
-            "accel_pe_busy_fraction",
+            eta_telemetry::keys::ACCEL_PE_BUSY_FRACTION,
             eta_telemetry::labels!(kind = seg.kind),
             crate::arch::OCCUPANCY_BUCKETS,
             seg.busy_fraction,
@@ -210,11 +210,14 @@ pub fn trace_instrumented(
         let handoffs = tl
             .segments
             .windows(2)
-            .filter(|w| w[0].kind != w[1].kind)
+            .filter(|w| matches!(w, [a, b] if a.kind != b.kind))
             .count() as u64;
-        t.incr("accel_swing_handoffs_total", handoffs);
+        t.incr(eta_telemetry::keys::ACCEL_SWING_HANDOFFS_TOTAL, handoffs);
     }
-    t.gauge("accel_timeline_utilization", tl.utilization);
+    t.gauge(
+        eta_telemetry::keys::ACCEL_TIMELINE_UTILIZATION,
+        tl.utilization,
+    );
     tl
 }
 

@@ -9,7 +9,7 @@ use eta_accel::arch::{AccelConfig, ArchKind, EtaAccel};
 use eta_accel::dma::DmaModule;
 use eta_accel::timeline::{trace, trace_instrumented, Alloc, CellKernels};
 use eta_memsim::model::{LstmShape, OptEffects};
-use eta_telemetry::{MetricValue, RunManifest, Snapshot, Telemetry};
+use eta_telemetry::{keys, MetricValue, RunManifest, Snapshot, Telemetry};
 
 /// Total observations across every label series of one histogram.
 fn histogram_count(snap: &Snapshot, name: &str) -> u64 {
@@ -52,18 +52,21 @@ fn simulate_instrumented_matches_simulate_and_records() {
 
     let snap = t.snapshot();
     assert_eq!(
-        histogram_count(&snap, "accel_pe_busy_fraction"),
+        histogram_count(&snap, keys::ACCEL_PE_BUSY_FRACTION),
         2,
         "one fw + one bp observation"
     );
     let occupancy = snap
-        .histogram("accel_pe_busy_fraction")
+        .histogram(keys::ACCEL_PE_BUSY_FRACTION)
         .expect("PE occupancy histogram");
     assert!(occupancy.max <= 1.0 && occupancy.min > 0.0);
-    assert_eq!(snap.gauge("accel_utilization").unwrap(), plain.utilization);
-    assert_eq!(snap.gauge("accel_tflops").unwrap(), plain.tflops);
     assert_eq!(
-        snap.counter_total("accel_traffic_bytes_total"),
+        snap.gauge(keys::ACCEL_UTILIZATION).unwrap(),
+        plain.utilization
+    );
+    assert_eq!(snap.gauge(keys::ACCEL_TFLOPS).unwrap(), plain.tflops);
+    assert_eq!(
+        snap.counter_total(keys::ACCEL_TRAFFIC_BYTES_TOTAL),
         plain.traffic_bytes
     );
 }
@@ -78,14 +81,18 @@ fn trace_instrumented_counts_swing_handoffs() {
 
     let snap = t.snapshot();
     // 6 cells × 2 segments, every boundary switches kind: 11 handoffs.
-    assert_eq!(snap.counter_total("accel_swing_handoffs_total"), 11);
+    assert_eq!(snap.counter_total(keys::ACCEL_SWING_HANDOFFS_TOTAL), 11);
     // 12 segments total across the MatMul/EW label series.
-    assert_eq!(histogram_count(&snap, "accel_pe_busy_fraction"), 12);
+    assert_eq!(histogram_count(&snap, keys::ACCEL_PE_BUSY_FRACTION), 12);
 
     // Static allocation has no swing PEs, hence no handoffs.
     let t2 = fresh();
     trace_instrumented(&cs, 1000.0, Alloc::Static { ew_fraction: 0.4 }, Some(&t2));
-    assert_eq!(t2.snapshot().counter_total("accel_swing_handoffs_total"), 0);
+    assert_eq!(
+        t2.snapshot()
+            .counter_total(keys::ACCEL_SWING_HANDOFFS_TOTAL),
+        0
+    );
 }
 
 #[test]
@@ -103,7 +110,7 @@ fn dma_write_instrumented_records_compression_ratio() {
 
     let snap = t.snapshot();
     let ratio = snap
-        .histogram("accel_dma_compression_ratio")
+        .histogram(keys::ACCEL_DMA_COMPRESSION_RATIO)
         .expect("ratio histogram");
     assert_eq!(ratio.count, 1, "dense writes record no ratio");
     assert!(
@@ -112,7 +119,7 @@ fn dma_write_instrumented_records_compression_ratio() {
         ratio.max
     );
     assert_eq!(
-        snap.counter_total("accel_dma_write_bytes_total"),
+        snap.counter_total(keys::ACCEL_DMA_WRITE_BYTES_TOTAL),
         packet.bytes() + dense.bytes()
     );
 }
@@ -127,12 +134,12 @@ fn accumulator_instrumented_records_stalls() {
 
     let snap = t.snapshot();
     let stall = snap
-        .histogram("accel_accumulator_stall_fraction")
+        .histogram(keys::ACCEL_ACCUMULATOR_STALL_FRACTION)
         .expect("stall histogram");
     assert_eq!(stall.count, 1);
     let ideal = 64 + sim.add_latency as u64;
     assert_eq!(
-        snap.counter_total("accel_accumulator_stall_cycles_total"),
+        snap.counter_total(keys::ACCEL_ACCUMULATOR_STALL_CYCLES_TOTAL),
         run.cycles - ideal.min(run.cycles)
     );
 }

@@ -44,7 +44,7 @@ fn main() {
                 ("total", f.total()),
             ] {
                 t.gauge_with(
-                    "footprint_bytes",
+                    eta_telemetry::keys::FOOTPRINT_BYTES,
                     eta_telemetry::labels!(config = label, component = component),
                     bytes as f64,
                 );

@@ -120,11 +120,11 @@ fn jsonl_streams_reread_with_expected_metrics() {
     // The acceptance triple: trainer epochs, memsim footprint, accel PE
     // occupancy, all under their documented names.
     for required in [
-        "train_epochs_total",
-        "train_peak_footprint_bytes",
-        "memsim_peak_total_bytes",
-        "accel_pe_busy_fraction",
-        "accel_swing_handoffs_total",
+        eta_telemetry::keys::TRAIN_EPOCHS_TOTAL,
+        eta_telemetry::keys::TRAIN_PEAK_FOOTPRINT_BYTES,
+        eta_telemetry::keys::MEMSIM_PEAK_TOTAL_BYTES,
+        eta_telemetry::keys::ACCEL_PE_BUSY_FRACTION,
+        eta_telemetry::keys::ACCEL_SWING_HANDOFFS_TOTAL,
     ] {
         assert!(
             all_metrics.contains(required),

@@ -362,20 +362,24 @@ impl Trainer {
 
             #[cfg(feature = "telemetry")]
             if let Some(t) = &self.telemetry {
+                use eta_telemetry::keys;
                 let report = reports.last().expect("epoch report just pushed");
-                t.incr("train_epochs_total", 1);
-                t.incr("train_batches_total", task.batches_per_epoch() as u64);
-                t.gauge("train_loss_mean", report.mean_loss);
-                t.gauge("ms1_p1_density", report.p1_density);
-                t.gauge("ms2_skip_fraction", report.skip_fraction);
-                t.gauge("train_peak_footprint_bytes", report.peak_footprint as f64);
+                t.incr(keys::TRAIN_EPOCHS_TOTAL, 1);
+                t.incr(keys::TRAIN_BATCHES_TOTAL, task.batches_per_epoch() as u64);
+                t.gauge(keys::TRAIN_LOSS_MEAN, report.mean_loss);
+                t.gauge(keys::MS1_P1_DENSITY, report.p1_density);
+                t.gauge(keys::MS2_SKIP_FRACTION, report.skip_fraction);
                 t.gauge(
-                    "train_peak_intermediates_bytes",
+                    keys::TRAIN_PEAK_FOOTPRINT_BYTES,
+                    report.peak_footprint as f64,
+                );
+                t.gauge(
+                    keys::TRAIN_PEAK_INTERMEDIATES_BYTES,
                     report.peak_intermediates as f64,
                 );
-                t.gauge("parallel_shards", shards_used as f64);
-                t.gauge("parallel_threads", self.parallelism.threads as f64);
-                t.gauge("parallel_reduce_seconds", reduce_seconds);
+                t.gauge(keys::PARALLEL_SHARDS, shards_used as f64);
+                t.gauge(keys::PARALLEL_THREADS, self.parallelism.threads as f64);
+                t.gauge(keys::PARALLEL_REDUCE_SECONDS, reduce_seconds);
             }
             #[cfg(not(feature = "telemetry"))]
             {
@@ -545,20 +549,21 @@ mod tests {
         let report = t.run(&task, 4).unwrap();
 
         let snap = telemetry.flush();
-        assert_eq!(snap.counter_total("train_epochs_total"), 4);
+        use eta_telemetry::keys;
+        assert_eq!(snap.counter_total(keys::TRAIN_EPOCHS_TOTAL), 4);
         assert_eq!(
-            snap.counter_total("train_batches_total"),
+            snap.counter_total(keys::TRAIN_BATCHES_TOTAL),
             4 * task.batches_per_epoch() as u64
         );
         assert_eq!(
-            snap.gauge("train_loss_mean"),
+            snap.gauge(keys::TRAIN_LOSS_MEAN),
             Some(report.final_loss()),
             "gauge keeps the last epoch's loss"
         );
-        assert!(snap.gauge("train_peak_footprint_bytes").unwrap() > 0.0);
+        assert!(snap.gauge(keys::TRAIN_PEAK_FOOTPRINT_BYTES).unwrap() > 0.0);
         // Memsim mirror fired through the Instruments path.
-        assert!(snap.counter_total("memsim_alloc_bytes_total") > 0);
-        assert!(snap.counter_total("dram_read_bytes_total") > 0);
+        assert!(snap.counter_total(keys::MEMSIM_ALLOC_BYTES_TOTAL) > 0);
+        assert!(snap.counter_total(keys::DRAM_READ_BYTES_TOTAL) > 0);
         // Spans: 4 epochs, each containing the batches.
         assert_eq!(snap.span("epoch").unwrap().count, 4);
         assert_eq!(

@@ -1,0 +1,219 @@
+//! eta-lint: workspace static-analysis pass enforcing the
+//! determinism, numeric-safety, and telemetry contracts.
+//!
+//! The pass lexes every `.rs` file under the workspace root (a
+//! registry-less environment rules out `syn`; see [`lexer`]) and
+//! evaluates six repo-specific rules ([`rules`]) with `file:line`
+//! diagnostics. Justified exceptions live in `lint.toml`
+//! ([`allowlist`]); `tests/lint_clean.rs` at the workspace root gates
+//! `cargo test` on a clean run, and CI runs the binary with
+//! `--format json` for an uploadable report.
+//!
+//! ```text
+//! cargo run -p eta-lint                    # human-readable findings
+//! cargo run -p eta-lint -- --format json   # machine-readable report
+//! ```
+
+pub mod allowlist;
+pub mod lexer;
+pub mod rules;
+
+pub use allowlist::AllowEntry;
+pub use rules::{classify, lint_source, registry_keys, Finding};
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Path of the telemetry key registry the T1 rule checks against.
+pub const REGISTRY_PATH: &str = "crates/telemetry/src/keys.rs";
+/// Default allowlist location, relative to the workspace root.
+pub const ALLOWLIST_PATH: &str = "lint.toml";
+
+/// Outcome of linting a whole workspace.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Report {
+    /// Files scanned, root-relative, sorted.
+    pub files: Vec<String>,
+    /// Findings not covered by any allowlist entry — these fail the run.
+    pub findings: Vec<Finding>,
+    /// Findings covered by the allowlist, with the justification used.
+    pub suppressed: Vec<Suppressed>,
+    /// Allowlist entries that matched nothing (candidates for removal).
+    pub unused_allowlist: Vec<AllowEntry>,
+}
+
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Suppressed {
+    pub finding: Finding,
+    pub reason: String,
+}
+
+impl Report {
+    /// The run is clean when nothing unallowlisted was found.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable rendering: `file:line: RULE message` per finding,
+    /// then a summary (and any unused allowlist entries as warnings).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: {} {}\n",
+                f.file, f.line, f.rule, f.message
+            ));
+        }
+        for e in &self.unused_allowlist {
+            out.push_str(&format!(
+                "warning: unused allowlist entry (lint.toml:{}) rule={} file={}\n",
+                e.defined_at, e.rule, e.file
+            ));
+        }
+        out.push_str(&format!(
+            "eta-lint: {} file(s), {} finding(s), {} suppressed, {} unused allowlist entr{}\n",
+            self.files.len(),
+            self.findings.len(),
+            self.suppressed.len(),
+            self.unused_allowlist.len(),
+            if self.unused_allowlist.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+        ));
+        out
+    }
+}
+
+/// Configuration or I/O failure — distinct from findings, which are
+/// reported, not erred.
+#[derive(Debug)]
+pub struct LintError(pub String);
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Lints the workspace rooted at `root` using `<root>/lint.toml`.
+pub fn lint_workspace(root: &Path) -> Result<Report, LintError> {
+    let allowlist_path = root.join(ALLOWLIST_PATH);
+    let allow_text = if allowlist_path.is_file() {
+        std::fs::read_to_string(&allowlist_path)
+            .map_err(|e| LintError(format!("reading {}: {e}", allowlist_path.display())))?
+    } else {
+        String::new()
+    };
+    lint_workspace_with(root, &allow_text)
+}
+
+/// Lints the workspace with explicit allowlist text (tests use this to
+/// exercise allowlist handling without touching the real lint.toml).
+pub fn lint_workspace_with(root: &Path, allow_text: &str) -> Result<Report, LintError> {
+    let entries = allowlist::parse(allow_text, root).map_err(LintError)?;
+
+    let registry: BTreeSet<String> = match std::fs::read_to_string(root.join(REGISTRY_PATH)) {
+        Ok(src) => registry_keys(&src),
+        Err(_) => BTreeSet::new(), // T1 then fires on every literal key
+    };
+
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)
+        .map_err(|e| LintError(format!("walking {}: {e}", root.display())))?;
+    files.sort();
+
+    let mut all = Vec::new();
+    let mut scanned = Vec::new();
+    for rel in files {
+        if rules::classify(&rel).is_none() {
+            continue;
+        }
+        let src = std::fs::read_to_string(root.join(&rel))
+            .map_err(|e| LintError(format!("reading {rel}: {e}")))?;
+        scanned.push(rel.clone());
+        all.extend(lint_source(&rel, &src, &registry));
+    }
+
+    let mut used = vec![false; entries.len()];
+    let mut findings = Vec::new();
+    let mut suppressed = Vec::new();
+    for f in all {
+        let hit = entries
+            .iter()
+            .zip(used.iter_mut())
+            .find(|(e, _)| e.matches(&f));
+        match hit {
+            Some((entry, used_flag)) => {
+                *used_flag = true;
+                suppressed.push(Suppressed {
+                    reason: entry.reason.clone(),
+                    finding: f,
+                });
+            }
+            None => findings.push(f),
+        }
+    }
+    let unused_allowlist = entries
+        .into_iter()
+        .zip(used)
+        .filter(|(_, u)| !u)
+        .map(|(e, _)| e)
+        .collect();
+
+    Ok(Report {
+        files: scanned,
+        findings,
+        suppressed,
+        unused_allowlist,
+    })
+}
+
+/// Directories never worth descending into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "results"];
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(path_to_rel_string(rel));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn path_to_rel_string(rel: &Path) -> String {
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Finds the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir.to_path_buf());
+            }
+        }
+        cur = dir.parent();
+    }
+    None
+}

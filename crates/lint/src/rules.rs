@@ -1,0 +1,492 @@
+//! The six eta-lint rules, evaluated over lexed token streams.
+//!
+//! | rule | contract                                                        |
+//! |------|-----------------------------------------------------------------|
+//! | D1   | no hash-ordered collections in numeric crates                   |
+//! | D2   | no wall-clock / entropy sources outside telemetry and bench     |
+//! | D3   | no unordered float reductions (parallel / hash-fed `sum`/`fold`)|
+//! | P1   | `unwrap`/`expect`/`panic!`/slice-indexing audit in library code |
+//! | A1   | every `unsafe` carries a nearby `// SAFETY:` comment            |
+//! | T1   | telemetry key literals must come from the central registry      |
+//!
+//! D1–D3 mechanically encode the DESIGN.md §8 determinism contract:
+//! bit-identical losses at any thread count require that no numeric
+//! path observes hash iteration order, wall-clock time, entropy, or a
+//! reduction order other than the fixed-order tree reduction.
+
+use crate::lexer::{Tok, TokKind};
+use std::collections::BTreeSet;
+
+/// One diagnostic. `file` is workspace-root-relative with `/`
+/// separators; `line` is 1-indexed.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct Finding {
+    pub rule: String,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+/// Where a file sits in the workspace; decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// `crates/<n>/src/**` or root `src/**` — full rule set.
+    Lib,
+    /// `crates/<n>/src/bin/**` — harness binaries: A1 + T1 only.
+    Bin,
+    /// `tests/`, `benches/`, `examples/` — A1 + T1 only.
+    Test,
+    /// `shims/**` — emulations of third-party crates: A1 only.
+    Shim,
+}
+
+#[derive(Debug, Clone)]
+pub struct FileScope {
+    pub crate_name: String,
+    pub kind: ScopeKind,
+}
+
+/// Crates whose arithmetic feeds training numerics; D1/D3 apply.
+const NUMERIC_CRATES: &[&str] = &["tensor", "core", "accel", "memsim"];
+/// Crates allowed to read wall clocks and construct entropy RNGs.
+const D2_EXEMPT_CRATES: &[&str] = &["telemetry", "bench"];
+/// Telemetry itself defines the key registry; T1 checks everyone else.
+const T1_EXEMPT_CRATES: &[&str] = &["telemetry"];
+
+/// Telemetry registry/snapshot methods whose first argument is a
+/// metric key string.
+const T1_METHODS: &[&str] = &[
+    "incr",
+    "incr_with",
+    "gauge",
+    "gauge_with",
+    "observe",
+    "observe_in",
+    "counter_total",
+    "histogram",
+];
+
+/// Classifies a root-relative path. Returns `None` for files the
+/// lint has no opinion on (nothing outside these trees holds Rust
+/// source in this workspace).
+pub fn classify(rel_path: &str) -> Option<FileScope> {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let scope = match parts.as_slice() {
+        ["shims", name, ..] => FileScope {
+            crate_name: format!("shim:{name}"),
+            kind: ScopeKind::Shim,
+        },
+        ["crates", name, "src", "bin", ..] => FileScope {
+            crate_name: (*name).to_string(),
+            kind: ScopeKind::Bin,
+        },
+        ["crates", name, "src", ..] => FileScope {
+            crate_name: (*name).to_string(),
+            kind: ScopeKind::Lib,
+        },
+        ["crates", name, "tests" | "benches" | "examples", ..] => FileScope {
+            crate_name: (*name).to_string(),
+            kind: ScopeKind::Test,
+        },
+        ["src", ..] => FileScope {
+            crate_name: "root".to_string(),
+            kind: ScopeKind::Lib,
+        },
+        ["tests" | "benches" | "examples", ..] => FileScope {
+            crate_name: "root".to_string(),
+            kind: ScopeKind::Test,
+        },
+        _ => return None,
+    };
+    Some(scope)
+}
+
+/// Lints one file's source. `registry` holds every key string defined
+/// in `crates/telemetry/src/keys.rs`.
+pub fn lint_source(rel_path: &str, src: &str, registry: &BTreeSet<String>) -> Vec<Finding> {
+    let Some(scope) = classify(rel_path) else {
+        return Vec::new();
+    };
+    let toks = crate::lexer::lex(src);
+    let mut findings = Vec::new();
+
+    // A1 runs on the full stream (it needs the comments).
+    rule_a1(rel_path, &toks, &mut findings);
+
+    // Everything else runs on code tokens with `#[cfg(test)]` items
+    // masked out: test code may unwrap and index freely (P1), and the
+    // determinism contract binds production numerics, not assertions.
+    let code: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+    let test_mask = cfg_test_mask(&code);
+
+    if scope.kind != ScopeKind::Shim && !T1_EXEMPT_CRATES.contains(&scope.crate_name.as_str()) {
+        rule_t1(rel_path, &code, registry, &mut findings);
+    }
+
+    if scope.kind == ScopeKind::Lib {
+        let numeric = NUMERIC_CRATES.contains(&scope.crate_name.as_str());
+        if numeric {
+            rule_d1(rel_path, &code, &test_mask, &mut findings);
+            rule_d3(rel_path, &code, &test_mask, &mut findings);
+        }
+        if !D2_EXEMPT_CRATES.contains(&scope.crate_name.as_str()) {
+            rule_d2(rel_path, &code, &test_mask, &mut findings);
+        }
+        rule_p1(rel_path, &code, &test_mask, &mut findings);
+    }
+
+    findings.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    findings
+}
+
+/// Marks code-token indices covered by a `#[cfg(test)]` item (almost
+/// always `mod tests { … }`). The attribute's tokens, any stacked
+/// attributes after it, and the item body through its matching brace
+/// (or terminating `;`) are all masked.
+fn cfg_test_mask(code: &[&Tok]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        if matches!(code.get(i), Some(t) if t.is_punct('#'))
+            && matches!(code.get(i + 1), Some(t) if t.is_punct('['))
+        {
+            let attr_end = match matching_close(code, i + 1, '[', ']') {
+                Some(e) => e,
+                None => break,
+            };
+            let body: Vec<&str> = code
+                .iter()
+                .take(attr_end + 1)
+                .skip(i)
+                .map(|t| t.text.as_str())
+                .collect();
+            if body.contains(&"cfg") && body.contains(&"test") {
+                // Mask the attribute, any following attributes, and
+                // the annotated item.
+                let mut j = attr_end + 1;
+                while matches!(code.get(j), Some(t) if t.is_punct('#'))
+                    && matches!(code.get(j + 1), Some(t) if t.is_punct('['))
+                {
+                    match matching_close(code, j + 1, '[', ']') {
+                        Some(e) => j = e + 1,
+                        None => break,
+                    }
+                }
+                let mut end = j;
+                while let Some(t) = code.get(end) {
+                    if t.is_punct(';') {
+                        break;
+                    }
+                    if t.is_punct('{') {
+                        end = matching_close(code, end, '{', '}').unwrap_or(code.len() - 1);
+                        break;
+                    }
+                    end += 1;
+                }
+                let end = end.min(code.len().saturating_sub(1));
+                for m in mask.iter_mut().take(end + 1).skip(i) {
+                    *m = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Index of the token closing the group opened at `open_idx`.
+fn matching_close(code: &[&Tok], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in code.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Token at `i - back`, if any (checked two ways: underflow and range).
+fn before<'a>(code: &[&'a Tok], i: usize, back: usize) -> Option<&'a Tok> {
+    i.checked_sub(back).and_then(|j| code.get(j)).copied()
+}
+
+fn masked(mask: &[bool], i: usize) -> bool {
+    mask.get(i).copied().unwrap_or(false)
+}
+
+fn is_path_seg(code: &[&Tok], i: usize, prev: &str, name: &str) -> bool {
+    // Matches `prev :: name` ending at index i.
+    matches!(code.get(i), Some(t) if t.is_ident(name))
+        && matches!(before(code, i, 1), Some(t) if t.is_punct(':'))
+        && matches!(before(code, i, 2), Some(t) if t.is_punct(':'))
+        && matches!(before(code, i, 3), Some(t) if t.is_ident(prev))
+}
+
+// ---------------------------------------------------------------------------
+// D1 — hash-ordered collections in numeric crates
+// ---------------------------------------------------------------------------
+
+fn rule_d1(file: &str, code: &[&Tok], mask: &[bool], out: &mut Vec<Finding>) {
+    for (i, t) in code.iter().enumerate() {
+        if masked(mask, i) {
+            continue;
+        }
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            out.push(Finding {
+                rule: "D1".into(),
+                file: file.into(),
+                line: t.line,
+                message: format!(
+                    "{} in a numeric crate: iteration order is nondeterministic and would \
+                     break the bit-identical reduction contract (DESIGN.md \u{a7}8); use \
+                     BTreeMap/BTreeSet, or allowlist with a sorted-iteration justification",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// D2 — wall-clock / entropy sources outside telemetry and bench
+// ---------------------------------------------------------------------------
+
+fn rule_d2(file: &str, code: &[&Tok], mask: &[bool], out: &mut Vec<Finding>) {
+    for (i, t) in code.iter().enumerate() {
+        if masked(mask, i) {
+            continue;
+        }
+        let hit = if is_path_seg(code, i, "Instant", "now") {
+            Some("Instant::now()")
+        } else if t.is_ident("SystemTime") {
+            Some("SystemTime")
+        } else if t.is_ident("thread_rng") || t.is_ident("from_entropy") {
+            Some("entropy-seeded RNG construction")
+        } else if is_path_seg(code, i, "rand", "random") {
+            Some("rand::random()")
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            out.push(Finding {
+                rule: "D2".into(),
+                file: file.into(),
+                line: t.line,
+                message: format!(
+                    "{what} outside the telemetry/bench crates: numeric code must be \
+                     replayable, so wall clocks and entropy sources are confined to \
+                     instrumentation (seeded `StdRng::seed_from_u64` is fine)"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// D3 — unordered float reductions
+// ---------------------------------------------------------------------------
+
+/// Reduction methods whose result depends on operand order for floats.
+const D3_REDUCERS: &[&str] = &["sum", "fold", "reduce", "product"];
+/// Markers that the iterator being reduced is parallel or hash-ordered.
+const D3_UNORDERED: &[&str] = &[
+    "par_iter",
+    "into_par_iter",
+    "par_iter_mut",
+    "par_chunks",
+    "par_chunks_mut",
+    "par_bridge",
+    "HashMap",
+    "HashSet",
+];
+
+fn rule_d3(file: &str, code: &[&Tok], mask: &[bool], out: &mut Vec<Finding>) {
+    for (i, t) in code.iter().enumerate() {
+        if masked(mask, i) {
+            continue;
+        }
+        let is_reducer = D3_REDUCERS.contains(&t.text.as_str())
+            && t.kind == TokKind::Ident
+            && matches!(before(code, i, 1), Some(p) if p.is_punct('.'));
+        if !is_reducer {
+            continue;
+        }
+        // Back-scan the statement (bounded, stopping at `;`) for an
+        // unordered source feeding this reduction.
+        let lo = i.saturating_sub(80);
+        for j in (lo..i).rev() {
+            let Some(cj) = code.get(j) else { break };
+            if cj.is_punct(';') {
+                break;
+            }
+            if cj.kind == TokKind::Ident && D3_UNORDERED.contains(&cj.text.as_str()) {
+                out.push(Finding {
+                    rule: "D3".into(),
+                    file: file.into(),
+                    line: t.line,
+                    message: format!(
+                        ".{}() over a {} source: float reduction order would vary across \
+                         runs/thread counts; route through the fixed-order \
+                         parallel::tree_reduce helpers instead",
+                        t.text, cj.text
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// P1 — unwrap / expect / panic! / slice-indexing audit
+// ---------------------------------------------------------------------------
+
+/// Keywords that can directly precede `[` without it being an index
+/// expression (slice patterns, casts, array types in expressions).
+const P1_NON_RECEIVERS: &[&str] = &[
+    "let", "in", "as", "return", "match", "if", "else", "mut", "ref", "move", "box", "const",
+    "static", "break", "where",
+];
+
+fn rule_p1(file: &str, code: &[&Tok], mask: &[bool], out: &mut Vec<Finding>) {
+    for (i, t) in code.iter().enumerate() {
+        if masked(mask, i) {
+            continue;
+        }
+        let next_is = |ch: char| matches!(code.get(i + 1), Some(n) if n.is_punct(ch));
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && matches!(before(code, i, 1), Some(p) if p.is_punct('.'))
+            && next_is('(')
+        {
+            out.push(Finding {
+                rule: "P1".into(),
+                file: file.into(),
+                line: t.line,
+                message: format!(
+                    ".{}() in library code: return a typed error or allowlist with a \
+                     justification for why this cannot fail",
+                    t.text
+                ),
+            });
+        } else if (t.is_ident("panic") || t.is_ident("todo") || t.is_ident("unimplemented"))
+            && next_is('!')
+        {
+            out.push(Finding {
+                rule: "P1".into(),
+                file: file.into(),
+                line: t.line,
+                message: format!(
+                    "{}! in library code: prefer a typed error; allowlist with a \
+                     justification if the state is truly unreachable",
+                    t.text
+                ),
+            });
+        } else if t.is_punct('[') {
+            let Some(prev) = before(code, i, 1) else {
+                continue;
+            };
+            let is_receiver = match prev.kind {
+                TokKind::Ident => !P1_NON_RECEIVERS.contains(&prev.text.as_str()),
+                TokKind::Num => true,
+                TokKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+                _ => false,
+            };
+            if is_receiver {
+                out.push(Finding {
+                    rule: "P1".into(),
+                    file: file.into(),
+                    line: t.line,
+                    message: format!(
+                        "slice/array indexing `{}[…]` in library code can panic on \
+                         out-of-bounds; use get()/checked access or allowlist with a \
+                         bounds justification",
+                        prev.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A1 — unsafe blocks need `// SAFETY:` comments
+// ---------------------------------------------------------------------------
+
+fn rule_a1(file: &str, toks: &[Tok], out: &mut Vec<Finding>) {
+    let safety_lines: Vec<u32> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Comment && t.text.contains("SAFETY:"))
+        .map(|t| t.line)
+        .collect();
+    for t in toks {
+        if t.kind == TokKind::Ident && t.text == "unsafe" {
+            let covered = safety_lines
+                .iter()
+                .any(|&l| l >= t.line.saturating_sub(3) && l <= t.line);
+            if !covered {
+                out.push(Finding {
+                    rule: "A1".into(),
+                    file: file.into(),
+                    line: t.line,
+                    message: "`unsafe` without a `// SAFETY:` comment on the preceding \
+                              lines documenting the invariant that makes it sound"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// T1 — telemetry keys must come from the central registry
+// ---------------------------------------------------------------------------
+
+fn rule_t1(file: &str, code: &[&Tok], registry: &BTreeSet<String>, out: &mut Vec<Finding>) {
+    for (i, t) in code.iter().enumerate() {
+        let is_method = t.kind == TokKind::Ident
+            && T1_METHODS.contains(&t.text.as_str())
+            && matches!(before(code, i, 1), Some(p) if p.is_punct('.'))
+            && matches!(code.get(i + 1), Some(n) if n.is_punct('('));
+        if !is_method {
+            continue;
+        }
+        let Some(arg) = code.get(i + 2) else { continue };
+        if arg.kind != TokKind::Str {
+            continue; // key comes from a const or variable — already centralized
+        }
+        if !registry.contains(&arg.text) {
+            out.push(Finding {
+                rule: "T1".into(),
+                file: file.into(),
+                line: arg.line,
+                message: format!(
+                    "telemetry key \"{}\" is not defined in the crates/telemetry key \
+                     registry (eta_telemetry::keys); use the registry const so typos \
+                     cannot silently fork a metric",
+                    arg.text
+                ),
+            });
+        }
+    }
+}
+
+/// Extracts every `const NAME: &str = "…";` value from the key
+/// registry source (`crates/telemetry/src/keys.rs`). String literals
+/// inside `ALL`-style arrays count too, which is harmless: the set is
+/// only used for membership tests.
+pub fn registry_keys(keys_rs_src: &str) -> BTreeSet<String> {
+    crate::lexer::lex(keys_rs_src)
+        .into_iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .map(|t| t.text)
+        .collect()
+}

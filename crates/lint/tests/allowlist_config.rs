@@ -1,0 +1,68 @@
+//! Allowlist configuration handling against the real workspace: stale
+//! entries (nonexistent files, unknown rules, missing reasons) must be
+//! hard errors, and entries that match nothing must be reported so
+//! they get deleted.
+
+use eta_lint::{find_workspace_root, lint_workspace_with};
+use std::path::Path;
+
+fn root() -> std::path::PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint crate lives inside the workspace")
+}
+
+#[test]
+fn entry_for_nonexistent_file_is_a_config_error() {
+    let toml = "[[allow]]\n\
+                rule = \"P1\"\n\
+                file = \"crates/core/src/no_such_file.rs\"\n\
+                reason = \"stale entry left behind after a refactor\"\n";
+    let err = lint_workspace_with(&root(), toml).expect_err("must reject");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("no_such_file.rs") && msg.contains("does not exist"),
+        "error must name the missing file: {msg}"
+    );
+}
+
+#[test]
+fn entry_with_unknown_rule_is_a_config_error() {
+    let toml = "[[allow]]\n\
+                rule = \"Z9\"\n\
+                file = \"crates/core/src/trainer.rs\"\n\
+                reason = \"typo\"\n";
+    let err = lint_workspace_with(&root(), toml).expect_err("must reject");
+    assert!(err.to_string().contains("Z9"), "{err}");
+}
+
+#[test]
+fn entry_without_reason_is_a_config_error() {
+    let toml = "[[allow]]\n\
+                rule = \"P1\"\n\
+                file = \"crates/core/src/trainer.rs\"\n";
+    let err = lint_workspace_with(&root(), toml).expect_err("must reject");
+    assert!(err.to_string().contains("reason"), "{err}");
+}
+
+#[test]
+fn unmatched_entry_is_reported_not_silently_ignored() {
+    // A real file that is lint-clean for D1, so the entry matches
+    // nothing; pair it with the real allowlist so the scan itself is
+    // otherwise clean.
+    let real = std::fs::read_to_string(root().join("lint.toml")).expect("workspace lint.toml");
+    let toml = format!(
+        "{real}\n[[allow]]\n\
+         rule = \"D1\"\n\
+         file = \"crates/core/src/trainer.rs\"\n\
+         reason = \"never needed\"\n"
+    );
+    let report = lint_workspace_with(&root(), &toml).expect("config parses");
+    assert!(
+        report
+            .unused_allowlist
+            .iter()
+            .any(|e| e.rule == "D1" && e.file == "crates/core/src/trainer.rs"),
+        "unused entry must surface in the report: {:#?}",
+        report.unused_allowlist
+    );
+}

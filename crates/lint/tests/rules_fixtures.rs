@@ -1,0 +1,238 @@
+//! Fixture tests: for every rule, one source snippet that must pass
+//! clean and one that must fail with the expected `file:line`
+//! diagnostic. These are the executable spec of what each rule
+//! flags — if a rule's matcher drifts, these fail before the
+//! workspace-wide gate ever runs.
+
+use eta_lint::rules::{lint_source, registry_keys};
+use eta_lint::Finding;
+use std::collections::BTreeSet;
+
+/// Fixture files claim to live in a numeric lib crate so every rule
+/// is in force.
+const NUMERIC_LIB: &str = "crates/core/src/fixture.rs";
+/// A non-numeric lib crate: D1/D3 do not apply, D2/P1/A1/T1 do.
+const PLAIN_LIB: &str = "crates/workloads/src/fixture.rs";
+/// A test file: only A1 and T1 apply.
+const TEST_FILE: &str = "crates/core/tests/fixture.rs";
+
+fn registry() -> BTreeSet<String> {
+    registry_keys(r#"pub const GOOD: &str = "train_loss_mean";"#)
+}
+
+fn run(path: &str, src: &str) -> Vec<Finding> {
+    lint_source(path, src, &registry())
+}
+
+fn rules_hit(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule.as_str()).collect()
+}
+
+#[track_caller]
+fn assert_hits(path: &str, src: &str, rule: &str, line: u32) {
+    let findings = run(path, src);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == rule && f.line == line && f.file == path),
+        "expected a {rule} finding at {path}:{line}, got {findings:#?}"
+    );
+}
+
+#[track_caller]
+fn assert_clean(path: &str, src: &str) {
+    let findings = run(path, src);
+    assert!(findings.is_empty(), "expected clean, got {findings:#?}");
+}
+
+// --- D1 --------------------------------------------------------------------
+
+#[test]
+fn d1_flags_hashmap_in_numeric_crate() {
+    let src = "use std::collections::HashMap;\n\
+               pub fn f() -> HashMap<u32, f32> { HashMap::new() }\n";
+    assert_hits(NUMERIC_LIB, src, "D1", 1);
+    // The diagnostic carries file:line for every occurrence.
+    let d1: Vec<u32> = run(NUMERIC_LIB, src)
+        .into_iter()
+        .filter(|f| f.rule == "D1")
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(d1, vec![1, 2, 2]);
+}
+
+#[test]
+fn d1_allows_btreemap_and_nonnumeric_crates() {
+    assert_clean(
+        NUMERIC_LIB,
+        "use std::collections::BTreeMap;\n\
+         pub fn f() -> BTreeMap<u32, f32> { BTreeMap::new() }\n",
+    );
+    // HashMap is fine outside the numeric crates (here: workloads).
+    assert_clean(
+        PLAIN_LIB,
+        "use std::collections::HashMap;\npub type T = HashMap<u32, u32>;\n",
+    );
+}
+
+#[test]
+fn d1_exempts_cfg_test_modules() {
+    assert_clean(
+        NUMERIC_LIB,
+        "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n\
+         \n    fn probe() -> HashMap<u32, u32> { HashMap::new() }\n}\n",
+    );
+}
+
+// --- D2 --------------------------------------------------------------------
+
+#[test]
+fn d2_flags_wall_clock_and_entropy() {
+    assert_hits(
+        PLAIN_LIB,
+        "pub fn t() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+        "D2",
+        2,
+    );
+    assert_hits(
+        NUMERIC_LIB,
+        "pub fn r() { let _ = rand::thread_rng(); }\n",
+        "D2",
+        1,
+    );
+}
+
+#[test]
+fn d2_allows_seeded_rng_and_elapsed_math() {
+    // Seeded construction and Instant *values* (not ::now()) are fine.
+    assert_clean(
+        NUMERIC_LIB,
+        "pub fn f(seed: u64) -> StdRng { StdRng::seed_from_u64(seed) }\n\
+         pub fn age(t: std::time::Instant) -> std::time::Duration { t.elapsed() }\n",
+    );
+}
+
+// --- D3 --------------------------------------------------------------------
+
+#[test]
+fn d3_flags_parallel_float_reduction() {
+    let src = "pub fn s(xs: &[f32]) -> f32 {\n\
+                   xs.par_iter().map(|x| x * 2.0).sum()\n\
+               }\n";
+    assert_hits(NUMERIC_LIB, src, "D3", 2);
+}
+
+#[test]
+fn d3_allows_sequential_and_tree_reductions() {
+    assert_clean(
+        NUMERIC_LIB,
+        "pub fn s(xs: &[f32]) -> f32 { xs.iter().sum() }\n\
+         pub fn t(xs: &[f32]) -> f32 { tree_reduce(xs) }\n",
+    );
+    // The bounded back-scan stops at statement boundaries: a par_iter
+    // in an earlier statement must not taint a later sequential sum.
+    assert_clean(
+        NUMERIC_LIB,
+        "pub fn f(xs: &[f32]) -> f32 {\n\
+             xs.par_iter().for_each(|_| {});\n\
+             let y: f32 = xs.iter().sum();\n\
+             y\n\
+         }\n",
+    );
+}
+
+// --- P1 --------------------------------------------------------------------
+
+#[test]
+fn p1_flags_unwrap_panic_and_indexing() {
+    assert_hits(
+        PLAIN_LIB,
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        "P1",
+        1,
+    );
+    assert_hits(PLAIN_LIB, "pub fn g() { panic!(\"boom\"); }\n", "P1", 1);
+    assert_hits(
+        PLAIN_LIB,
+        "pub fn h(xs: &[u32]) -> u32 { xs[3] }\n",
+        "P1",
+        1,
+    );
+}
+
+#[test]
+fn p1_allows_checked_access_and_test_code() {
+    assert_clean(
+        PLAIN_LIB,
+        "pub fn h(xs: &[u32]) -> Option<u32> { xs.get(3).copied() }\n\
+         pub fn t(xs: &[u32; 4]) -> u32 { let [a, ..] = xs; *a }\n",
+    );
+    // Tests unwrap freely.
+    assert_clean(
+        TEST_FILE,
+        "fn probe(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+}
+
+// --- A1 --------------------------------------------------------------------
+
+#[test]
+fn a1_flags_undocumented_unsafe() {
+    let src = "pub fn f(p: *const u32) -> u32 {\n    unsafe { *p }\n}\n";
+    assert_hits(PLAIN_LIB, src, "A1", 2);
+    // A1 applies even in tests and shims.
+    assert_hits(TEST_FILE, src, "A1", 2);
+    assert_hits("shims/rand/src/fixture.rs", src, "A1", 2);
+}
+
+#[test]
+fn a1_allows_unsafe_with_safety_comment() {
+    assert_clean(
+        PLAIN_LIB,
+        "pub fn f(p: *const u32) -> u32 {\n\
+             // SAFETY: caller guarantees p is valid and aligned.\n\
+             unsafe { *p }\n\
+         }\n",
+    );
+}
+
+// --- T1 --------------------------------------------------------------------
+
+#[test]
+fn t1_flags_unregistered_key_literals() {
+    let src = "pub fn f(t: &Telemetry) {\n    t.gauge(\"rogue_metric\", 1.0);\n}\n";
+    assert_hits(PLAIN_LIB, src, "T1", 2);
+}
+
+#[test]
+fn t1_allows_registry_keys_and_consts() {
+    // Literal that IS in the registry, and a const-passed key.
+    assert_clean(
+        PLAIN_LIB,
+        "pub fn f(t: &Telemetry) {\n\
+             t.gauge(\"train_loss_mean\", 1.0);\n\
+             t.incr(keys::TRAIN_EPOCHS_TOTAL);\n\
+         }\n",
+    );
+}
+
+// --- scope handling --------------------------------------------------------
+
+#[test]
+fn shims_only_get_a1() {
+    // A shim may unwrap, index, read clocks, and use HashMap.
+    assert_clean(
+        "shims/rand/src/fixture.rs",
+        "use std::collections::HashMap;\n\
+         pub fn f(x: Option<u32>, xs: &[u32]) -> u32 {\n\
+             let _ = std::time::Instant::now();\n\
+             x.unwrap() + xs[0]\n\
+         }\n",
+    );
+}
+
+#[test]
+fn unclassified_paths_produce_nothing() {
+    assert!(run("results/scratch.rs", "pub fn f() { panic!(); }\n").is_empty());
+    let _ = rules_hit(&[]);
+}

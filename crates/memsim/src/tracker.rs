@@ -1,7 +1,7 @@
 //! Live/peak memory footprint accounting.
 
 use crate::DataCategory;
-use eta_telemetry::Telemetry;
+use eta_telemetry::{keys, Telemetry};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -33,6 +33,27 @@ pub struct MemoryTracker {
     peak_total: u64,
 }
 
+/// Selects one category's slot out of a `[u64; 3]` by destructuring
+/// instead of indexing, so the access is infallible by construction
+/// (eta-lint P1 forbids bare slice indexing in library crates).
+fn slot(cells: &mut [u64; 3], category: DataCategory) -> &mut u64 {
+    let [weights, activations, intermediates] = cells;
+    match category {
+        DataCategory::Weights => weights,
+        DataCategory::Activations => activations,
+        DataCategory::Intermediates => intermediates,
+    }
+}
+
+fn slot_ref(cells: &[u64; 3], category: DataCategory) -> u64 {
+    let [weights, activations, intermediates] = cells;
+    match category {
+        DataCategory::Weights => *weights,
+        DataCategory::Activations => *activations,
+        DataCategory::Intermediates => *intermediates,
+    }
+}
+
 impl MemoryTracker {
     /// Creates an empty tracker.
     pub fn new() -> Self {
@@ -41,9 +62,11 @@ impl MemoryTracker {
 
     /// Records an allocation of `bytes` in `category`.
     pub fn alloc(&mut self, category: DataCategory, bytes: u64) {
-        let i = category.index();
-        self.live[i] += bytes;
-        self.peak[i] = self.peak[i].max(self.live[i]);
+        let live = slot(&mut self.live, category);
+        *live += bytes;
+        let live = *live;
+        let peak = slot(&mut self.peak, category);
+        *peak = (*peak).max(live);
         self.peak_total = self.peak_total.max(self.live_total());
     }
 
@@ -54,18 +77,17 @@ impl MemoryTracker {
     /// Panics in debug builds if more bytes are freed than are live
     /// (an accounting bug in the caller); saturates in release builds.
     pub fn free(&mut self, category: DataCategory, bytes: u64) {
-        let i = category.index();
+        let live = slot(&mut self.live, category);
         debug_assert!(
-            self.live[i] >= bytes,
-            "freeing {bytes} bytes from {category} with only {} live",
-            self.live[i]
+            *live >= bytes,
+            "freeing {bytes} bytes from {category} with only {live} live"
         );
-        self.live[i] = self.live[i].saturating_sub(bytes);
+        *live = live.saturating_sub(bytes);
     }
 
     /// Currently-live bytes in one category.
     pub fn live(&self, category: DataCategory) -> u64 {
-        self.live[category.index()]
+        slot_ref(&self.live, category)
     }
 
     /// Currently-live bytes across all categories.
@@ -76,7 +98,7 @@ impl MemoryTracker {
     /// Peak live bytes ever seen in one category (each category's own
     /// high-water mark; these need not have occurred simultaneously).
     pub fn peak(&self, category: DataCategory) -> u64 {
-        self.peak[category.index()]
+        slot_ref(&self.peak, category)
     }
 
     /// Peak of the *total* live bytes — the footprint number the paper's
@@ -145,7 +167,7 @@ impl SharedTracker {
     pub fn alloc(&self, category: DataCategory, bytes: u64) {
         self.tracker.lock().alloc(category, bytes);
         if self.telemetry.is_some() {
-            self.mirror.lock().allocated[category.index()] += bytes;
+            *slot(&mut self.mirror.lock().allocated, category) += bytes;
         }
     }
 
@@ -153,7 +175,7 @@ impl SharedTracker {
     pub fn free(&self, category: DataCategory, bytes: u64) {
         self.tracker.lock().free(category, bytes);
         if self.telemetry.is_some() {
-            self.mirror.lock().freed[category.index()] += bytes;
+            *slot(&mut self.mirror.lock().freed, category) += bytes;
         }
     }
 
@@ -169,11 +191,12 @@ impl SharedTracker {
             DataCategory::ALL
                 .into_iter()
                 .map(|c| {
-                    let i = c.index();
-                    let alloc = m.allocated[i] - m.published_alloc[i];
-                    let free = m.freed[i] - m.published_free[i];
-                    m.published_alloc[i] = m.allocated[i];
-                    m.published_free[i] = m.freed[i];
+                    let total_alloc = slot_ref(&m.allocated, c);
+                    let total_free = slot_ref(&m.freed, c);
+                    let alloc = total_alloc - slot_ref(&m.published_alloc, c);
+                    let free = total_free - slot_ref(&m.published_free, c);
+                    *slot(&mut m.published_alloc, c) = total_alloc;
+                    *slot(&mut m.published_free, c) = total_free;
                     (c, alloc, free)
                 })
                 .collect()
@@ -181,18 +204,26 @@ impl SharedTracker {
         let snap = self.tracker.lock().clone();
         for (category, alloc, free) in deltas {
             if alloc > 0 {
-                t.incr_with("memsim_alloc_bytes_total", category_labels(category), alloc);
+                t.incr_with(
+                    keys::MEMSIM_ALLOC_BYTES_TOTAL,
+                    category_labels(category),
+                    alloc,
+                );
             }
             if free > 0 {
-                t.incr_with("memsim_free_bytes_total", category_labels(category), free);
+                t.incr_with(
+                    keys::MEMSIM_FREE_BYTES_TOTAL,
+                    category_labels(category),
+                    free,
+                );
             }
             t.gauge_with(
-                "memsim_live_bytes",
+                keys::MEMSIM_LIVE_BYTES,
                 category_labels(category),
                 snap.live(category) as f64,
             );
         }
-        t.gauge("memsim_peak_total_bytes", snap.peak_total() as f64);
+        t.gauge(keys::MEMSIM_PEAK_TOTAL_BYTES, snap.peak_total() as f64);
     }
 
     /// Snapshot of the current tracker state; also publishes the

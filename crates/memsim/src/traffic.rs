@@ -1,7 +1,7 @@
 //! DRAM data-movement accounting.
 
 use crate::DataCategory;
-use eta_telemetry::Telemetry;
+use eta_telemetry::{keys, Telemetry};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -32,6 +32,27 @@ pub struct TrafficCounter {
     writes: [u64; 3],
 }
 
+/// Selects one category's slot out of a `[u64; 3]` by destructuring
+/// instead of indexing, so the access is infallible by construction
+/// (eta-lint P1 forbids bare slice indexing in library crates).
+fn slot(cells: &mut [u64; 3], category: DataCategory) -> &mut u64 {
+    let [weights, activations, intermediates] = cells;
+    match category {
+        DataCategory::Weights => weights,
+        DataCategory::Activations => activations,
+        DataCategory::Intermediates => intermediates,
+    }
+}
+
+fn slot_ref(cells: &[u64; 3], category: DataCategory) -> u64 {
+    let [weights, activations, intermediates] = cells;
+    match category {
+        DataCategory::Weights => *weights,
+        DataCategory::Activations => *activations,
+        DataCategory::Intermediates => *intermediates,
+    }
+}
+
 impl TrafficCounter {
     /// Creates a zeroed counter.
     pub fn new() -> Self {
@@ -40,22 +61,22 @@ impl TrafficCounter {
 
     /// Records `bytes` read from DRAM.
     pub fn read(&mut self, category: DataCategory, bytes: u64) {
-        self.reads[category.index()] += bytes;
+        *slot(&mut self.reads, category) += bytes;
     }
 
     /// Records `bytes` written to DRAM.
     pub fn write(&mut self, category: DataCategory, bytes: u64) {
-        self.writes[category.index()] += bytes;
+        *slot(&mut self.writes, category) += bytes;
     }
 
     /// Bytes read from DRAM for one category.
     pub fn reads(&self, category: DataCategory) -> u64 {
-        self.reads[category.index()]
+        slot_ref(&self.reads, category)
     }
 
     /// Bytes written to DRAM for one category.
     pub fn writes(&self, category: DataCategory) -> u64 {
-        self.writes[category.index()]
+        slot_ref(&self.writes, category)
     }
 
     /// Reads + writes for one category.
@@ -70,9 +91,9 @@ impl TrafficCounter {
 
     /// Merges another counter into this one.
     pub fn merge(&mut self, other: &TrafficCounter) {
-        for i in 0..3 {
-            self.reads[i] += other.reads[i];
-            self.writes[i] += other.writes[i];
+        for category in DataCategory::ALL {
+            *slot(&mut self.reads, category) += slot_ref(&other.reads, category);
+            *slot(&mut self.writes, category) += slot_ref(&other.writes, category);
         }
     }
 
@@ -139,21 +160,20 @@ impl SharedTraffic {
         let snap = self.counter.lock().clone();
         let mut m = self.mirror.lock();
         for category in DataCategory::ALL {
-            let i = category.index();
-            let reads = snap.reads(category) - m.published_reads[i];
-            let writes = snap.writes(category) - m.published_writes[i];
-            m.published_reads[i] = snap.reads(category);
-            m.published_writes[i] = snap.writes(category);
+            let reads = snap.reads(category) - slot_ref(&m.published_reads, category);
+            let writes = snap.writes(category) - slot_ref(&m.published_writes, category);
+            *slot(&mut m.published_reads, category) = snap.reads(category);
+            *slot(&mut m.published_writes, category) = snap.writes(category);
             if reads > 0 {
                 t.incr_with(
-                    "dram_read_bytes_total",
+                    keys::DRAM_READ_BYTES_TOTAL,
                     eta_telemetry::labels!(category = category),
                     reads,
                 );
             }
             if writes > 0 {
                 t.incr_with(
-                    "dram_write_bytes_total",
+                    keys::DRAM_WRITE_BYTES_TOTAL,
                     eta_telemetry::labels!(category = category),
                     writes,
                 );

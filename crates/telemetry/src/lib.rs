@@ -16,6 +16,7 @@
 //! Handles are `Clone + Send`; every operation takes `&self`, so one
 //! handle can be shared across the whole stack.
 
+pub mod keys;
 mod manifest;
 mod metrics;
 mod sink;

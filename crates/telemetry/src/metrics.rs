@@ -88,7 +88,12 @@ impl Histogram {
 
     fn observe(&mut self, value: f64) {
         match self.bounds.iter().position(|&b| value <= b) {
-            Some(i) => self.counts[i] += 1,
+            // position() came from bounds, and counts is built with
+            // bounds.len() slots, so the slot always exists.
+            Some(i) => match self.counts.get_mut(i) {
+                Some(c) => *c += 1,
+                None => self.overflow += 1,
+            },
             None => self.overflow += 1,
         }
         self.count += 1;

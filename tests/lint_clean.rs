@@ -1,0 +1,33 @@
+//! Workspace gate: `cargo test` fails if the eta-lint static-analysis
+//! pass reports any unsuppressed finding, if `lint.toml` fails to
+//! parse (unknown rule, missing reason, entry pointing at a file that
+//! no longer exists), or if an allowlist entry has gone stale and
+//! matches nothing.
+//!
+//! This is the same pass CI runs via `cargo run -p eta-lint`; keeping
+//! it under `cargo test` means the determinism/numeric-safety contract
+//! is enforced even in environments that never run the CI workflow.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = eta_lint::lint_workspace(root)
+        .unwrap_or_else(|e| panic!("eta-lint configuration error: {e}"));
+    assert!(
+        !report.files.is_empty(),
+        "lint walked no files; workspace root detection is broken"
+    );
+    assert!(
+        report.is_clean(),
+        "eta-lint found unsuppressed violations; fix them or add a \
+         justified entry to lint.toml:\n{}",
+        report.render_text()
+    );
+    assert!(
+        report.unused_allowlist.is_empty(),
+        "stale lint.toml entries match no finding; delete them:\n{:#?}",
+        report.unused_allowlist
+    );
+}
