@@ -219,6 +219,8 @@ impl Optimizer {
                 let bias2 = 1.0 - config.beta2.powi(state.t as i32);
                 let step_lr = config.lr * (bias2.sqrt() / bias1);
 
+                assert_eq!(state.m.cells.len(), cells.len());
+                assert_eq!(state.v.cells.len(), cells.len());
                 for (i, (p, g)) in cells.iter_mut().zip(grads).enumerate() {
                     adam_update(
                         &mut p.w,
@@ -297,6 +299,9 @@ fn adam_update(
     let gs = g.as_slice();
     let ms = m.as_mut_slice();
     let vs = v.as_mut_slice();
+    assert_eq!(gs.len(), ps.len());
+    assert_eq!(ms.len(), ps.len());
+    assert_eq!(vs.len(), ps.len());
     for i in 0..ps.len() {
         let grad = gs[i] * clip;
         ms[i] = config.beta1 * ms[i] + (1.0 - config.beta1) * grad;
@@ -314,6 +319,9 @@ fn adam_update_slice(
     step_lr: f32,
     clip: f32,
 ) {
+    assert_eq!(g.len(), p.len());
+    assert_eq!(m.len(), p.len());
+    assert_eq!(v.len(), p.len());
     for i in 0..p.len() {
         let grad = g[i] * clip;
         m[i] = config.beta1 * m[i] + (1.0 - config.beta1) * grad;

@@ -6,8 +6,8 @@
 //! comments. Every entry must name a rule, an existing file, and a
 //! non-empty justification; entries may pin a specific line. An entry
 //! without `line` covers every finding of that rule in that file —
-//! the per-file form is the norm for P1 audits, where the
-//! justification describes the file's bounds discipline.
+//! the per-file form is the norm for S1 audits of kernel files, where
+//! the justification describes the file's bounds discipline.
 
 use std::path::Path;
 
@@ -22,7 +22,7 @@ pub struct AllowEntry {
     pub defined_at: u32,
 }
 
-const KNOWN_RULES: &[&str] = &["D1", "D2", "D3", "P1", "A1", "T1"];
+const KNOWN_RULES: &[&str] = &["D1", "D2", "D3", "A1", "T1", "S1", "S2", "S3"];
 
 /// Parses allowlist text. `root` anchors the existence check for
 /// `file` fields; a missing file is a hard error so stale entries
@@ -183,7 +183,7 @@ mod tests {
         let text = r##"
 # header comment
 [[allow]]
-rule = "P1"                       # trailing comment
+rule = "S1"                       # trailing comment
 file = "crates/lint/src/lib.rs"
 reason = "audit: # in strings ok"
 [[allow]]
@@ -194,7 +194,7 @@ reason = "pinned"
 "##;
         let entries = parse(text, &root()).expect("parses");
         assert_eq!(entries.len(), 2);
-        assert_eq!(entries[0].rule, "P1");
+        assert_eq!(entries[0].rule, "S1");
         assert_eq!(entries[0].line, None);
         assert_eq!(entries[0].reason, "audit: # in strings ok");
         assert_eq!(entries[1].line, Some(42));
@@ -202,14 +202,14 @@ reason = "pinned"
 
     #[test]
     fn missing_reason_is_an_error() {
-        let text = "[[allow]]\nrule = \"P1\"\nfile = \"crates/lint/src/lib.rs\"\n";
+        let text = "[[allow]]\nrule = \"S1\"\nfile = \"crates/lint/src/lib.rs\"\n";
         let err = parse(text, &root()).expect_err("must fail");
         assert!(err.contains("missing `reason`"), "{err}");
     }
 
     #[test]
     fn nonexistent_file_is_an_error() {
-        let text = "[[allow]]\nrule = \"P1\"\nfile = \"crates/nope/src/lib.rs\"\nreason = \"x\"\n";
+        let text = "[[allow]]\nrule = \"S1\"\nfile = \"crates/nope/src/lib.rs\"\nreason = \"x\"\n";
         let err = parse(text, &root()).expect_err("must fail");
         assert!(err.contains("does not exist"), "{err}");
     }

@@ -203,6 +203,27 @@ impl Lexer<'_> {
                 self.char_or_lifetime();
                 return true;
             }
+            // Raw identifier `r#ident`: one Ident token (never a
+            // keyword, which is the point of the syntax).
+            if self.bytes.get(self.pos) == Some(&b'r')
+                && hashes == 1
+                && self
+                    .bytes
+                    .get(look)
+                    .is_some_and(|b| b.is_ascii_alphabetic() || *b == b'_' || *b >= 0x80)
+            {
+                let start = self.pos;
+                self.pos = look;
+                while let Some(b) = self.peek(0) {
+                    if b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80 {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Ident, start);
+                return true;
+            }
             return false;
         }
         let is_raw = hashes > 0
@@ -285,6 +306,8 @@ impl Lexer<'_> {
 
     fn number(&mut self) {
         let start = self.pos;
+        let radix_prefixed = self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'b' | b'o'));
         while let Some(b) = self.peek(0) {
             if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' {
                 // Stop `0..10` range syntax from being eaten as one number.
@@ -292,6 +315,15 @@ impl Lexer<'_> {
                     break;
                 }
                 self.pos += 1;
+                // Signed exponent: `1e-3` / `2.5E+10` is one number
+                // (but `0x1e-3` is hex minus three).
+                if (b == b'e' || b == b'E')
+                    && !radix_prefixed
+                    && matches!(self.peek(0), Some(b'+' | b'-'))
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.pos += 1;
+                }
             } else {
                 break;
             }
@@ -385,5 +417,100 @@ mod tests {
         let toks = kinds("for i in 0..10 {}");
         assert!(toks.contains(&(TokKind::Num, "0".into())));
         assert!(toks.contains(&(TokKind::Num, "10".into())));
+        // Inclusive ranges and float-looking bounds too.
+        let toks = kinds("1..=2");
+        assert_eq!(toks[0], (TokKind::Num, "1".into()));
+        assert_eq!(toks[4], (TokKind::Num, "2".into()));
+        let toks = kinds("1.5..2.5");
+        assert_eq!(toks[0], (TokKind::Num, "1.5".into()));
+        assert_eq!(toks[3], (TokKind::Num, "2.5".into()));
+    }
+
+    #[test]
+    fn signed_exponents_are_one_number() {
+        assert_eq!(kinds("1e-3")[0], (TokKind::Num, "1e-3".into()));
+        assert_eq!(kinds("2.5E+10")[0], (TokKind::Num, "2.5E+10".into()));
+        assert_eq!(kinds("1e6")[0], (TokKind::Num, "1e6".into()));
+        // Hex digits must not trigger the exponent rule: `0x1e-3` is
+        // a subtraction.
+        assert_eq!(
+            kinds("0x1e-3"),
+            vec![
+                (TokKind::Num, "0x1e".into()),
+                (TokKind::Punct, "-".into()),
+                (TokKind::Num, "3".into()),
+            ]
+        );
+        // An `e` not followed by a signed digit stays put: `1e-x` is
+        // `1e - x` (invalid Rust either way, but must not eat `-`).
+        assert_eq!(
+            kinds("1e-x"),
+            vec![
+                (TokKind::Num, "1e".into()),
+                (TokKind::Punct, "-".into()),
+                (TokKind::Ident, "x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_idents() {
+        assert_eq!(
+            kinds("let r#type = r#match;"),
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "r#type".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Ident, "r#match".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+        // `r` alone, and `r#` raw strings, keep their old meaning.
+        assert_eq!(kinds("r")[0], (TokKind::Ident, "r".into()));
+        assert_eq!(kinds(r##"r#"s"#"##)[0], (TokKind::Str, "s".into()));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r##"b"bytes" b'x' br#"raw"# x"##);
+        assert_eq!(toks[0], (TokKind::Str, "bytes".into()));
+        assert_eq!(toks[1].0, TokKind::CharLit);
+        assert_eq!(toks[2], (TokKind::Str, "raw".into()));
+        assert_eq!(toks[3], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_and_unterminated() {
+        let toks = lex("/* 1 /* 2 /* 3 */ 2 */ 1 */ after");
+        assert_eq!(toks.len(), 2);
+        assert!(toks[1].is_ident("after"));
+        // Unterminated constructs consume to EOF without panicking.
+        assert_eq!(lex("/* never closed").len(), 1);
+        assert_eq!(lex("\"never closed").len(), 1);
+        assert_eq!(lex(r##"r#"never closed"##).len(), 1);
+    }
+
+    #[test]
+    fn lifetime_edge_cases() {
+        // `'_` anonymous lifetime, `'a,` in generics, char `'''`? no —
+        // but escaped quote chars must not become lifetimes.
+        let toks = lex("&'_ str");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "'_"));
+        let toks = lex(r"let q = '\''; let l = 'static;");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::CharLit).count(),
+            1
+        );
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'static"));
+    }
+
+    #[test]
+    fn tuple_field_chains() {
+        // `x.0.1` — the lexer yields `0.1` as one number; the parser
+        // splits it back into two field accesses.
+        let toks = kinds("x.0.1");
+        assert_eq!(toks[2], (TokKind::Num, "0.1".into()));
     }
 }

@@ -1,22 +1,36 @@
-//! eta-lint: workspace static-analysis pass enforcing the
-//! determinism, numeric-safety, and telemetry contracts.
+//! eta-lint: workspace static analysis enforcing the determinism,
+//! numeric-safety, and telemetry contracts.
 //!
-//! The pass lexes every `.rs` file under the workspace root (a
-//! registry-less environment rules out `syn`; see [`lexer`]) and
-//! evaluates six repo-specific rules ([`rules`]) with `file:line`
-//! diagnostics. Justified exceptions live in `lint.toml`
-//! ([`allowlist`]); `tests/lint_clean.rs` at the workspace root gates
-//! `cargo test` on a clean run, and CI runs the binary with
-//! `--format json` for an uploadable report.
+//! Two layers run over every `.rs` file under the workspace root (a
+//! registry-less environment rules out `syn`; see [`lexer`]):
+//!
+//! 1. **Token rules** ([`rules`]) — D1/D2/D3/A1/T1 pattern checks on
+//!    the lexed stream.
+//! 2. **Semantic rules** ([`semantic`]) — every file is parsed to an
+//!    AST ([`parser`]), assembled into a workspace model with a
+//!    cross-crate call graph ([`model`]), and checked for S1
+//!    panic-reachability, S2 nondeterminism taint, and S3 telemetry
+//!    key liveness.
+//!
+//! Justified exceptions live in `lint.toml` ([`allowlist`]);
+//! `tests/lint_clean.rs` at the workspace root gates `cargo test` on a
+//! clean run, and CI runs the binary with `--format sarif` for an
+//! uploadable code-scanning report.
 //!
 //! ```text
-//! cargo run -p eta-lint                    # human-readable findings
-//! cargo run -p eta-lint -- --format json   # machine-readable report
+//! cargo run -p eta-lint                     # human-readable findings
+//! cargo run -p eta-lint -- --format json    # machine-readable report
+//! cargo run -p eta-lint -- --format sarif   # SARIF 2.1.0 log
 //! ```
 
 pub mod allowlist;
+pub mod ast;
 pub mod lexer;
+pub mod model;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
+pub mod semantic;
 
 pub use allowlist::AllowEntry;
 pub use rules::{classify, lint_source, registry_keys, Finding};
@@ -40,6 +54,9 @@ pub struct Report {
     pub suppressed: Vec<Suppressed>,
     /// Allowlist entries that matched nothing (candidates for removal).
     pub unused_allowlist: Vec<AllowEntry>,
+    /// Advisory diagnostics (S3 telemetry liveness) — rendered and
+    /// exported, but never failing the run.
+    pub warnings: Vec<Finding>,
 }
 
 #[derive(Debug, Clone, serde::Serialize)]
@@ -62,6 +79,12 @@ impl Report {
             out.push_str(&format!(
                 "{}:{}: {} {}\n",
                 f.file, f.line, f.rule, f.message
+            ));
+        }
+        for w in &self.warnings {
+            out.push_str(&format!(
+                "warning: {}:{}: {} {}\n",
+                w.file, w.line, w.rule, w.message
             ));
         }
         for e in &self.unused_allowlist {
@@ -128,6 +151,7 @@ pub fn lint_workspace_with(root: &Path, allow_text: &str) -> Result<Report, Lint
 
     let mut all = Vec::new();
     let mut scanned = Vec::new();
+    let mut sources = Vec::new();
     for rel in files {
         if rules::classify(&rel).is_none() {
             continue;
@@ -136,7 +160,15 @@ pub fn lint_workspace_with(root: &Path, allow_text: &str) -> Result<Report, Lint
             .map_err(|e| LintError(format!("reading {rel}: {e}")))?;
         scanned.push(rel.clone());
         all.extend(lint_source(&rel, &src, &registry));
+        sources.push((rel, src));
     }
+
+    // Semantic layer: parse everything once, run S1/S2/S3 over the
+    // workspace model. Error findings join the allowlist matching
+    // below; S3 liveness results stay advisory.
+    let sem = semantic::analyze_sources(&sources, Some(root));
+    all.extend(sem.findings);
+    all.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
 
     let mut used = vec![false; entries.len()];
     let mut findings = Vec::new();
@@ -169,6 +201,7 @@ pub fn lint_workspace_with(root: &Path, allow_text: &str) -> Result<Report, Lint
         findings,
         suppressed,
         unused_allowlist,
+        warnings: sem.warnings,
     })
 }
 

@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run -p eta-lint                      # text diagnostics, exit 1 on findings
 //! cargo run -p eta-lint -- --format json     # JSON report on stdout
-//! cargo run -p eta-lint -- --output lint.json --format json
+//! cargo run -p eta-lint -- --format sarif    # SARIF 2.1.0 log (CI code scanning)
+//! cargo run -p eta-lint -- --output lint.sarif --format sarif
 //! cargo run -p eta-lint -- --root /path/to/workspace
 //! ```
 //!
@@ -23,6 +24,7 @@ struct Args {
 enum Format {
     Text,
     Json,
+    Sarif,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,7 +43,8 @@ fn parse_args() -> Result<Args, String> {
             "--format" => match it.next().as_deref() {
                 Some("text") => args.format = Format::Text,
                 Some("json") => args.format = Format::Json,
-                other => return Err(format!("--format expects text|json, got {other:?}")),
+                Some("sarif") => args.format = Format::Sarif,
+                other => return Err(format!("--format expects text|json|sarif, got {other:?}")),
             },
             "--output" => {
                 let v = it.next().ok_or("--output requires a path")?;
@@ -50,11 +53,14 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "eta-lint — workspace static analysis for the eta-LSTM contracts\n\n\
-                     USAGE: eta-lint [--root DIR] [--format text|json] [--output FILE]\n\n\
-                     Rules: D1 hash-ordered collections in numeric crates; D2 wall-clock/\n\
-                     entropy outside telemetry+bench; D3 unordered float reductions;\n\
-                     P1 unwrap/expect/panic!/indexing audit; A1 unsafe needs // SAFETY:;\n\
-                     T1 telemetry keys must come from eta_telemetry::keys.\n\
+                     USAGE: eta-lint [--root DIR] [--format text|json|sarif] [--output FILE]\n\n\
+                     Token rules: D1 hash-ordered collections in numeric crates; D2 entropy\n\
+                     sources outside telemetry+bench; D3 unordered float reductions;\n\
+                     A1 unsafe needs // SAFETY:; T1 telemetry keys from eta_telemetry::keys.\n\
+                     Semantic rules (AST + call graph): S1 panic-capable sites reachable\n\
+                     from public numeric APIs (diagnostic shows the call chain); S2 clock/\n\
+                     entropy/hash-order taint reaching numerics or telemetry; S3 registered\n\
+                     telemetry keys never emitted (warning only).\n\
                      Exceptions: lint.toml at the workspace root (rule/file/[line]/reason)."
                 );
                 std::process::exit(0);
@@ -103,6 +109,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         },
+        Format::Sarif => eta_lint::sarif::render(&report),
     };
 
     if let Some(path) = &args.output {
@@ -120,7 +127,7 @@ fn main() -> ExitCode {
         }
     } else {
         print!("{rendered}");
-        if args.format == Format::Json {
+        if args.format != Format::Text {
             println!();
         }
     }

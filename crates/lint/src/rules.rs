@@ -1,18 +1,25 @@
-//! The six eta-lint rules, evaluated over lexed token streams.
+//! The token-level eta-lint rules, evaluated over lexed token streams.
 //!
 //! | rule | contract                                                        |
 //! |------|-----------------------------------------------------------------|
 //! | D1   | no hash-ordered collections in numeric crates                   |
-//! | D2   | no wall-clock / entropy sources outside telemetry and bench     |
+//! | D2   | no entropy-seeded RNG construction outside telemetry and bench  |
 //! | D3   | no unordered float reductions (parallel / hash-fed `sum`/`fold`)|
-//! | P1   | `unwrap`/`expect`/`panic!`/slice-indexing audit in library code |
 //! | A1   | every `unsafe` carries a nearby `// SAFETY:` comment            |
 //! | T1   | telemetry key literals must come from the central registry      |
 //!
 //! D1–D3 mechanically encode the DESIGN.md §8 determinism contract:
 //! bit-identical losses at any thread count require that no numeric
-//! path observes hash iteration order, wall-clock time, entropy, or a
-//! reduction order other than the fixed-order tree reduction.
+//! path observes hash iteration order, entropy, or a reduction order
+//! other than the fixed-order tree reduction.
+//!
+//! Two former token rules graduated to semantic analyses over the AST
+//! and call graph (see [`crate::semantic`]): the P1 panic audit became
+//! S1 panic-reachability (only sites a public numeric API can actually
+//! reach are reported, with the call chain), and D2's wall-clock half
+//! became S2 nondeterminism taint (a clock read is fine until its
+//! value flows into a tensor buffer — telemetry timing stays legal
+//! without a blanket exemption).
 
 use crate::lexer::{Tok, TokKind};
 use std::collections::BTreeSet;
@@ -46,16 +53,17 @@ pub struct FileScope {
     pub kind: ScopeKind,
 }
 
-/// Crates whose arithmetic feeds training numerics; D1/D3 apply.
-const NUMERIC_CRATES: &[&str] = &["tensor", "core", "accel", "memsim"];
+/// Crates whose arithmetic feeds training numerics; D1/D3 and the
+/// semantic S1/S2 sink rules apply.
+pub const NUMERIC_CRATES: &[&str] = &["tensor", "core", "accel", "memsim"];
 /// Crates allowed to read wall clocks and construct entropy RNGs.
-const D2_EXEMPT_CRATES: &[&str] = &["telemetry", "bench"];
+pub const D2_EXEMPT_CRATES: &[&str] = &["telemetry", "bench"];
 /// Telemetry itself defines the key registry; T1 checks everyone else.
 const T1_EXEMPT_CRATES: &[&str] = &["telemetry"];
 
 /// Telemetry registry/snapshot methods whose first argument is a
 /// metric key string.
-const T1_METHODS: &[&str] = &[
+pub const T1_METHODS: &[&str] = &[
     "incr",
     "incr_with",
     "gauge",
@@ -114,8 +122,8 @@ pub fn lint_source(rel_path: &str, src: &str, registry: &BTreeSet<String>) -> Ve
     rule_a1(rel_path, &toks, &mut findings);
 
     // Everything else runs on code tokens with `#[cfg(test)]` items
-    // masked out: test code may unwrap and index freely (P1), and the
-    // determinism contract binds production numerics, not assertions.
+    // masked out: the determinism contract binds production numerics,
+    // not assertions.
     let code: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
     let test_mask = cfg_test_mask(&code);
 
@@ -132,7 +140,6 @@ pub fn lint_source(rel_path: &str, src: &str, registry: &BTreeSet<String>) -> Ve
         if !D2_EXEMPT_CRATES.contains(&scope.crate_name.as_str()) {
             rule_d2(rel_path, &code, &test_mask, &mut findings);
         }
-        rule_p1(rel_path, &code, &test_mask, &mut findings);
     }
 
     findings.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
@@ -257,19 +264,19 @@ fn rule_d1(file: &str, code: &[&Tok], mask: &[bool], out: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------------
-// D2 — wall-clock / entropy sources outside telemetry and bench
+// D2 — entropy sources outside telemetry and bench
 // ---------------------------------------------------------------------------
+//
+// Wall clocks (`Instant::now` / `SystemTime`) used to be flagged here
+// too; they are now handled by the S2 taint analysis, which only
+// reports a clock value if it actually flows into a tensor buffer.
 
 fn rule_d2(file: &str, code: &[&Tok], mask: &[bool], out: &mut Vec<Finding>) {
     for (i, t) in code.iter().enumerate() {
         if masked(mask, i) {
             continue;
         }
-        let hit = if is_path_seg(code, i, "Instant", "now") {
-            Some("Instant::now()")
-        } else if t.is_ident("SystemTime") {
-            Some("SystemTime")
-        } else if t.is_ident("thread_rng") || t.is_ident("from_entropy") {
+        let hit = if t.is_ident("thread_rng") || t.is_ident("from_entropy") {
             Some("entropy-seeded RNG construction")
         } else if is_path_seg(code, i, "rand", "random") {
             Some("rand::random()")
@@ -283,8 +290,8 @@ fn rule_d2(file: &str, code: &[&Tok], mask: &[bool], out: &mut Vec<Finding>) {
                 line: t.line,
                 message: format!(
                     "{what} outside the telemetry/bench crates: numeric code must be \
-                     replayable, so wall clocks and entropy sources are confined to \
-                     instrumentation (seeded `StdRng::seed_from_u64` is fine)"
+                     replayable, so entropy sources are confined to instrumentation \
+                     (seeded `StdRng::seed_from_u64` is fine)"
                 ),
             });
         }
@@ -341,77 +348,6 @@ fn rule_d3(file: &str, code: &[&Tok], mask: &[bool], out: &mut Vec<Finding>) {
                     ),
                 });
                 break;
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// P1 — unwrap / expect / panic! / slice-indexing audit
-// ---------------------------------------------------------------------------
-
-/// Keywords that can directly precede `[` without it being an index
-/// expression (slice patterns, casts, array types in expressions).
-const P1_NON_RECEIVERS: &[&str] = &[
-    "let", "in", "as", "return", "match", "if", "else", "mut", "ref", "move", "box", "const",
-    "static", "break", "where",
-];
-
-fn rule_p1(file: &str, code: &[&Tok], mask: &[bool], out: &mut Vec<Finding>) {
-    for (i, t) in code.iter().enumerate() {
-        if masked(mask, i) {
-            continue;
-        }
-        let next_is = |ch: char| matches!(code.get(i + 1), Some(n) if n.is_punct(ch));
-        if (t.is_ident("unwrap") || t.is_ident("expect"))
-            && matches!(before(code, i, 1), Some(p) if p.is_punct('.'))
-            && next_is('(')
-        {
-            out.push(Finding {
-                rule: "P1".into(),
-                file: file.into(),
-                line: t.line,
-                message: format!(
-                    ".{}() in library code: return a typed error or allowlist with a \
-                     justification for why this cannot fail",
-                    t.text
-                ),
-            });
-        } else if (t.is_ident("panic") || t.is_ident("todo") || t.is_ident("unimplemented"))
-            && next_is('!')
-        {
-            out.push(Finding {
-                rule: "P1".into(),
-                file: file.into(),
-                line: t.line,
-                message: format!(
-                    "{}! in library code: prefer a typed error; allowlist with a \
-                     justification if the state is truly unreachable",
-                    t.text
-                ),
-            });
-        } else if t.is_punct('[') {
-            let Some(prev) = before(code, i, 1) else {
-                continue;
-            };
-            let is_receiver = match prev.kind {
-                TokKind::Ident => !P1_NON_RECEIVERS.contains(&prev.text.as_str()),
-                TokKind::Num => true,
-                TokKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
-                _ => false,
-            };
-            if is_receiver {
-                out.push(Finding {
-                    rule: "P1".into(),
-                    file: file.into(),
-                    line: t.line,
-                    message: format!(
-                        "slice/array indexing `{}[…]` in library code can panic on \
-                         out-of-bounds; use get()/checked access or allowlist with a \
-                         bounds justification",
-                        prev.text
-                    ),
-                });
             }
         }
     }

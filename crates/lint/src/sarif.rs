@@ -1,0 +1,187 @@
+//! SARIF 2.1.0 rendering of a lint [`Report`] for code-scanning UIs.
+//!
+//! One run, one driver (`eta-lint`), one result per finding. Error
+//! findings map to `level: "error"`, S3 liveness warnings to
+//! `level: "warning"`, and allowlist-suppressed findings are included
+//! with a `suppressions` entry so dashboards can show the justified
+//! exceptions without counting them as failures.
+//!
+//! The in-tree serde shim has no `json!` macro, so the log is built
+//! as an explicit [`Value`] tree (insertion order is preserved by the
+//! shim's `Map`, which keeps the output stable for diffing).
+
+use crate::rules::Finding;
+use crate::Report;
+use serde_json::Value;
+
+/// `(rule id, short description)` for the SARIF rule metadata table.
+const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
+    ("D1", "HashMap/HashSet in numeric crates: unordered iteration breaks determinism"),
+    ("D2", "entropy-seeded RNG constructed outside telemetry/bench"),
+    ("D3", "unordered floating-point reduction"),
+    ("A1", "unsafe block without a SAFETY comment"),
+    ("T1", "telemetry emit with an unregistered key"),
+    ("S1", "panic-capable site reachable from a public numeric API"),
+    ("S2", "nondeterministic value reaches numerics or telemetry"),
+    ("S3", "registered telemetry key never emitted outside tests"),
+];
+
+fn map(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(text: &str) -> Value {
+    Value::Str(text.to_string())
+}
+
+pub fn render(report: &Report) -> String {
+    let mut results: Vec<Value> = Vec::new();
+    for f in &report.findings {
+        results.push(result(f, "error", None));
+    }
+    for w in &report.warnings {
+        results.push(result(w, "warning", None));
+    }
+    for sup in &report.suppressed {
+        results.push(result(&sup.finding, "note", Some(&sup.reason)));
+    }
+
+    let rules: Vec<Value> = RULE_DESCRIPTIONS
+        .iter()
+        .map(|(id, desc)| {
+            map(vec![
+                ("id", s(id)),
+                ("shortDescription", map(vec![("text", s(desc))])),
+            ])
+        })
+        .collect();
+
+    let log = map(vec![
+        (
+            "$schema",
+            s("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        ),
+        ("version", s("2.1.0")),
+        (
+            "runs",
+            Value::Seq(vec![map(vec![
+                (
+                    "tool",
+                    map(vec![(
+                        "driver",
+                        map(vec![
+                            ("name", s("eta-lint")),
+                            ("rules", Value::Seq(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results", Value::Seq(results)),
+            ])]),
+        ),
+    ]);
+    serde_json::to_string_pretty(&log).expect("sarif log serializes")
+}
+
+fn result(f: &Finding, level: &str, suppression_reason: Option<&str>) -> Value {
+    let mut entries = vec![
+        ("ruleId", s(&f.rule)),
+        ("level", s(level)),
+        ("message", map(vec![("text", s(&f.message))])),
+        (
+            "locations",
+            Value::Seq(vec![map(vec![(
+                "physicalLocation",
+                map(vec![
+                    ("artifactLocation", map(vec![("uri", s(&f.file))])),
+                    ("region", map(vec![("startLine", Value::UInt(f.line as u64))])),
+                ]),
+            )])]),
+        ),
+    ];
+    if let Some(reason) = suppression_reason {
+        entries.push((
+            "suppressions",
+            Value::Seq(vec![map(vec![
+                ("kind", s("external")),
+                ("justification", s(reason)),
+            ])]),
+        ));
+    }
+    map(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Suppressed;
+
+    fn finding(rule: &str, file: &str, line: u32, msg: &str) -> Finding {
+        Finding {
+            rule: rule.into(),
+            file: file.into(),
+            line,
+            message: msg.into(),
+        }
+    }
+
+    fn seq(v: &Value) -> &[Value] {
+        match v {
+            Value::Seq(items) => items,
+            other => panic!("expected sequence, got {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn sarif_log_has_schema_results_and_levels() {
+        let report = Report {
+            files: vec!["crates/core/src/lib.rs".into()],
+            findings: vec![finding("S1", "crates/core/src/lib.rs", 7, "panic reachable")],
+            warnings: vec![finding("S3", "crates/telemetry/src/keys.rs", 3, "dead key")],
+            suppressed: vec![Suppressed {
+                finding: finding("S1", "crates/tensor/src/matrix.rs", 9, "index"),
+                reason: "kernel hot loop".into(),
+            }],
+            unused_allowlist: Vec::new(),
+        };
+        let text = render(&report);
+        let v: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v.get("version").and_then(Value::as_str), Some("2.1.0"));
+        let run = &seq(v.get("runs").unwrap())[0];
+        let results = seq(run.get("results").unwrap());
+        assert_eq!(results.len(), 3);
+        let levels: Vec<&str> = results
+            .iter()
+            .map(|r| r.get("level").and_then(Value::as_str).unwrap())
+            .collect();
+        assert_eq!(levels, ["error", "warning", "note"]);
+        let sup = seq(results[2].get("suppressions").unwrap());
+        assert_eq!(
+            sup[0].get("justification").and_then(Value::as_str),
+            Some("kernel hot loop")
+        );
+        let rules = seq(run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .unwrap());
+        let ids: Vec<&str> = rules
+            .iter()
+            .map(|r| r.get("id").and_then(Value::as_str).unwrap())
+            .collect();
+        assert!(ids.contains(&"S1") && ids.contains(&"S3"));
+        // Line numbers survive the round trip.
+        let line = results[0]
+            .get("locations")
+            .map(|l| &seq(l)[0])
+            .and_then(|l| l.get("physicalLocation"))
+            .and_then(|p| p.get("region"))
+            .and_then(|r| r.get("startLine"))
+            .and_then(Value::as_f64);
+        assert_eq!(line, Some(7.0));
+    }
+}

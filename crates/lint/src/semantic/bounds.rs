@@ -1,0 +1,384 @@
+//! Bounded-index discharge: proves `xs[i]` in-bounds from local
+//! structure so S1 only reports indexing that nothing guards.
+//!
+//! The analysis is per-function and purely syntactic over canonical
+//! [`expr_text`] keys. It discharges an index when one of these holds:
+//!
+//! * the index is `e % xs.len()` (modulo by the receiver's length);
+//! * the index variable is a `for i in 0..B` / `.enumerate()` counter
+//!   and `B` is length-equivalent to `xs.len()`;
+//! * an `assert!`-family guard bounds the index against `xs.len()`.
+//!
+//! Length equivalence is a union-find over expression strings seeded by
+//! `assert_eq!(a.len(), b.len())`, `let n = xs.len()`, and
+//! `let v = vec![x; n]` facts.
+
+use crate::ast::{expr_text, peel, Block, Expr, ExprKind, Stmt};
+use std::collections::BTreeMap;
+
+/// Union-find over canonical expression strings.
+#[derive(Default)]
+pub struct LenClasses {
+    parent: BTreeMap<String, String>,
+}
+
+impl LenClasses {
+    fn find(&self, key: &str) -> String {
+        let mut cur = key.to_string();
+        while let Some(p) = self.parent.get(&cur) {
+            if *p == cur {
+                break;
+            }
+            cur = p.clone();
+        }
+        cur
+    }
+
+    fn union(&mut self, a: &str, b: &str) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+
+    pub fn equivalent(&self, a: &str, b: &str) -> bool {
+        a == b || self.find(a) == self.find(b)
+    }
+}
+
+/// Everything learned about one function body.
+pub struct BoundsFacts {
+    pub classes: LenClasses,
+    /// Loop-counter binding → upper-bound expression text
+    /// (`for i in 0..hi` ⇒ `i → hi`).
+    pub counter_bounds: BTreeMap<String, String>,
+    /// `assert!(i < xs.len())`-style direct guards: index text → the
+    /// length expressions it is known to be below.
+    pub guards: BTreeMap<String, Vec<String>>,
+}
+
+pub fn gather(body: &Block) -> BoundsFacts {
+    let mut facts = BoundsFacts {
+        classes: LenClasses::default(),
+        counter_bounds: BTreeMap::new(),
+        guards: BTreeMap::new(),
+    };
+    gather_block(body, &mut facts);
+    facts
+}
+
+fn gather_block(block: &Block, facts: &mut BoundsFacts) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let { names, init, .. } => {
+                if let (Some(name), Some(init)) = (names.first(), init.as_ref()) {
+                    if names.len() == 1 {
+                        learn_let(name, init, facts);
+                    }
+                }
+                if let Some(init) = init {
+                    init.walk(&mut |e| learn_expr(e, facts));
+                }
+            }
+            Stmt::Expr { expr, .. } => expr.walk(&mut |e| learn_expr(e, facts)),
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+/// `let n = xs.len()` / `let v = vec![x; n]` produce equivalences.
+fn learn_let(name: &str, init: &Expr, facts: &mut BoundsFacts) {
+    match &init.kind {
+        ExprKind::MethodCall { recv, method, args } if method == "len" && args.is_empty() => {
+            facts
+                .classes
+                .union(name, &format!("{}.len()", expr_text(recv)));
+        }
+        ExprKind::MacroCall { path, args, .. }
+            if path.last().is_some_and(|p| p == "vec") && args.len() == 2 =>
+        {
+            facts
+                .classes
+                .union(&format!("{name}.len()"), &expr_text(&args[1]));
+        }
+        ExprKind::Repeat { len, .. } => {
+            facts
+                .classes
+                .union(&format!("{name}.len()"), &expr_text(len));
+        }
+        _ => {}
+    }
+}
+
+fn learn_expr(e: &Expr, facts: &mut BoundsFacts) {
+    match &e.kind {
+        // assert_eq!(a.len(), b.len()) unions the two lengths;
+        // assert!(i < xs.len()) is a direct guard.
+        ExprKind::MacroCall { path, args, .. } => {
+            let name = path.last().map(String::as_str).unwrap_or("");
+            match name {
+                "assert_eq" | "debug_assert_eq" if args.len() >= 2 => {
+                    let (a, b) = (expr_text(&args[0]), expr_text(&args[1]));
+                    if a.ends_with(".len()") || b.ends_with(".len()") {
+                        facts.classes.union(&a, &b);
+                    }
+                }
+                "assert" | "debug_assert" if !args.is_empty() => {
+                    learn_guard(&args[0], facts);
+                }
+                _ => {}
+            }
+        }
+        // for i in 0..hi { … } / for (i, x) in xs.iter().enumerate()
+        ExprKind::ForLoop {
+            pat_names,
+            iter,
+            ..
+        } => {
+            learn_for(pat_names, iter, facts);
+        }
+        _ => {}
+    }
+}
+
+fn learn_guard(cond: &Expr, facts: &mut BoundsFacts) {
+    // `assert!(!xs.is_empty())` guards `xs[0]`.
+    if let ExprKind::Unary { op: '!', expr } = &cond.kind {
+        if let ExprKind::MethodCall { recv, method, args } = &peel(expr).kind {
+            if method == "is_empty" && args.is_empty() {
+                facts
+                    .guards
+                    .entry("0".into())
+                    .or_default()
+                    .push(format!("{}.len()", expr_text(peel(recv))));
+            }
+        }
+        return;
+    }
+    if let ExprKind::Binary { op, lhs, rhs } = &cond.kind {
+        match op.as_str() {
+            "<" => {
+                facts
+                    .guards
+                    .entry(expr_text(lhs))
+                    .or_default()
+                    .push(expr_text(rhs));
+            }
+            "<=" => {
+                // `assert!(end <= xs.len())` guards `xs[end - 1]`-style
+                // indices only; record it as an equivalence hint for the
+                // common `assert!(n <= xs.len()); for i in 0..n` shape.
+                let (l, r) = (expr_text(lhs), expr_text(rhs));
+                if r.ends_with(".len()") {
+                    facts.guards.entry(l).or_default().push(r);
+                }
+            }
+            ">" => {
+                facts
+                    .guards
+                    .entry(expr_text(rhs))
+                    .or_default()
+                    .push(expr_text(lhs));
+            }
+            "&&" => {
+                learn_guard(lhs, facts);
+                learn_guard(rhs, facts);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn learn_for(pat_names: &[String], iter: &Expr, facts: &mut BoundsFacts) {
+    let iter = peel(iter);
+    match &iter.kind {
+        ExprKind::Range { lo, hi: Some(hi), inclusive: false } => {
+            let zero_based = lo
+                .as_deref()
+                .map(|l| expr_text(l) == "0")
+                .unwrap_or(false);
+            if zero_based {
+                if let Some(name) = pat_names.first() {
+                    facts
+                        .counter_bounds
+                        .insert(name.clone(), expr_text(hi));
+                }
+            }
+        }
+        // for (i, x) in xs.iter().enumerate() — i < xs.len().
+        ExprKind::MethodCall { recv, method, .. } if method == "enumerate" => {
+            if let Some(i) = pat_names.first() {
+                let base = iter_base(recv);
+                facts
+                    .counter_bounds
+                    .insert(i.clone(), format!("{base}.len()"));
+            }
+        }
+        _ => {}
+    }
+}
+
+/// `xs.iter()` / `xs.iter_mut().zip(ys)` → `xs`. Adapters that keep
+/// the count at or below the base length are stripped recursively
+/// (`zip` yields `min(a, b) ≤ a` items, so the bound stays sound).
+fn iter_base(recv: &Expr) -> String {
+    let recv = peel(recv);
+    if let ExprKind::MethodCall { recv: inner, method, .. } = &recv.kind {
+        if matches!(method.as_str(), "iter" | "iter_mut" | "into_iter" | "zip") {
+            return iter_base(inner);
+        }
+    }
+    expr_text(recv)
+}
+
+/// Is the index expression of `recv[idx]` provably in-bounds?
+pub fn discharged(recv: &Expr, idx: &Expr, facts: &BoundsFacts) -> bool {
+    let recv_len = format!("{}.len()", expr_text(peel(recv)));
+    let idx_text = expr_text(idx);
+
+    // xs[e % xs.len()]
+    if let ExprKind::Binary { op, rhs, .. } = &idx.kind {
+        if op == "%" && facts.classes.equivalent(&expr_text(rhs), &recv_len) {
+            return true;
+        }
+    }
+
+    // Direct guard: assert!(i < xs.len()) earlier in the body.
+    if let Some(bounds) = facts.guards.get(&idx_text) {
+        if bounds
+            .iter()
+            .any(|b| facts.classes.equivalent(b, &recv_len))
+        {
+            return true;
+        }
+    }
+
+    // Loop counter with a length-equivalent bound.
+    if let Some(bound) = facts.counter_bounds.get(&idx_text) {
+        if facts.classes.equivalent(bound, &recv_len) {
+            return true;
+        }
+        // Guarded bound: for i in 0..n with assert!(n <= xs.len()).
+        if let Some(gs) = facts.guards.get(bound) {
+            if gs.iter().any(|g| facts.classes.equivalent(g, &recv_len)) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::walk_block_exprs;
+    use crate::parser::parse;
+
+    fn body_of(src: &str) -> Block {
+        let file = parse(src);
+        assert!(file.errors.is_empty(), "fixture must parse: {:?}", file.errors);
+        for item in &file.items {
+            if let crate::ast::ItemKind::Fn(def) = &item.kind {
+                return def.body.clone().expect("fn body");
+            }
+        }
+        panic!("no fn in fixture");
+    }
+
+    fn indexes(body: &Block) -> Vec<(bool, String)> {
+        let facts = gather(body);
+        let mut out = Vec::new();
+        walk_block_exprs(body, &mut |e| {
+            if let ExprKind::Index { recv, index } = &e.kind {
+                out.push((discharged(recv, index, &facts), expr_text(index)));
+            }
+        });
+        out
+    }
+
+    #[test]
+    fn counter_loop_over_own_len_is_discharged() {
+        let body = body_of("fn f(xs: &[f32]) { for i in 0..xs.len() { let v = xs[i]; } }");
+        assert_eq!(indexes(&body), vec![(true, "i".into())]);
+    }
+
+    #[test]
+    fn assert_eq_extends_bound_to_second_slice() {
+        let body = body_of(
+            "fn f(a: &[f32], b: &[f32]) {\n\
+             assert_eq!(a.len(), b.len());\n\
+             for i in 0..a.len() { let v = a[i] + b[i]; } }",
+        );
+        assert_eq!(
+            indexes(&body),
+            vec![(true, "i".into()), (true, "i".into())]
+        );
+    }
+
+    #[test]
+    fn unrelated_index_stays_undischarged() {
+        let body = body_of("fn f(xs: &[f32], j: usize) { let v = xs[j]; }");
+        assert_eq!(indexes(&body), vec![(false, "j".into())]);
+    }
+
+    #[test]
+    fn modulo_receiver_len_is_discharged() {
+        let body = body_of("fn f(xs: &[f32], j: usize) { let v = xs[j % xs.len()]; }");
+        assert_eq!(indexes(&body).first().map(|x| x.0), Some(true));
+    }
+
+    #[test]
+    fn enumerate_counter_is_discharged() {
+        let body = body_of(
+            "fn f(xs: &[f32], ys: &mut [f32]) {\n\
+             assert_eq!(xs.len(), ys.len());\n\
+             for (i, x) in xs.iter().enumerate() { ys[i] = *x; } }",
+        );
+        assert_eq!(indexes(&body), vec![(true, "i".into())]);
+    }
+
+    #[test]
+    fn let_n_equals_len_links_counter() {
+        let body = body_of(
+            "fn f(xs: &[f32]) { let n = xs.len(); for i in 0..n { let v = xs[i]; } }",
+        );
+        assert_eq!(indexes(&body), vec![(true, "i".into())]);
+    }
+
+    #[test]
+    fn vec_macro_length_fact_links() {
+        let body = body_of(
+            "fn f(n: usize) { let v = vec![0.0f32; n]; for i in 0..n { let x = v[i]; } }",
+        );
+        assert_eq!(indexes(&body), vec![(true, "i".into())]);
+    }
+
+    #[test]
+    fn direct_assert_guard_discharges() {
+        let body = body_of(
+            "fn f(xs: &[f32], j: usize) { assert!(j < xs.len()); let v = xs[j]; }",
+        );
+        assert_eq!(indexes(&body), vec![(true, "j".into())]);
+    }
+
+    #[test]
+    fn nonempty_assert_guards_index_zero() {
+        let body = body_of(
+            "fn f(xs: &[f32]) { assert!(!xs.is_empty()); let v = xs[0]; let w = xs[1]; }",
+        );
+        assert_eq!(
+            indexes(&body),
+            vec![(true, "0".into()), (false, "1".into())]
+        );
+    }
+
+    #[test]
+    fn zip_enumerate_counter_bounds_by_leftmost_base() {
+        let body = body_of(
+            "fn f(a: &mut [f32], b: &[f32], m: &mut [f32]) {\n\
+             assert_eq!(m.len(), a.len());\n\
+             for (i, (p, g)) in a.iter_mut().zip(b).enumerate() { m[i] = *p + *g; } }",
+        );
+        assert_eq!(indexes(&body), vec![(true, "i".into())]);
+    }
+}

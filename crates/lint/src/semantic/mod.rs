@@ -1,0 +1,45 @@
+//! Semantic analyses over the parsed workspace model.
+//!
+//! Unlike the token rules in [`crate::rules`], these passes see real
+//! structure: an AST per file ([`crate::parser`]), a function table
+//! and cross-crate call graph ([`crate::model`]). Three rules live
+//! here:
+//!
+//! * **S1** ([`s1`]) — panic reachability: which public APIs of the
+//!   numeric crates transitively reach a panic-capable site; the
+//!   diagnostic prints the exact call chain.
+//! * **S2** ([`s2`]) — nondeterminism taint: clock / entropy /
+//!   hash-order values flowing into numeric arithmetic, tensor
+//!   buffers, or telemetry values.
+//! * **S3** ([`s3`]) — telemetry key liveness: registered keys that
+//!   no non-test code ever emits (warnings, not errors).
+
+pub mod bounds;
+pub mod s1;
+pub mod s2;
+pub mod s3;
+
+use crate::model::Workspace;
+use crate::rules::Finding;
+use std::path::Path;
+
+/// Error findings and warnings from all semantic passes.
+pub struct SemanticReport {
+    pub findings: Vec<Finding>,
+    pub warnings: Vec<Finding>,
+}
+
+/// Runs S1/S2/S3 over `(root-relative path, source)` pairs. `root`
+/// supplies crate-dependency scopes from the manifests when linting a
+/// real workspace; fixtures pass `None`.
+pub fn analyze_sources(sources: &[(String, String)], root: Option<&Path>) -> SemanticReport {
+    let ws = Workspace::build(sources, root);
+    let mut findings = s1::run(&ws);
+    findings.extend(s2::run(&ws));
+    findings.sort_by(|a, b| (&a.file, a.line, &a.rule, &a.message)
+        .cmp(&(&b.file, b.line, &b.rule, &b.message)));
+    SemanticReport {
+        findings,
+        warnings: s3::run(&ws),
+    }
+}

@@ -1,0 +1,536 @@
+//! S2 — nondeterminism taint.
+//!
+//! Tracks three classes of nondeterministic values through
+//! assignments, calls, and returns:
+//!
+//! * **clock** — `Instant::now()` / `SystemTime::now()` and anything
+//!   derived from them;
+//! * **entropy** — `thread_rng()`, `from_entropy()`, `rand::random()`;
+//! * **hash-order** — iteration over `HashMap` / `HashSet`.
+//!
+//! A value is only *reported* when it reaches a sink that affects
+//! training numerics or observability:
+//!
+//! * arithmetic in a numeric crate (entropy / hash-order only — a
+//!   clock reading that ends in `as_secs_f64()` arithmetic is how
+//!   telemetry measures time and is deliberately exempt);
+//! * a buffer write (`buf[i] = t`, `.push(t)`, …) in a numeric crate
+//!   (all classes — wall-clock values must never enter tensors);
+//! * a telemetry value argument (entropy / hash-order only).
+//!
+//! Propagation is an intraprocedural fixpoint over canonical
+//! expression keys (so `self.t0` is tracked field-sensitively) plus
+//! interprocedural return summaries resolved over the call graph.
+
+use crate::ast::{expr_text, peel, Block, Expr, ExprKind, Stmt};
+use crate::model::{FnInfo, Workspace};
+use crate::rules::{Finding, ScopeKind, D2_EXEMPT_CRATES, NUMERIC_CRATES, T1_METHODS};
+use std::collections::BTreeMap;
+
+pub const CLOCK: u8 = 1;
+pub const ENTROPY: u8 = 2;
+pub const HASH: u8 = 4;
+
+/// Classes that flag arithmetic / telemetry sinks (clock is exempt).
+const NUMERIC_SINK_MASK: u8 = ENTROPY | HASH;
+
+fn classes(mask: u8) -> String {
+    let mut names = Vec::new();
+    if mask & CLOCK != 0 {
+        names.push("clock");
+    }
+    if mask & ENTROPY != 0 {
+        names.push("entropy");
+    }
+    if mask & HASH != 0 {
+        names.push("hash-order");
+    }
+    names.join("+")
+}
+
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    // Interprocedural pass: fixpoint of per-fn return taint.
+    let mut summaries: BTreeMap<usize, u8> = BTreeMap::new();
+    for _ in 0..8 {
+        let mut changed = false;
+        for f in &ws.fns {
+            let own = return_taint(f, ws, &summaries);
+            let slot = summaries.entry(f.id).or_insert(0);
+            if *slot | own != *slot {
+                *slot |= own;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut findings = Vec::new();
+    for f in &ws.fns {
+        if f.in_test || f.kind != ScopeKind::Lib {
+            continue;
+        }
+        if f.crate_key.starts_with("shim:")
+            || D2_EXEMPT_CRATES.contains(&f.crate_key.as_str())
+        {
+            continue;
+        }
+        let Some(body) = &f.body else { continue };
+        let env = converge_env(f, body, ws, &summaries);
+        scan_sinks(f, body, &env, ws, &summaries, &mut findings);
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, &a.message).cmp(&(&b.file, b.line, &b.message)));
+    findings.dedup();
+    findings
+}
+
+/// Taint environment: canonical expression text → class mask.
+type Env = BTreeMap<String, u8>;
+
+/// Runs the body's assignments to a fixpoint (loops make one pass
+/// insufficient; masks only grow, so this terminates fast).
+fn converge_env(f: &FnInfo, body: &Block, ws: &Workspace, summaries: &BTreeMap<usize, u8>) -> Env {
+    let mut env = Env::new();
+    for _ in 0..4 {
+        let before = env.clone();
+        flow_block(body, f, ws, summaries, &mut env);
+        if env == before {
+            break;
+        }
+    }
+    env
+}
+
+fn flow_block(
+    block: &Block,
+    f: &FnInfo,
+    ws: &Workspace,
+    summaries: &BTreeMap<usize, u8>,
+    env: &mut Env,
+) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let { names, ty_text, init, .. } => {
+                let mask = init
+                    .as_ref()
+                    .map(|e| taint_of(e, f, ws, summaries, env))
+                    .unwrap_or(0);
+                for name in names {
+                    *env.entry(name.clone()).or_insert(0) |= mask;
+                }
+                // Remember hash containers so later iteration taints.
+                if is_hash_type(ty_text)
+                    || init.as_ref().is_some_and(|e| is_hash_ctor(e))
+                {
+                    for name in names {
+                        env.insert(format!("#container:{name}"), HASH);
+                    }
+                }
+                if let Some(init) = init {
+                    flow_expr(init, f, ws, summaries, env);
+                }
+            }
+            Stmt::Expr { expr, .. } => flow_expr(expr, f, ws, summaries, env),
+            Stmt::Item(_) => {}
+        }
+    }
+    // Parameter hash containers (e.g. `fn f(m: &HashMap<…>)`).
+    for p in &f.params {
+        if is_hash_type(&p.ty_text) {
+            if let Some(name) = &p.name {
+                env.insert(format!("#container:{name}"), HASH);
+            }
+        }
+    }
+}
+
+/// Propagates taint through one statement-level expression, updating
+/// `env` at assignments and binding patterns.
+fn flow_expr(
+    e: &Expr,
+    f: &FnInfo,
+    ws: &Workspace,
+    summaries: &BTreeMap<usize, u8>,
+    env: &mut Env,
+) {
+    match &e.kind {
+        ExprKind::Assign { lhs, rhs, .. } => {
+            let mask = taint_of(rhs, f, ws, summaries, env);
+            if mask != 0 {
+                *env.entry(expr_text(peel(lhs))).or_insert(0) |= mask;
+            }
+            flow_expr(rhs, f, ws, summaries, env);
+        }
+        ExprKind::ForLoop { pat_names, iter, body, .. } => {
+            let mask = taint_of(iter, f, ws, summaries, env) | iteration_taint(iter, env);
+            for name in pat_names {
+                *env.entry(name.clone()).or_insert(0) |= mask;
+            }
+            flow_block(body, f, ws, summaries, env);
+        }
+        ExprKind::IfLet { pat_names, scrutinee, then, else_, .. } => {
+            let mask = taint_of(scrutinee, f, ws, summaries, env);
+            for name in pat_names {
+                *env.entry(name.clone()).or_insert(0) |= mask;
+            }
+            flow_block(then, f, ws, summaries, env);
+            if let Some(e) = else_ {
+                flow_expr(e, f, ws, summaries, env);
+            }
+        }
+        ExprKind::WhileLet { pat_names, scrutinee, body, .. } => {
+            let mask = taint_of(scrutinee, f, ws, summaries, env);
+            for name in pat_names {
+                *env.entry(name.clone()).or_insert(0) |= mask;
+            }
+            flow_block(body, f, ws, summaries, env);
+        }
+        ExprKind::Match { scrutinee, arms } => {
+            let mask = taint_of(scrutinee, f, ws, summaries, env);
+            for arm in arms {
+                for name in &arm.pat_names {
+                    *env.entry(name.clone()).or_insert(0) |= mask;
+                }
+                flow_expr(&arm.body, f, ws, summaries, env);
+            }
+        }
+        ExprKind::If { cond, then, else_ } => {
+            flow_expr(cond, f, ws, summaries, env);
+            flow_block(then, f, ws, summaries, env);
+            if let Some(e) = else_ {
+                flow_expr(e, f, ws, summaries, env);
+            }
+        }
+        ExprKind::While { cond, body } => {
+            flow_expr(cond, f, ws, summaries, env);
+            flow_block(body, f, ws, summaries, env);
+        }
+        ExprKind::Block(b) | ExprKind::Unsafe(b) | ExprKind::Loop { body: b } => {
+            flow_block(b, f, ws, summaries, env)
+        }
+        ExprKind::Closure { body, .. } => flow_expr(body, f, ws, summaries, env),
+        _ => {
+            // Generic descent so nested assignments inside calls/args
+            // are still seen.
+            let mut nested = Vec::new();
+            e.walk(&mut |sub| {
+                if !std::ptr::eq(sub, e)
+                    && matches!(
+                        sub.kind,
+                        ExprKind::Assign { .. }
+                            | ExprKind::ForLoop { .. }
+                            | ExprKind::Match { .. }
+                            | ExprKind::IfLet { .. }
+                    )
+                {
+                    nested.push(sub);
+                }
+            });
+            for sub in nested {
+                flow_expr(sub, f, ws, summaries, env);
+            }
+        }
+    }
+}
+
+/// `for x in m.iter()` / `for (k, v) in &m` over a hash container.
+fn iteration_taint(iter: &Expr, env: &Env) -> u8 {
+    let base = match &peel(iter).kind {
+        ExprKind::MethodCall { recv, method, .. }
+            if matches!(
+                method.as_str(),
+                "iter" | "iter_mut" | "into_iter" | "keys" | "values" | "values_mut" | "drain"
+            ) =>
+        {
+            expr_text(peel(recv))
+        }
+        _ => expr_text(peel(iter)),
+    };
+    env.get(&format!("#container:{base}")).copied().unwrap_or(0)
+}
+
+fn is_hash_type(ty: &str) -> bool {
+    ty.contains("HashMap") || ty.contains("HashSet")
+}
+
+fn is_hash_ctor(e: &Expr) -> bool {
+    let text = expr_text(e);
+    text.contains("HashMap::") || text.contains("HashSet::") || is_hash_type(&text)
+}
+
+/// Class mask of an expression under `env`.
+fn taint_of(
+    e: &Expr,
+    f: &FnInfo,
+    ws: &Workspace,
+    summaries: &BTreeMap<usize, u8>,
+    env: &Env,
+) -> u8 {
+    match &e.kind {
+        ExprKind::Num(_) | ExprKind::Str(_) | ExprKind::Char | ExprKind::Bool(_) => 0,
+        ExprKind::Path(segs) => {
+            if segs.len() == 1 {
+                env.get(&segs[0]).copied().unwrap_or(0)
+            } else {
+                env.get(&segs.join("::")).copied().unwrap_or(0)
+            }
+        }
+        ExprKind::Call { callee, args } => {
+            let mut mask = source_of_call(callee);
+            for a in args {
+                mask |= taint_of(a, f, ws, summaries, env);
+            }
+            for id in resolved_callees(f, e, ws) {
+                mask |= summaries.get(&id).copied().unwrap_or(0);
+            }
+            mask
+        }
+        ExprKind::MethodCall { recv, method, args } => {
+            let mut mask = match method.as_str() {
+                "from_entropy" => ENTROPY,
+                _ => 0,
+            };
+            // Hash-order source: iterating a known hash container.
+            if matches!(
+                method.as_str(),
+                "iter" | "iter_mut" | "into_iter" | "keys" | "values" | "values_mut" | "drain"
+            ) {
+                let base = expr_text(peel(recv));
+                mask |= env
+                    .get(&format!("#container:{base}"))
+                    .copied()
+                    .unwrap_or(0);
+            }
+            mask |= taint_of(recv, f, ws, summaries, env);
+            for a in args {
+                mask |= taint_of(a, f, ws, summaries, env);
+            }
+            for id in resolved_callees(f, e, ws) {
+                mask |= summaries.get(&id).copied().unwrap_or(0);
+            }
+            mask
+        }
+        ExprKind::Field { recv, .. } => env
+            .get(&expr_text(e))
+            .copied()
+            .unwrap_or(0)
+            | taint_of(recv, f, ws, summaries, env),
+        ExprKind::Index { recv, .. } => {
+            env.get(&expr_text(e)).copied().unwrap_or(0)
+                | taint_of(recv, f, ws, summaries, env)
+        }
+        ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+            taint_of(lhs, f, ws, summaries, env) | taint_of(rhs, f, ws, summaries, env)
+        }
+        ExprKind::Unary { expr, .. }
+        | ExprKind::Cast { expr, .. }
+        | ExprKind::Ref { expr }
+        | ExprKind::Deref { expr }
+        | ExprKind::Try(expr) => taint_of(expr, f, ws, summaries, env),
+        ExprKind::Range { lo, hi, .. } => {
+            lo.as_ref().map_or(0, |e| taint_of(e, f, ws, summaries, env))
+                | hi.as_ref().map_or(0, |e| taint_of(e, f, ws, summaries, env))
+        }
+        ExprKind::MacroCall { args, .. } | ExprKind::Tuple(args) | ExprKind::Array(args) => args
+            .iter()
+            .fold(0, |m, a| m | taint_of(a, f, ws, summaries, env)),
+        ExprKind::Repeat { elem, .. } => taint_of(elem, f, ws, summaries, env),
+        ExprKind::StructLit { fields, rest, .. } => {
+            fields
+                .iter()
+                .fold(0, |m, (_, v)| m | taint_of(v, f, ws, summaries, env))
+                | rest
+                    .as_ref()
+                    .map_or(0, |r| taint_of(r, f, ws, summaries, env))
+        }
+        ExprKind::If { then, else_, .. } => {
+            tail_taint(then, f, ws, summaries, env)
+                | else_
+                    .as_ref()
+                    .map_or(0, |e| taint_of(e, f, ws, summaries, env))
+        }
+        ExprKind::IfLet { then, else_, .. } => {
+            tail_taint(then, f, ws, summaries, env)
+                | else_
+                    .as_ref()
+                    .map_or(0, |e| taint_of(e, f, ws, summaries, env))
+        }
+        ExprKind::Match { arms, .. } => arms
+            .iter()
+            .fold(0, |m, a| m | taint_of(&a.body, f, ws, summaries, env)),
+        ExprKind::Block(b) | ExprKind::Unsafe(b) => tail_taint(b, f, ws, summaries, env),
+        _ => 0,
+    }
+}
+
+fn tail_taint(
+    b: &Block,
+    f: &FnInfo,
+    ws: &Workspace,
+    summaries: &BTreeMap<usize, u8>,
+    env: &Env,
+) -> u8 {
+    match b.stmts.last() {
+        Some(Stmt::Expr { expr, semi: false }) => taint_of(expr, f, ws, summaries, env),
+        _ => 0,
+    }
+}
+
+/// Direct nondeterminism sources spelled as paths.
+fn source_of_call(callee: &Expr) -> u8 {
+    let ExprKind::Path(segs) = &callee.kind else {
+        return 0;
+    };
+    let tail2 = if segs.len() >= 2 {
+        format!("{}::{}", segs[segs.len() - 2], segs[segs.len() - 1])
+    } else {
+        segs.last().cloned().unwrap_or_default()
+    };
+    match tail2.as_str() {
+        "Instant::now" | "SystemTime::now" => CLOCK,
+        "rand::random" => ENTROPY,
+        _ if segs.last().is_some_and(|s| s == "thread_rng") => ENTROPY,
+        _ if segs.last().is_some_and(|s| s == "from_entropy") => ENTROPY,
+        _ => 0,
+    }
+}
+
+/// Call-graph lookup for a specific call expression: re-resolves via
+/// the workspace tables (kept simple — resolution is name-based, so a
+/// per-expression resolve matches what the graph recorded).
+fn resolved_callees(f: &FnInfo, call: &Expr, ws: &Workspace) -> Vec<usize> {
+    let name = match &call.kind {
+        ExprKind::Call { callee, .. } => match &callee.kind {
+            ExprKind::Path(segs) => segs.last().cloned(),
+            _ => None,
+        },
+        ExprKind::MethodCall { method, .. } => Some(method.clone()),
+        _ => None,
+    };
+    let Some(name) = name else { return Vec::new() };
+    ws.callees[f.id]
+        .iter()
+        .copied()
+        .filter(|&id| ws.fns[id].name == name)
+        .collect()
+}
+
+/// Return taint of a fn body (sources only, params clean).
+fn return_taint(f: &FnInfo, ws: &Workspace, summaries: &BTreeMap<usize, u8>) -> u8 {
+    let Some(body) = &f.body else { return 0 };
+    let env = converge_env(f, body, ws, summaries);
+    let mut mask = tail_taint(body, f, ws, summaries, &env);
+    crate::model::walk_block_exprs(body, &mut |e| {
+        if let ExprKind::Return(Some(v)) = &e.kind {
+            mask |= taint_of(v, f, ws, summaries, &env);
+        }
+    });
+    mask
+}
+
+fn scan_sinks(
+    f: &FnInfo,
+    body: &Block,
+    env: &Env,
+    ws: &Workspace,
+    summaries: &BTreeMap<usize, u8>,
+    findings: &mut Vec<Finding>,
+) {
+    let numeric = NUMERIC_CRATES.contains(&f.crate_key.as_str());
+    crate::model::walk_block_exprs(body, &mut |e| {
+        match &e.kind {
+            // Buffer write: buf[i] = tainted / buf.push(tainted).
+            ExprKind::Assign { lhs, rhs, .. } if numeric => {
+                if matches!(peel(lhs).kind, ExprKind::Index { .. }) {
+                    let mask = taint_of(rhs, f, ws, summaries, env);
+                    if mask != 0 {
+                        findings.push(sink_finding(
+                            f,
+                            e.line,
+                            mask,
+                            &format!("buffer write `{}`", clip(&expr_text(lhs))),
+                        ));
+                    }
+                }
+            }
+            ExprKind::MethodCall { recv, method, args } => {
+                if numeric
+                    && matches!(method.as_str(), "push" | "extend" | "insert" | "copy_from_slice")
+                {
+                    let mask = args
+                        .iter()
+                        .fold(0, |m, a| m | taint_of(a, f, ws, summaries, env));
+                    if mask != 0 {
+                        findings.push(sink_finding(
+                            f,
+                            e.line,
+                            mask,
+                            &format!("buffer write `{}.{}(…)`", clip(&expr_text(recv)), method),
+                        ));
+                    }
+                }
+                // Telemetry value sink (entropy / hash-order only).
+                if T1_METHODS.contains(&method.as_str()) && args.len() >= 2 {
+                    let mask = args[1..]
+                        .iter()
+                        .fold(0, |m, a| m | taint_of(a, f, ws, summaries, env))
+                        & NUMERIC_SINK_MASK;
+                    if mask != 0 {
+                        findings.push(sink_finding(
+                            f,
+                            e.line,
+                            mask,
+                            &format!("telemetry value in `.{method}(…)`"),
+                        ));
+                    }
+                }
+            }
+            // Arithmetic sink (entropy / hash-order only; clock exempt).
+            ExprKind::Binary { op, lhs, rhs } if numeric => {
+                if matches!(op.as_str(), "+" | "-" | "*" | "/" | "%") {
+                    let mask = (taint_of(lhs, f, ws, summaries, env)
+                        | taint_of(rhs, f, ws, summaries, env))
+                        & NUMERIC_SINK_MASK;
+                    if mask != 0 {
+                        findings.push(sink_finding(
+                            f,
+                            e.line,
+                            mask,
+                            &format!("arithmetic `{}`", clip(&expr_text(e))),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    });
+}
+
+fn sink_finding(f: &FnInfo, line: u32, mask: u8, sink: &str) -> Finding {
+    Finding {
+        rule: "S2".into(),
+        file: f.file.clone(),
+        line,
+        message: format!(
+            "nondeterministic value ({}) flows into {} in fn `{}`",
+            classes(mask),
+            sink,
+            f.name
+        ),
+    }
+}
+
+fn clip(s: &str) -> String {
+    if s.len() > 40 {
+        let end = s
+            .char_indices()
+            .take(37)
+            .last()
+            .map(|(i, c)| i + c.len_utf8())
+            .unwrap_or(0);
+        format!("{}…", &s[..end])
+    } else {
+        s.to_string()
+    }
+}

@@ -14,7 +14,7 @@ fn root() -> std::path::PathBuf {
 #[test]
 fn entry_for_nonexistent_file_is_a_config_error() {
     let toml = "[[allow]]\n\
-                rule = \"P1\"\n\
+                rule = \"S1\"\n\
                 file = \"crates/core/src/no_such_file.rs\"\n\
                 reason = \"stale entry left behind after a refactor\"\n";
     let err = lint_workspace_with(&root(), toml).expect_err("must reject");
@@ -38,7 +38,7 @@ fn entry_with_unknown_rule_is_a_config_error() {
 #[test]
 fn entry_without_reason_is_a_config_error() {
     let toml = "[[allow]]\n\
-                rule = \"P1\"\n\
+                rule = \"S1\"\n\
                 file = \"crates/core/src/trainer.rs\"\n";
     let err = lint_workspace_with(&root(), toml).expect_err("must reject");
     assert!(err.to_string().contains("reason"), "{err}");

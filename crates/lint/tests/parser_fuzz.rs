@@ -1,0 +1,92 @@
+//! No-panic fuzzing of the tolerant parser.
+//!
+//! Two generators feed [`eta_lint::parser`]:
+//!
+//! 1. **Token soup** — arbitrary sequences drawn from a weighted
+//!    alphabet of identifiers, keywords, literals, and punctuation,
+//!    fed through [`parse_tokens`]. The parser must terminate without
+//!    panicking on *any* input (errors are expected and fine).
+//! 2. **Character soup** — random bytes from a Rust-flavored
+//!    character set, fed through the lexer + parser pipeline, which
+//!    additionally exercises literal/comment termination handling.
+//!
+//! The shim proptest is deterministic (fixed seed, no shrinking), so
+//! failures reproduce exactly in CI.
+
+use eta_lint::lexer::{Tok, TokKind};
+use eta_lint::parser::{parse, parse_tokens};
+use proptest::prelude::*;
+
+/// Weighted token alphabet: heavy on the punctuation that drives the
+/// parser's trickiest paths (angle brackets, dots, pipes, braces).
+const WORDS: &[&str] = &[
+    "fn", "let", "if", "else", "match", "while", "for", "loop", "in", "impl", "trait",
+    "struct", "enum", "mod", "pub", "use", "const", "static", "unsafe", "move", "mut",
+    "return", "break", "continue", "as", "where", "self", "Self", "true", "false",
+    "x", "y", "foo", "Bar", "vec", "macro_rules", "extern", "crate", "type", "ref",
+];
+const PUNCTS: &[char] = &[
+    '{', '}', '(', ')', '[', ']', '<', '>', ';', ',', '.', ':', '=', '+', '-', '*', '/',
+    '%', '&', '|', '^', '!', '?', '#', '@', '$', '~', '\'',
+];
+
+fn tok(kind: TokKind, text: impl Into<String>) -> Tok {
+    Tok {
+        kind,
+        text: text.into(),
+        line: 1,
+    }
+}
+
+fn token_from_choice(word: usize, punct: usize, kind: u8) -> Tok {
+    match kind % 5 {
+        0 => tok(TokKind::Ident, WORDS[word % WORDS.len()]),
+        1 => tok(TokKind::Punct, PUNCTS[punct % PUNCTS.len()].to_string()),
+        2 => tok(TokKind::Num, ["0", "1", "2.5", "0.1", "1e-3", "42"][word % 6]),
+        3 => tok(TokKind::Str, "s"),
+        _ => tok(TokKind::Lifetime, "'a"),
+    }
+}
+
+/// Characters for source-level fuzzing: enough structure that the
+/// lexer regularly produces interesting token streams.
+const CHARS: &[u8] = b"fnletifmatch{}()[]<>;,.:=+-*/%&|^!?#'\"r\\ \n0123456789abcXYZ_";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        choices in proptest::collection::vec((0usize..64, 0usize..32, 0u8..5), 0..120)
+    ) {
+        let toks: Vec<Tok> = choices
+            .into_iter()
+            .map(|(w, p, k)| token_from_choice(w, p, k))
+            .collect();
+        let file = parse_tokens(&toks);
+        // Error volume is bounded regardless of input size.
+        prop_assert!(file.errors.len() <= 64);
+    }
+
+    #[test]
+    fn parser_never_panics_on_char_soup(
+        bytes in proptest::collection::vec(0usize..CHARS.len(), 0..200)
+    ) {
+        let src: String = bytes.into_iter().map(|i| CHARS[i] as char).collect();
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn deep_nesting_bails_instead_of_overflowing(
+        depth in 1usize..2000,
+        opener in 0usize..4
+    ) {
+        let (open, close) = [("(", ")"), ("[", "]"), ("{", "}"), ("f!(", ")")][opener];
+        let src = format!(
+            "fn f() {{ let x = {}1{}; }}",
+            open.repeat(depth),
+            close.repeat(depth)
+        );
+        let _ = parse(&src);
+    }
+}

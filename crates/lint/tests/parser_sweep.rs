@@ -1,0 +1,90 @@
+//! Parser totality over the real workspace: every `.rs` file must
+//! parse with zero recorded errors. This is the executable contract
+//! that keeps the tolerant parser honest — "tolerant" covers fuzz
+//! input and future Rust, not gaps on code the semantic rules must
+//! actually analyze.
+
+use eta_lint::ast::{walk_items, ItemKind};
+use eta_lint::parser::parse;
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    eta_lint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint")
+}
+
+fn rs_files(root: &Path) -> Vec<std::path::PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("read_dir") {
+            let path = entry.expect("dir entry").path();
+            let name = path.file_name().unwrap_or_default().to_string_lossy().into_owned();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') || name == "results" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn every_workspace_file_parses_without_errors() {
+    let root = workspace_root();
+    let files = rs_files(&root);
+    assert!(
+        files.len() > 30,
+        "suspiciously few files found: {}",
+        files.len()
+    );
+    let mut failures = Vec::new();
+    for path in &files {
+        let src = std::fs::read_to_string(path).expect("read source");
+        let parsed = parse(&src);
+        for e in &parsed.errors {
+            failures.push(format!(
+                "{}:{}: {}",
+                path.strip_prefix(&root).unwrap_or(path).display(),
+                e.line,
+                e.message
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} parse error(s) across the workspace:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn sweep_finds_real_structure_not_empty_trees() {
+    // Guard against the parser "succeeding" by producing nothing:
+    // across the workspace we must see a healthy volume of items and
+    // function bodies.
+    let root = workspace_root();
+    let mut fns = 0usize;
+    let mut impls = 0usize;
+    for path in rs_files(&root) {
+        let src = std::fs::read_to_string(&path).expect("read source");
+        let parsed = parse(&src);
+        walk_items(&parsed.items, &mut |item| match &item.kind {
+            ItemKind::Fn(def) => {
+                if def.body.is_some() {
+                    fns += 1;
+                }
+            }
+            ItemKind::Impl { .. } => impls += 1,
+            _ => {}
+        });
+    }
+    assert!(fns > 300, "expected >300 fn bodies, parsed {fns}");
+    assert!(impls > 50, "expected >50 impl blocks, parsed {impls}");
+}

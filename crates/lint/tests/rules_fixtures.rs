@@ -87,27 +87,30 @@ fn d1_exempts_cfg_test_modules() {
 // --- D2 --------------------------------------------------------------------
 
 #[test]
-fn d2_flags_wall_clock_and_entropy() {
-    assert_hits(
-        PLAIN_LIB,
-        "pub fn t() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
-        "D2",
-        2,
-    );
+fn d2_flags_entropy_sources() {
     assert_hits(
         NUMERIC_LIB,
         "pub fn r() { let _ = rand::thread_rng(); }\n",
         "D2",
         1,
     );
+    assert_hits(
+        PLAIN_LIB,
+        "pub fn r() -> StdRng { StdRng::from_entropy() }\n",
+        "D2",
+        1,
+    );
 }
 
 #[test]
-fn d2_allows_seeded_rng_and_elapsed_math() {
-    // Seeded construction and Instant *values* (not ::now()) are fine.
+fn d2_allows_seeded_rng_and_wall_clock_reads() {
+    // Seeded construction is fine, and wall-clock *reads* are no
+    // longer a token-level offence — the S2 taint analysis flags a
+    // clock value only if it flows into a tensor buffer.
     assert_clean(
         NUMERIC_LIB,
         "pub fn f(seed: u64) -> StdRng { StdRng::seed_from_u64(seed) }\n\
+         pub fn t() -> std::time::Instant { std::time::Instant::now() }\n\
          pub fn age(t: std::time::Instant) -> std::time::Duration { t.elapsed() }\n",
     );
 }
@@ -141,33 +144,18 @@ fn d3_allows_sequential_and_tree_reductions() {
     );
 }
 
-// --- P1 --------------------------------------------------------------------
+// --- former P1 -------------------------------------------------------------
 
 #[test]
-fn p1_flags_unwrap_panic_and_indexing() {
-    assert_hits(
-        PLAIN_LIB,
-        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
-        "P1",
-        1,
-    );
-    assert_hits(PLAIN_LIB, "pub fn g() { panic!(\"boom\"); }\n", "P1", 1);
-    assert_hits(
-        PLAIN_LIB,
-        "pub fn h(xs: &[u32]) -> u32 { xs[3] }\n",
-        "P1",
-        1,
-    );
-}
-
-#[test]
-fn p1_allows_checked_access_and_test_code() {
+fn panic_sites_are_no_longer_token_findings() {
+    // The P1 token audit graduated to the semantic S1 rule (see
+    // tests/semantic_fixtures.rs): a panic-capable site is only
+    // reported when a public numeric API can actually reach it, and
+    // the diagnostic carries the call chain.
     assert_clean(
         PLAIN_LIB,
-        "pub fn h(xs: &[u32]) -> Option<u32> { xs.get(3).copied() }\n\
-         pub fn t(xs: &[u32; 4]) -> u32 { let [a, ..] = xs; *a }\n",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
     );
-    // Tests unwrap freely.
     assert_clean(
         TEST_FILE,
         "fn probe(x: Option<u32>) -> u32 { x.unwrap() }\n",

@@ -1,0 +1,295 @@
+//! Fixture tests for the semantic rules (S1/S2/S3). Each drives
+//! `analyze_sources` on a tiny synthetic workspace and asserts the
+//! exact diagnostics — in particular the S1 call chains, which are the
+//! whole point of the rule: a reviewer must be able to audit the path
+//! from public API to panic site without re-deriving it.
+
+use eta_lint::semantic::analyze_sources;
+use eta_lint::Finding;
+
+/// Paths that classify as numeric-crate library code.
+const CORE: &str = "crates/core/src/fixture.rs";
+const TENSOR: &str = "crates/tensor/src/fixture.rs";
+/// Non-numeric library crate: S1's danger scan does not apply, the
+/// telemetry value sink of S2 still does.
+const WORKLOADS: &str = "crates/workloads/src/fixture.rs";
+
+fn analyze(files: &[(&str, &str)]) -> (Vec<Finding>, Vec<Finding>) {
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    let report = analyze_sources(&sources, None);
+    (report.findings, report.warnings)
+}
+
+fn rule<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+// --- S1: panic reachability ------------------------------------------------
+
+#[test]
+fn s1_reports_exact_call_chain_through_private_helpers() {
+    let src = "pub fn api(x: Option<u32>) -> u32 {\n\
+               \x20   helper(x)\n\
+               }\n\
+               \n\
+               fn helper(x: Option<u32>) -> u32 {\n\
+               \x20   danger(x)\n\
+               }\n\
+               \n\
+               fn danger(x: Option<u32>) -> u32 {\n\
+               \x20   x.unwrap()\n\
+               }\n";
+    let (findings, _) = analyze(&[(CORE, src)]);
+    let s1 = rule(&findings, "S1");
+    assert_eq!(s1.len(), 1, "exactly one reachable danger: {findings:#?}");
+    assert_eq!(s1[0].file, CORE);
+    assert_eq!(s1[0].line, 10);
+    assert_eq!(
+        s1[0].message,
+        "`x.unwrap()` reachable from public API via core::api -> core::helper -> core::danger"
+    );
+}
+
+#[test]
+fn s1_reports_method_chain_with_impl_type_names() {
+    let src = "pub struct Gate {\n\
+               \x20   h: usize,\n\
+               }\n\
+               \n\
+               impl Gate {\n\
+               \x20   pub fn apply(&self, xs: &[f32]) -> f32 {\n\
+               \x20       self.pick(xs)\n\
+               \x20   }\n\
+               \n\
+               \x20   fn pick(&self, xs: &[f32]) -> f32 {\n\
+               \x20       xs[self.h]\n\
+               \x20   }\n\
+               }\n";
+    let (findings, _) = analyze(&[(TENSOR, src)]);
+    let s1 = rule(&findings, "S1");
+    assert_eq!(s1.len(), 1, "{findings:#?}");
+    assert_eq!(s1[0].line, 11);
+    assert!(
+        s1[0]
+            .message
+            .ends_with("via tensor::Gate::apply -> tensor::Gate::pick"),
+        "chain must name the impl types: {}",
+        s1[0].message
+    );
+    assert!(
+        s1[0].message.starts_with("unchecked index `xs["),
+        "{}",
+        s1[0].message
+    );
+}
+
+#[test]
+fn s1_unreachable_and_test_sites_are_silent() {
+    // A danger nothing public calls, a danger under #[cfg(test)], and
+    // a danger in a non-numeric crate: none are findings.
+    let core = "pub fn api(x: u32) -> u32 {\n\
+                \x20   x + 1\n\
+                }\n\
+                \n\
+                fn dead(x: Option<u32>) -> u32 {\n\
+                \x20   x.unwrap()\n\
+                }\n\
+                \n\
+                #[cfg(test)]\n\
+                mod tests {\n\
+                \x20   pub fn probe() {\n\
+                \x20       panic!(\"test only\");\n\
+                \x20   }\n\
+                }\n";
+    let plain = "pub fn f(x: Option<u32>) -> u32 {\n\
+                 \x20   x.unwrap()\n\
+                 }\n";
+    let (findings, _) = analyze(&[(CORE, core), (WORKLOADS, plain)]);
+    assert!(rule(&findings, "S1").is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn s1_bounds_prover_discharges_guarded_indexing() {
+    // Counter loops over asserted-equal lengths produce no findings;
+    // the same access with an arbitrary index does, with the entry
+    // point itself as the (one-element) chain.
+    let clean = "pub fn dot(xs: &[f32], ys: &[f32]) -> f32 {\n\
+                 \x20   assert_eq!(xs.len(), ys.len());\n\
+                 \x20   let mut acc = 0.0;\n\
+                 \x20   for i in 0..xs.len() {\n\
+                 \x20       acc += xs[i] * ys[i];\n\
+                 \x20   }\n\
+                 \x20   acc\n\
+                 }\n";
+    let (findings, _) = analyze(&[(CORE, clean)]);
+    assert!(rule(&findings, "S1").is_empty(), "{findings:#?}");
+
+    let dirty = "pub fn pick(xs: &[f32], k: usize) -> f32 {\n\
+                 \x20   xs[k]\n\
+                 }\n";
+    let (findings, _) = analyze(&[(CORE, dirty)]);
+    let s1 = rule(&findings, "S1");
+    assert_eq!(s1.len(), 1, "{findings:#?}");
+    assert_eq!(s1[0].line, 2);
+    assert_eq!(
+        s1[0].message,
+        "unchecked index `xs[k]` reachable from public API via core::pick"
+    );
+}
+
+// --- S2: nondeterminism taint ----------------------------------------------
+
+#[test]
+fn s2_entropy_reaching_arithmetic_is_flagged() {
+    let src = "pub fn jitter() -> f64 {\n\
+               \x20   let r: f64 = rand::random();\n\
+               \x20   r * 0.5\n\
+               }\n";
+    let (findings, _) = analyze(&[(CORE, src)]);
+    let s2 = rule(&findings, "S2");
+    assert_eq!(s2.len(), 1, "{findings:#?}");
+    assert_eq!(s2[0].line, 3);
+    assert!(
+        s2[0].message.contains("(entropy)") && s2[0].message.contains("arithmetic"),
+        "{}",
+        s2[0].message
+    );
+}
+
+#[test]
+fn s2_entropy_flows_through_helper_returns() {
+    // Interprocedural: the taint enters through a private helper's
+    // return value, not a local source.
+    let src = "pub fn scale() -> f64 {\n\
+               \x20   noise() * 0.5\n\
+               }\n\
+               \n\
+               fn noise() -> f64 {\n\
+               \x20   rand::random()\n\
+               }\n";
+    let (findings, _) = analyze(&[(CORE, src)]);
+    let s2 = rule(&findings, "S2");
+    assert_eq!(s2.len(), 1, "{findings:#?}");
+    assert_eq!(s2[0].line, 2);
+    assert!(s2[0].message.contains("(entropy)"), "{}", s2[0].message);
+}
+
+#[test]
+fn s2_clock_into_telemetry_gauge_is_clean() {
+    // The PR 2 shard-reduce pattern: a measured duration that only
+    // ever reaches a telemetry gauge is provably benign — timing
+    // observability must not count as nondeterminism.
+    let src = "pub fn timed(t: &Telemetry) {\n\
+               \x20   let t0 = std::time::Instant::now();\n\
+               \x20   let secs = t0.elapsed().as_secs_f64();\n\
+               \x20   t.gauge_with(\"reduce_seconds\", secs);\n\
+               }\n";
+    let (findings, _) = analyze(&[(CORE, src)]);
+    assert!(rule(&findings, "S2").is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn s2_clock_into_tensor_buffer_is_flagged() {
+    // ...but the same duration written into a numeric buffer is a
+    // real reproducibility bug.
+    let src = "pub fn stamp(out: &mut [f64]) {\n\
+               \x20   assert!(!out.is_empty());\n\
+               \x20   let t0 = std::time::Instant::now();\n\
+               \x20   let dt = t0.elapsed().as_secs_f64();\n\
+               \x20   out[0] = dt;\n\
+               }\n";
+    let (findings, _) = analyze(&[(CORE, src)]);
+    let s2 = rule(&findings, "S2");
+    assert_eq!(s2.len(), 1, "{findings:#?}");
+    assert_eq!(s2[0].line, 5);
+    assert!(
+        s2[0].message.contains("(clock)") && s2[0].message.contains("buffer write"),
+        "{}",
+        s2[0].message
+    );
+    // The is_empty guard also discharges the S1 index.
+    assert!(rule(&findings, "S1").is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn s2_hash_iteration_order_into_telemetry_is_flagged() {
+    // Values accumulated in HashMap iteration order carry hash-order
+    // taint; telemetry must not depend on it even outside the numeric
+    // crates.
+    let src = "pub fn report(t: &Telemetry, m: &std::collections::HashMap<String, f64>) {\n\
+               \x20   let mut s = 0.0;\n\
+               \x20   for v in m.values() {\n\
+               \x20       s += *v;\n\
+               \x20   }\n\
+               \x20   t.gauge_with(\"loss_sum\", s);\n\
+               }\n";
+    let (findings, _) = analyze(&[(WORKLOADS, src)]);
+    let s2 = rule(&findings, "S2");
+    assert_eq!(s2.len(), 1, "{findings:#?}");
+    assert_eq!(s2[0].line, 6);
+    assert!(
+        s2[0].message.contains("(hash-order)")
+            && s2[0].message.contains("telemetry value"),
+        "{}",
+        s2[0].message
+    );
+}
+
+#[test]
+fn s2_seeded_rng_stays_clean() {
+    let src = "pub fn init(seed: u64, out: &mut [f64]) {\n\
+               \x20   assert!(!out.is_empty());\n\
+               \x20   let mut rng = StdRng::seed_from_u64(seed);\n\
+               \x20   out[0] = rng.next_f64();\n\
+               }\n";
+    let (findings, _) = analyze(&[(CORE, src)]);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+// --- S3: telemetry key liveness --------------------------------------------
+
+const KEYS: &str = "crates/telemetry/src/keys.rs";
+
+#[test]
+fn s3_warns_on_registered_but_never_emitted_key() {
+    let keys = "pub const LIVE: &str = \"train_loss_mean\";\n\
+                pub const DEAD: &str = \"stale_metric\";\n";
+    // LIVE is emitted through its const path; DEAD never is.
+    let emitter = "pub fn f(t: &Telemetry) {\n\
+                   \x20   t.gauge(keys::LIVE, 1.0);\n\
+                   }\n";
+    let (_, warnings) = analyze(&[(KEYS, keys), (CORE, emitter)]);
+    let s3 = rule(&warnings, "S3");
+    assert_eq!(s3.len(), 1, "{warnings:#?}");
+    assert_eq!(s3[0].file, KEYS);
+    assert_eq!(s3[0].line, 2);
+    assert_eq!(
+        s3[0].message,
+        "registered telemetry key \"stale_metric\" (const DEAD) is never emitted outside tests"
+    );
+}
+
+#[test]
+fn s3_literal_emission_counts_but_test_only_emission_does_not() {
+    let keys = "pub const A: &str = \"metric_a\";\n\
+                pub const B: &str = \"metric_b\";\n";
+    // A is emitted as a string literal from lib code; B only from a
+    // test module, which does not keep a key alive.
+    let emitter = "pub fn f(t: &Telemetry) {\n\
+                   \x20   t.incr(\"metric_a\");\n\
+                   }\n\
+                   \n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   \x20   pub fn probe(t: &Telemetry) {\n\
+                   \x20       t.incr(\"metric_b\");\n\
+                   \x20   }\n\
+                   }\n";
+    let (_, warnings) = analyze(&[(KEYS, keys), (CORE, emitter)]);
+    let s3 = rule(&warnings, "S3");
+    assert_eq!(s3.len(), 1, "{warnings:#?}");
+    assert!(s3[0].message.contains("metric_b"), "{}", s3[0].message);
+}
