@@ -1,0 +1,163 @@
+//! Packed register-blocked GEMM vs the naive triple loop (PR
+//! acceptance: the packed `nt` kernel must be ≥2× faster than naive at
+//! 256×256×1024 in release). The naive loops are the repo's bit-exact
+//! reference; the packed kernels reorder *memory traffic* (panel
+//! packing, cache blocking, 4×8 register tiles) but never the
+//! arithmetic — one accumulator per element, ascending-k — so the
+//! speedup comes for free numerically. This bench re-checks the bit
+//! identity before timing, then writes the measured medians to
+//! `BENCH_gemm.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eta_tensor::{init, Matrix, PackedB};
+use serde_json::Value;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The in-tree serde shim has no `json!` macro; build the report as an
+/// explicit [`Value`] tree (insertion order is preserved, so the
+/// checked-in artifact diffs stably).
+fn map(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+const M: usize = 256;
+const K: usize = 256;
+const N: usize = 1024;
+
+/// The acceptance shape's operands: `a · b_ntᵀ` (the LSTM forward
+/// orientation, `x·Wᵀ`) and `a · b_nn` (the backward data-gradient
+/// orientation, `δ·W`).
+fn operands() -> (Matrix, Matrix, Matrix) {
+    let a = init::uniform(M, K, -1.0, 1.0, 11);
+    let b_nt = init::uniform(N, K, -1.0, 1.0, 12);
+    let b_nn = init::uniform(K, N, -1.0, 1.0, 13);
+    (a, b_nt, b_nn)
+}
+
+fn assert_bits_equal(lhs: &Matrix, rhs: &Matrix, what: &str) {
+    assert_eq!(lhs.rows(), rhs.rows(), "{what}: row mismatch");
+    assert_eq!(lhs.cols(), rhs.cols(), "{what}: col mismatch");
+    for (i, (a, b)) in lhs.as_slice().iter().zip(rhs.as_slice()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{what}: element {i} diverged: {a} vs {b}"
+        );
+    }
+}
+
+fn median(v: &mut [f64]) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+fn bench_gemm_packed_vs_naive(c: &mut Criterion) {
+    let (a, b_nt, b_nn) = operands();
+    let pb_nt = PackedB::from_nt(&b_nt);
+    let pb_nn = PackedB::from_nn(&b_nn);
+
+    // The whole point of the packed path is that it changes nothing
+    // numerically — re-prove it on the acceptance shape before timing.
+    assert_bits_equal(
+        &a.matmul_nt_naive(&b_nt).unwrap(),
+        &a.matmul_nt_packed(&pb_nt).unwrap(),
+        "nt",
+    );
+    assert_bits_equal(
+        &a.matmul_nn_naive(&b_nn).unwrap(),
+        &a.matmul_nn_packed(&pb_nn).unwrap(),
+        "nn",
+    );
+
+    let mut group = c.benchmark_group("gemm_256x256x1024");
+    group.sample_size(10);
+    group.bench_function("nt_naive", |bench| {
+        bench.iter(|| black_box(a.matmul_nt_naive(&b_nt).unwrap()));
+    });
+    group.bench_function("nt_packed", |bench| {
+        bench.iter(|| black_box(a.matmul_nt_packed(&pb_nt).unwrap()));
+    });
+    group.bench_function("nt_packed_including_pack", |bench| {
+        // What an uncached caller pays: pack the panels every call.
+        bench.iter(|| {
+            let pb = PackedB::from_nt(&b_nt);
+            black_box(a.matmul_nt_packed(&pb).unwrap())
+        });
+    });
+    group.bench_function("nn_naive", |bench| {
+        bench.iter(|| black_box(a.matmul_nn_naive(&b_nn).unwrap()));
+    });
+    group.bench_function("nn_packed", |bench| {
+        bench.iter(|| black_box(a.matmul_nn_packed(&pb_nn).unwrap()));
+    });
+    group.finish();
+
+    // Interleaved-median comparison for the asserted acceptance number
+    // (robust to drift: each repetition times both variants back to
+    // back, and the median discards stray slow runs).
+    let mut naive = Vec::new();
+    let mut packed = Vec::new();
+    let mut packed_with_pack = Vec::new();
+    for _ in 0..7 {
+        let t0 = Instant::now();
+        black_box(a.matmul_nt_naive(&b_nt).unwrap());
+        naive.push(t0.elapsed().as_secs_f64());
+        let t1 = Instant::now();
+        black_box(a.matmul_nt_packed(&pb_nt).unwrap());
+        packed.push(t1.elapsed().as_secs_f64());
+        let t2 = Instant::now();
+        let pb = PackedB::from_nt(&b_nt);
+        black_box(a.matmul_nt_packed(&pb).unwrap());
+        packed_with_pack.push(t2.elapsed().as_secs_f64());
+    }
+    let naive_s = median(&mut naive);
+    let packed_s = median(&mut packed);
+    let packed_pack_s = median(&mut packed_with_pack);
+    let speedup = naive_s / packed_s;
+    let flops = (2 * M * K * N) as f64;
+    println!(
+        "gemm nt {M}x{K}x{N}: naive {:.2} GFLOP/s, packed {:.2} GFLOP/s, speedup {speedup:.2}x",
+        flops / naive_s / 1e9,
+        flops / packed_s / 1e9,
+    );
+
+    let report = map(vec![
+        ("bench", Value::Str("gemm_packed_vs_naive".into())),
+        (
+            "shape",
+            map(vec![
+                ("m", Value::UInt(M as u64)),
+                ("k", Value::UInt(K as u64)),
+                ("n", Value::UInt(N as u64)),
+            ]),
+        ),
+        ("orientation", Value::Str("nt".into())),
+        ("naive_median_seconds", Value::Float(naive_s)),
+        ("packed_median_seconds", Value::Float(packed_s)),
+        (
+            "packed_including_pack_median_seconds",
+            Value::Float(packed_pack_s),
+        ),
+        ("speedup", Value::Float(speedup)),
+        ("naive_gflops", Value::Float(flops / naive_s / 1e9)),
+        ("packed_gflops", Value::Float(flops / packed_s / 1e9)),
+        ("samples", Value::UInt(7)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).unwrap()).unwrap();
+    println!("wrote {path}");
+
+    assert!(
+        speedup >= 2.0,
+        "packed nt GEMM below the 2x acceptance target at {M}x{K}x{N}: {speedup:.2}x"
+    );
+}
+
+criterion_group!(benches, bench_gemm_packed_vs_naive);
+criterion_main!(benches);

@@ -14,8 +14,9 @@
 //! Gate layout throughout: the `4H`-wide dimension is ordered
 //! `[input | forget | cell | output]`.
 
-use crate::Result;
-use eta_tensor::{activation, init, Matrix, ParallelConfig};
+use crate::workspace::{BwdBuffers, LayerPanels, P1Buffers, Workspace};
+use crate::{LstmError, Result};
+use eta_tensor::{activation, init, Matrix, ParallelConfig, Store};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of one LSTM layer's cell: `W [4H × in]`, `U [4H × H]`,
@@ -158,6 +159,19 @@ impl P1Dense {
         [
             &self.p_i, &self.p_f, &self.p_c, &self.p_o, &self.p_h, &self.p_s,
         ]
+    }
+
+    /// A borrowed view of the six products, for handing to
+    /// [`backward_ws`] without cloning.
+    pub fn as_ref(&self) -> P1Ref<'_> {
+        P1Ref {
+            p_i: &self.p_i,
+            p_f: &self.p_f,
+            p_c: &self.p_c,
+            p_o: &self.p_o,
+            p_h: &self.p_h,
+            p_s: &self.p_s,
+        }
     }
 
     /// Total dense bytes of the six streams.
@@ -369,6 +383,275 @@ pub fn backward_with(
     })
 }
 
+/// Borrowed view of the six BP-EW-P1 products. The zero-alloc backward
+/// path uses this so `p_s` can alias the forget gate already stored in
+/// the tape (it is definitionally `f`) and the other five can live in a
+/// reused [`P1Buffers`] arena — nothing is cloned per timestep.
+#[derive(Debug, Clone, Copy)]
+pub struct P1Ref<'a> {
+    /// `c ⊙ i(1−i)`.
+    pub p_i: &'a Matrix,
+    /// `s_{t−1} ⊙ f(1−f)`.
+    pub p_f: &'a Matrix,
+    /// `i ⊙ (1−c²)`.
+    pub p_c: &'a Matrix,
+    /// `tanh(s_t) ⊙ o(1−o)`.
+    pub p_o: &'a Matrix,
+    /// `o ⊙ (1−tanh²(s_t))`.
+    pub p_h: &'a Matrix,
+    /// `f` (the state-chain pass-through).
+    pub p_s: &'a Matrix,
+}
+
+/// [`P1Dense::compute`] into reused buffers: fills `buf` with the five
+/// *computed* P1 products (`p_s` needs no buffer — it is `fw.f`).
+/// Each fused loop performs the exact multiply sequence of the
+/// hadamard pipeline in [`P1Dense::compute`], so the results are
+/// bit-identical.
+///
+/// # Errors
+///
+/// Returns [`LstmError::BatchShape`] if `s_prev` does not match the
+/// cell's `[batch, H]` shape.
+pub fn compute_p1_into(buf: &mut P1Buffers, fw: &CellForward, s_prev: &Matrix) -> Result<()> {
+    let (batch, h) = (fw.i.rows(), fw.i.cols());
+    if s_prev.rows() != batch || s_prev.cols() != h {
+        return Err(LstmError::BatchShape {
+            detail: format!(
+                "compute_p1_into: s_prev is {}x{}, cell is {batch}x{h}",
+                s_prev.rows(),
+                s_prev.cols()
+            ),
+        });
+    }
+    buf.ensure(batch, h);
+    for ((dst, &iv), &cv) in buf
+        .p_i
+        .as_mut_slice()
+        .iter_mut()
+        .zip(fw.i.as_slice())
+        .zip(fw.c.as_slice())
+    {
+        *dst = cv * (iv * (1.0 - iv));
+    }
+    for ((dst, &fv), &sp) in buf
+        .p_f
+        .as_mut_slice()
+        .iter_mut()
+        .zip(fw.f.as_slice())
+        .zip(s_prev.as_slice())
+    {
+        *dst = sp * (fv * (1.0 - fv));
+    }
+    for ((dst, &iv), &cv) in buf
+        .p_c
+        .as_mut_slice()
+        .iter_mut()
+        .zip(fw.i.as_slice())
+        .zip(fw.c.as_slice())
+    {
+        *dst = iv * (1.0 - cv * cv);
+    }
+    for ((dst, &ov), &ts) in buf
+        .p_o
+        .as_mut_slice()
+        .iter_mut()
+        .zip(fw.o.as_slice())
+        .zip(fw.tanh_s.as_slice())
+    {
+        *dst = ts * (ov * (1.0 - ov));
+    }
+    for ((dst, &ov), &ts) in buf
+        .p_h
+        .as_mut_slice()
+        .iter_mut()
+        .zip(fw.o.as_slice())
+        .zip(fw.tanh_s.as_slice())
+    {
+        *dst = ov * (1.0 - ts * ts);
+    }
+    Ok(())
+}
+
+/// Zero-alloc forward pass of one cell against pre-packed weight
+/// panels: the preactivation GEMM writes into the workspace buffer,
+/// and the recurrent GEMM's store pass fuses `+ h_prev·Uᵀ + b` and the
+/// gate activation into its epilogue. The only allocations are the
+/// tape-owned outputs. Bit-identical to [`forward_with`] — same packed
+/// kernels, same `(x·Wᵀ + h·Uᵀ) + b` association, same elementwise
+/// state update order.
+///
+/// # Errors
+///
+/// Returns a shape error if the operand shapes are inconsistent with
+/// `params`/`panels`.
+pub fn forward_ws(
+    params: &CellParams,
+    panels: &LayerPanels,
+    x: &Matrix,
+    h_prev: &Matrix,
+    s_prev: &Matrix,
+    kernel: &ParallelConfig,
+    ws: &mut Workspace,
+) -> Result<CellForward> {
+    let h = params.hidden();
+    let batch = x.rows();
+    if s_prev.rows() != batch || s_prev.cols() != h {
+        return Err(LstmError::BatchShape {
+            detail: format!(
+                "forward_ws: s_prev is {}x{}, expected {batch}x{h}",
+                s_prev.rows(),
+                s_prev.cols()
+            ),
+        });
+    }
+    ws.ensure_forward(batch, h);
+
+    x.matmul_nt_packed_into(&panels.w_fwd, &mut ws.preact, Store::Assign, kernel)?;
+    let b = &params.b;
+    let tanh_cols = 2 * h..3 * h;
+    h_prev.matmul_nt_packed_epilogue(&panels.u_fwd, &mut ws.preact, kernel, |j, v| {
+        let z = v + b[j];
+        if tanh_cols.contains(&j) {
+            activation::tanh(z)
+        } else {
+            activation::sigmoid(z)
+        }
+    })?;
+
+    // The activations are already applied; the gate matrices are plain
+    // column copies out of the fused preactivation buffer.
+    let i = ws.preact.col_slice(0, h);
+    let f = ws.preact.col_slice(h, h);
+    let c = ws.preact.col_slice(2 * h, h);
+    let o = ws.preact.col_slice(3 * h, h);
+
+    // s = f ⊙ s_prev + i ⊙ c, fused (two muls + one add per element —
+    // the same scalar sequence as the hadamard/add pipeline).
+    let mut s = Matrix::zeros(batch, h);
+    for ((dst, (&fv, &sp)), (&iv, &cv)) in s
+        .as_mut_slice()
+        .iter_mut()
+        .zip(f.as_slice().iter().zip(s_prev.as_slice()))
+        .zip(i.as_slice().iter().zip(c.as_slice()))
+    {
+        *dst = fv * sp + iv * cv;
+    }
+    let tanh_s = s.map(activation::tanh);
+    let h_out = o.hadamard(&tanh_s)?;
+
+    Ok(CellForward {
+        i,
+        f,
+        c,
+        o,
+        s,
+        tanh_s,
+        h: h_out,
+    })
+}
+
+/// Zero-alloc backward pass of one cell against pre-packed weight
+/// panels and reused [`BwdBuffers`]: the accumulated state gradient and
+/// the `[batch, 4H]` gate-gradient block are written in place (no
+/// `clone`, no `hcat`), and the weight gradients accumulate directly
+/// into `grads` via the fused-accumulate GEMM. Bit-identical to
+/// [`backward_with`].
+///
+/// # Errors
+///
+/// Returns a shape error on inconsistent operand shapes.
+#[allow(clippy::too_many_arguments)]
+pub fn backward_ws(
+    panels: &LayerPanels,
+    p1: &P1Ref<'_>,
+    x: &Matrix,
+    h_prev: &Matrix,
+    dh_total: &Matrix,
+    ds: &Matrix,
+    grads: &mut CellGrads,
+    kernel: &ParallelConfig,
+    bwd: &mut BwdBuffers,
+) -> Result<CellBackwardOut> {
+    let (batch, h) = (dh_total.rows(), dh_total.cols());
+    for m in [p1.p_i, p1.p_f, p1.p_c, p1.p_o, p1.p_h, p1.p_s, ds] {
+        if m.rows() != batch || m.cols() != h {
+            return Err(LstmError::BatchShape {
+                detail: format!(
+                    "backward_ws: operand is {}x{}, cell is {batch}x{h}",
+                    m.rows(),
+                    m.cols()
+                ),
+            });
+        }
+    }
+    bwd.ensure(batch, h);
+    let BwdBuffers { ds_acc, dgates } = bwd;
+
+    // BP-EW-P2: δS' = δS + δH' ⊙ p_h, fused in place.
+    for (((dst, &dsv), &dhv), &ph) in ds_acc
+        .as_mut_slice()
+        .iter_mut()
+        .zip(ds.as_slice())
+        .zip(dh_total.as_slice())
+        .zip(p1.p_h.as_slice())
+    {
+        *dst = dsv + dhv * ph;
+    }
+
+    // δgates written block-row-wise straight into the fused
+    // [batch, 4H] buffer in the fixed [i|f|c|o] order (replaces the
+    // four hadamard allocations and three hcats).
+    let dsa = ds_acc.as_slice();
+    let dht = dh_total.as_slice();
+    let (pi, pf, pc, po) = (
+        p1.p_i.as_slice(),
+        p1.p_f.as_slice(),
+        p1.p_c.as_slice(),
+        p1.p_o.as_slice(),
+    );
+    for (r, row) in dgates.as_mut_slice().chunks_exact_mut(4 * h).enumerate() {
+        let span = r * h..(r + 1) * h;
+        let (dsr, dhr) = (&dsa[span.clone()], &dht[span.clone()]);
+        let (pir, pfr, pcr, por) = (
+            &pi[span.clone()],
+            &pf[span.clone()],
+            &pc[span.clone()],
+            &po[span],
+        );
+        let (di, rest) = row.split_at_mut(h);
+        let (df, rest) = rest.split_at_mut(h);
+        let (dc, do_) = rest.split_at_mut(h);
+        for j in 0..h {
+            di[j] = dsr[j] * pir[j];
+            df[j] = dsr[j] * pfr[j];
+            dc[j] = dsr[j] * pcr[j];
+            do_[j] = dhr[j] * por[j];
+        }
+    }
+
+    let ds_prev = ds_acc.hadamard(p1.p_s)?;
+
+    // BP-MatMul (Eq. 2) over the cached backward panels.
+    let dx = dgates.par_matmul_nn_packed(&panels.w_bwd, kernel)?;
+    let dh_prev = dgates.par_matmul_nn_packed(&panels.u_bwd, kernel)?;
+
+    // BP-MatMul (Eq. 3): accumulate weight gradients in place.
+    dgates.matmul_tn_acc_into(x, &mut grads.dw, kernel)?;
+    dgates.matmul_tn_acc_into(h_prev, &mut grads.du, kernel)?;
+    for row in dgates.as_slice().chunks_exact(4 * h) {
+        for (acc, &g) in grads.db.iter_mut().zip(row.iter()) {
+            *acc += g;
+        }
+    }
+
+    Ok(CellBackwardOut {
+        dx,
+        dh_prev,
+        ds_prev,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -538,5 +821,120 @@ mod tests {
         let (p, x, h0, s0) = setup(2, 3, 4);
         let fw = forward(&p, &x, &h0, &s0).unwrap();
         assert_eq!(fw.stored_bytes(), 5 * (2 * 4 * 4) as u64);
+    }
+
+    /// The PR 5 zero-alloc contract: the workspace/panel cell paths are
+    /// **bit-identical** to the reference implementations, including
+    /// when the workspace buffers are reused across calls and when the
+    /// parallel row-block kernel path is forced on.
+    #[test]
+    fn workspace_paths_bit_identical_to_reference() {
+        for (batch, input, hidden, force_par) in
+            [(1, 3, 4, false), (3, 5, 8, false), (4, 20, 40, true)]
+        {
+            let (params, x, h_prev, s_prev) = setup(batch, input, hidden);
+            let panels = LayerPanels::pack(&params);
+            let mut kernel = ParallelConfig::with_threads(2);
+            if force_par {
+                kernel.min_kernel_flops = 1;
+            }
+            let mut ws = Workspace::new();
+
+            let reference = forward_with(&params, &x, &h_prev, &s_prev, &kernel).unwrap();
+            let fused =
+                forward_ws(&params, &panels, &x, &h_prev, &s_prev, &kernel, &mut ws).unwrap();
+            assert_eq!(fused, reference);
+            // Reuse: the second call overwrites stale buffer contents.
+            let again =
+                forward_ws(&params, &panels, &x, &h_prev, &s_prev, &kernel, &mut ws).unwrap();
+            assert_eq!(again, reference);
+
+            let p1 = P1Dense::compute(&reference, &s_prev).unwrap();
+            compute_p1_into(&mut ws.p1, &reference, &s_prev).unwrap();
+            assert_eq!(ws.p1.p_i, p1.p_i);
+            assert_eq!(ws.p1.p_f, p1.p_f);
+            assert_eq!(ws.p1.p_c, p1.p_c);
+            assert_eq!(ws.p1.p_o, p1.p_o);
+            assert_eq!(ws.p1.p_h, p1.p_h);
+
+            let dh = init::uniform(batch, hidden, -1.0, 1.0, 23);
+            let ds = init::uniform(batch, hidden, -1.0, 1.0, 29);
+            let mut g_ref = CellGrads::zeros_like(&params);
+            let out_ref =
+                backward_with(&params, &p1, &x, &h_prev, &dh, &ds, &mut g_ref, &kernel).unwrap();
+
+            let mut g_ws = CellGrads::zeros_like(&params);
+            let p1_view = P1Ref {
+                p_i: &ws.p1.p_i,
+                p_f: &ws.p1.p_f,
+                p_c: &ws.p1.p_c,
+                p_o: &ws.p1.p_o,
+                p_h: &ws.p1.p_h,
+                p_s: &reference.f,
+            };
+            let out_ws = backward_ws(
+                &panels,
+                &p1_view,
+                &x,
+                &h_prev,
+                &dh,
+                &ds,
+                &mut g_ws,
+                &kernel,
+                &mut ws.bwd,
+            )
+            .unwrap();
+            assert_eq!(out_ws, out_ref);
+            assert_eq!(g_ws, g_ref);
+
+            // Same through the P1Dense::as_ref adaptor, with reused
+            // backward buffers and pre-seeded gradient accumulators.
+            let out_ws2 = backward_ws(
+                &panels,
+                &p1.as_ref(),
+                &x,
+                &h_prev,
+                &dh,
+                &ds,
+                &mut g_ws,
+                &kernel,
+                &mut ws.bwd,
+            )
+            .unwrap();
+            let mut g_ref2 = g_ref.clone();
+            let out_ref2 =
+                backward_with(&params, &p1, &x, &h_prev, &dh, &ds, &mut g_ref2, &kernel).unwrap();
+            assert_eq!(out_ws2, out_ref2);
+            assert_eq!(g_ws, g_ref2);
+        }
+    }
+
+    #[test]
+    fn workspace_backward_rejects_mismatched_shapes() {
+        let (params, x, h_prev, s_prev) = setup(2, 3, 4);
+        let panels = LayerPanels::pack(&params);
+        let kernel = ParallelConfig::serial();
+        let fw = forward(&params, &x, &h_prev, &s_prev).unwrap();
+        let p1 = P1Dense::compute(&fw, &s_prev).unwrap();
+        let dh = Matrix::zeros(2, 4);
+        let bad_ds = Matrix::zeros(3, 4);
+        let mut grads = CellGrads::zeros_like(&params);
+        let mut bwd = BwdBuffers::default();
+        let err = backward_ws(
+            &panels,
+            &p1.as_ref(),
+            &x,
+            &h_prev,
+            &dh,
+            &bad_ds,
+            &mut grads,
+            &kernel,
+            &mut bwd,
+        );
+        assert!(err.is_err());
+        let bad_s = Matrix::zeros(3, 4);
+        let mut ws = Workspace::new();
+        assert!(forward_ws(&params, &panels, &x, &h_prev, &bad_s, &kernel, &mut ws).is_err());
+        assert!(compute_p1_into(&mut ws.p1, &fw, &bad_s).is_err());
     }
 }

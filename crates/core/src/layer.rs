@@ -16,9 +16,10 @@
 //!   kept still stores its `s_t`, which the successor's baseline
 //!   backward needs.
 
-use crate::cell::{self, CellForward, CellGrads, CellParams, P1Dense};
+use crate::cell::{self, CellForward, CellGrads, CellParams, P1Dense, P1Ref};
 use crate::ms1::{Ms1Config, P1Packet};
-use crate::Result;
+use crate::workspace::{ensure_shape, LayerPanels, Workspace};
+use crate::{LstmError, Result};
 use eta_memsim::DataCategory;
 use eta_tensor::{CompressionStats, Matrix, ParallelConfig};
 
@@ -151,11 +152,50 @@ impl LstmLayer {
         kernel: &ParallelConfig,
         instruments: &Instruments,
     ) -> Result<(Vec<Matrix>, LayerTape)> {
+        let mut ws = Workspace::new();
+        let tape = self.forward_sequence_ws(xs, mode, keep, kernel, instruments, None, &mut ws)?;
+        Ok((tape.hs.clone(), tape))
+    }
+
+    /// [`LstmLayer::forward_sequence`] against a reusable [`Workspace`]
+    /// and (optionally) pre-packed weight panels: per-timestep scratch
+    /// lives in `ws`, the cell GEMMs run the fused packed kernels, and
+    /// the tape owns each cell's forward intermediates outright instead
+    /// of cloning them. When `panels` is `None` the layer packs its
+    /// weights once locally (amortized over the sequence).
+    /// Bit-identical to the reference cell pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor shape error on inconsistent input shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or `keep` has the wrong length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_sequence_ws(
+        &self,
+        xs: &[Matrix],
+        mode: StorageMode,
+        keep: &[bool],
+        kernel: &ParallelConfig,
+        instruments: &Instruments,
+        panels: Option<&LayerPanels>,
+        ws: &mut Workspace,
+    ) -> Result<LayerTape> {
         assert!(!xs.is_empty(), "empty input sequence");
         assert!(
             keep.is_empty() || keep.len() == xs.len(),
             "keep mask length mismatch"
         );
+        let local_panels;
+        let panels = match panels {
+            Some(p) => p,
+            None => {
+                local_panels = LayerPanels::pack(&self.params);
+                &local_panels
+            }
+        };
         let batch = xs[0].rows();
         let h = self.hidden();
         let mut h_prev = Matrix::zeros(batch, h);
@@ -166,9 +206,9 @@ impl LstmLayer {
         for (t, x) in xs.iter().enumerate() {
             // Every cell loads the layer weights.
             instruments.load(DataCategory::Weights, self.params.size_bytes());
-            let fw = cell::forward_with(&self.params, x, &h_prev, &s_prev, kernel)?;
+            let fw = cell::forward_ws(&self.params, panels, x, &h_prev, &s_prev, kernel, ws)?;
             let kept = keep.is_empty() || keep[t];
-            let entry = if !kept {
+            if !kept {
                 // Inference-style cell: store s only if the successor is
                 // a kept cell running a dense backward.
                 let successor_kept = t + 1 < xs.len() && (keep.is_empty() || keep[t + 1]);
@@ -179,39 +219,45 @@ impl LstmLayer {
                 } else {
                     None
                 };
-                TapeEntry::Skipped { s }
+                entries.push(TapeEntry::Skipped { s });
+                instruments.store(DataCategory::Activations, fw.h.size_bytes());
+                hs.push(fw.h.clone());
+                h_prev = fw.h;
+                s_prev = fw.s;
             } else {
                 match mode {
                     StorageMode::Dense => {
                         instruments.store(DataCategory::Intermediates, fw.stored_bytes());
-                        TapeEntry::Dense(Box::new(CellForward {
-                            i: fw.i.clone(),
-                            f: fw.f.clone(),
-                            c: fw.c.clone(),
-                            o: fw.o.clone(),
-                            s: fw.s.clone(),
-                            tanh_s: fw.tanh_s.clone(),
-                            h: fw.h.clone(),
-                        }))
+                        instruments.store(DataCategory::Activations, fw.h.size_bytes());
+                        hs.push(fw.h.clone());
+                        h_prev = fw.h.clone();
+                        s_prev = fw.s.clone();
+                        // The tape takes ownership — no per-field clones.
+                        entries.push(TapeEntry::Dense(Box::new(fw)));
                     }
                     StorageMode::Compressed(cfg) => {
-                        // MS1 execution reordering: BP-EW-P1 now, keep
-                        // only the compressed products.
-                        let p1 = P1Dense::compute(&fw, &s_prev)?;
-                        let packet = P1Packet::compress(&p1, cfg.threshold);
+                        // MS1 execution reordering: BP-EW-P1 now (into
+                        // the workspace buffers, with p_s borrowed from
+                        // the forget gate), keep only the compressed
+                        // products.
+                        cell::compute_p1_into(&mut ws.p1, &fw, &s_prev)?;
+                        let packet = P1Packet::compress_streams(
+                            [
+                                &ws.p1.p_i, &ws.p1.p_f, &ws.p1.p_c, &ws.p1.p_o, &ws.p1.p_h, &fw.f,
+                            ],
+                            cfg.threshold,
+                        );
                         instruments.store(DataCategory::Intermediates, packet.compressed_bytes());
-                        TapeEntry::Compressed(Box::new(packet))
+                        entries.push(TapeEntry::Compressed(Box::new(packet)));
+                        instruments.store(DataCategory::Activations, fw.h.size_bytes());
+                        hs.push(fw.h.clone());
+                        h_prev = fw.h;
+                        s_prev = fw.s;
                     }
                 }
-            };
-            entries.push(entry);
-            // h_t is activation data: stored for BP reuse.
-            instruments.store(DataCategory::Activations, fw.h.size_bytes());
-            hs.push(fw.h.clone());
-            h_prev = fw.h;
-            s_prev = fw.s;
+            }
         }
-        Ok((hs.clone(), LayerTape { entries, hs }))
+        Ok(LayerTape { entries, hs })
     }
 
     /// Backward sweep over the tape.
@@ -237,12 +283,52 @@ impl LstmLayer {
         kernel: &ParallelConfig,
         instruments: &Instruments,
     ) -> Result<LayerBackward> {
+        let mut ws = Workspace::new();
+        self.backward_sequence_ws(xs, tape, dys, scale, kernel, instruments, None, &mut ws)
+    }
+
+    /// [`LstmLayer::backward_sequence`] against a reusable [`Workspace`]
+    /// and (optionally) pre-packed weight panels: the P1 products, the
+    /// summed context gradient, and the fused gate-gradient block all
+    /// live in `ws` buffers instead of fresh per-timestep allocations,
+    /// and the BP GEMMs consume cached packed panels. When `panels` is
+    /// `None` the layer packs its weights once locally. Bit-identical
+    /// to the reference cell pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor shape error on inconsistent shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dys`, `xs` and the tape lengths disagree.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_sequence_ws(
+        &self,
+        xs: &[Matrix],
+        tape: &LayerTape,
+        dys: &[Matrix],
+        scale: f32,
+        kernel: &ParallelConfig,
+        instruments: &Instruments,
+        panels: Option<&LayerPanels>,
+        ws: &mut Workspace,
+    ) -> Result<LayerBackward> {
         let t_len = tape.entries.len();
         assert_eq!(xs.len(), t_len, "input/tape length mismatch");
         assert_eq!(dys.len(), t_len, "gradient/tape length mismatch");
         let batch = xs[0].rows();
         let h = self.hidden();
         let zero_h = Matrix::zeros(batch, h);
+
+        let local_panels;
+        let panels = match panels {
+            Some(p) => p,
+            None => {
+                local_panels = LayerPanels::pack(&self.params);
+                &local_panels
+            }
+        };
 
         let mut grads = CellGrads::zeros_like(&self.params);
         let mut magnitudes = vec![0.0f64; t_len];
@@ -253,8 +339,18 @@ impl LstmLayer {
         let mut dh_next = zero_h.clone();
         let mut ds_next = zero_h.clone();
 
+        // Disjoint workspace fields: P1 buffers, BP-EW-P2 buffers and
+        // the summed context gradient are borrowed independently.
+        let Workspace {
+            p1: p1_buf,
+            bwd,
+            dh_total,
+            ..
+        } = ws;
+
         for t in (0..t_len).rev() {
             let entry = &tape.entries[t];
+            let decoded: P1Dense;
             let p1 = match entry {
                 TapeEntry::Skipped { .. } => {
                     // Insignificant BP cell: no computation, gradient
@@ -266,17 +362,44 @@ impl LstmLayer {
                 TapeEntry::Dense(fw) => {
                     instruments.load(DataCategory::Intermediates, fw.stored_bytes());
                     instruments.release(DataCategory::Intermediates, fw.stored_bytes());
-                    let s_prev = self.stored_s(tape, t, &zero_h);
-                    P1Dense::compute(fw, &s_prev)?
+                    let s_prev = Self::stored_s_ref(tape, t, &zero_h);
+                    cell::compute_p1_into(p1_buf, fw, s_prev)?;
+                    P1Ref {
+                        p_i: &p1_buf.p_i,
+                        p_f: &p1_buf.p_f,
+                        p_c: &p1_buf.p_c,
+                        p_o: &p1_buf.p_o,
+                        p_h: &p1_buf.p_h,
+                        p_s: &fw.f,
+                    }
                 }
                 TapeEntry::Compressed(packet) => {
                     instruments.load(DataCategory::Intermediates, packet.compressed_bytes());
                     instruments.release(DataCategory::Intermediates, packet.compressed_bytes());
-                    packet.decode()
+                    decoded = packet.decode();
+                    decoded.as_ref()
                 }
             };
-            let mut dh_total = dys[t].clone();
-            dh_total.add_assign(&dh_next)?;
+            // dh_total = dys[t] + dh_next, fused into the reused buffer
+            // (same elementwise add as the clone + add_assign pipeline).
+            if dys[t].rows() != batch || dys[t].cols() != h {
+                return Err(LstmError::BatchShape {
+                    detail: format!(
+                        "backward_sequence_ws: dys[{t}] is {}x{}, expected {batch}x{h}",
+                        dys[t].rows(),
+                        dys[t].cols()
+                    ),
+                });
+            }
+            ensure_shape(dh_total, batch, h);
+            for ((dst, &dy), &dh) in dh_total
+                .as_mut_slice()
+                .iter_mut()
+                .zip(dys[t].as_slice())
+                .zip(dh_next.as_slice())
+            {
+                *dst = dy + dh;
+            }
 
             let h_prev = if t == 0 { &zero_h } else { &tape.hs[t - 1] };
             // BP reloads the cell's weights and activations.
@@ -287,15 +410,16 @@ impl LstmLayer {
             );
 
             let mut cell_grads = CellGrads::zeros_like(&self.params);
-            let out = cell::backward_with(
-                &self.params,
+            let out = cell::backward_ws(
+                panels,
                 &p1,
                 &xs[t],
                 h_prev,
-                &dh_total,
+                dh_total,
                 &ds_next,
                 &mut cell_grads,
                 kernel,
+                bwd,
             )?;
             magnitudes[t] = cell_grads.magnitude();
             grads.accumulate(&cell_grads)?;
@@ -334,23 +458,23 @@ impl LstmLayer {
         acc
     }
 
-    /// `s_{t−1}` for the dense backward of cell `t`: from the previous
-    /// dense entry, from a boundary-stored skipped entry, or zeros at
-    /// `t == 0`.
-    fn stored_s(&self, tape: &LayerTape, t: usize, zero: &Matrix) -> Matrix {
+    /// `s_{t−1}` for the dense backward of cell `t`: borrowed from the
+    /// previous dense entry, from a boundary-stored skipped entry, or
+    /// zeros at `t == 0`.
+    fn stored_s_ref<'a>(tape: &'a LayerTape, t: usize, zero: &'a Matrix) -> &'a Matrix {
         if t == 0 {
-            return zero.clone();
+            return zero;
         }
         match &tape.entries[t - 1] {
-            TapeEntry::Dense(fw) => fw.s.clone(),
-            TapeEntry::Skipped { s: Some(s) } => s.clone(),
+            TapeEntry::Dense(fw) => &fw.s,
+            TapeEntry::Skipped { s: Some(s) } => s,
             TapeEntry::Compressed(_) | TapeEntry::Skipped { s: None } => {
                 // A compressed predecessor cannot feed a dense successor:
                 // modes are uniform within a layer, so this indicates a
                 // plan bug. Degrade to zeros rather than crash; the
                 // mixed-mode tests assert this never fires.
                 debug_assert!(false, "dense cell after a stateless predecessor");
-                zero.clone()
+                zero
             }
         }
     }
@@ -550,6 +674,118 @@ mod tests {
             comp_peak < dense_peak,
             "compressed {comp_peak} should undercut dense {dense_peak}"
         );
+    }
+
+    /// The PR 5 contract at layer level: the workspace sequence paths
+    /// (which now back `forward_sequence`/`backward_sequence`) are
+    /// bit-identical to a reference loop built from the un-fused cell
+    /// primitives, with or without shared panels, and with a reused
+    /// workspace.
+    #[test]
+    fn sequence_paths_bit_identical_to_unfused_cell_loop() {
+        let (seq, batch, input, h) = (5usize, 3usize, 6usize, 8usize);
+        let layer = LstmLayer::new(input, h, 12);
+        let xs = inputs(seq, batch, input);
+        let inst = Instruments::new();
+        let kernel = ParallelConfig::with_threads(2);
+
+        // Reference forward: plain unfused cell primitives.
+        let mut h_prev = Matrix::zeros(batch, h);
+        let mut s_prev = Matrix::zeros(batch, h);
+        let mut ref_fws = Vec::new();
+        let mut s_prevs = Vec::new();
+        for x in &xs {
+            let fw = cell::forward_with(&layer.params, x, &h_prev, &s_prev, &kernel).unwrap();
+            s_prevs.push(s_prev.clone());
+            h_prev = fw.h.clone();
+            s_prev = fw.s.clone();
+            ref_fws.push(fw);
+        }
+
+        let (hs, tape) = layer
+            .forward_sequence(&xs, StorageMode::Dense, &[], &kernel, &inst)
+            .unwrap();
+        for (t, fw) in ref_fws.iter().enumerate() {
+            assert_eq!(&hs[t], &fw.h);
+            match &tape.entries[t] {
+                TapeEntry::Dense(tfw) => assert_eq!(tfw.as_ref(), fw),
+                other => panic!("expected dense entry, got {other:?}"),
+            }
+        }
+
+        // Shared panels + reused workspace must change nothing.
+        let panels = LayerPanels::pack(&layer.params);
+        let mut ws = Workspace::new();
+        for _ in 0..2 {
+            let tape2 = layer
+                .forward_sequence_ws(
+                    &xs,
+                    StorageMode::Dense,
+                    &[],
+                    &kernel,
+                    &inst,
+                    Some(&panels),
+                    &mut ws,
+                )
+                .unwrap();
+            assert_eq!(tape2.hs, hs);
+        }
+
+        // Reference backward: plain unfused cell primitives, reversed.
+        let mut dys = zeros_grads(seq, batch, h);
+        dys[seq - 1] = init::uniform(batch, h, -1.0, 1.0, 77);
+        let zero_h = Matrix::zeros(batch, h);
+        let mut ref_grads = CellGrads::zeros_like(&layer.params);
+        let mut dh_next = zero_h.clone();
+        let mut ds_next = zero_h.clone();
+        let mut ref_dxs = Vec::new();
+        for t in (0..seq).rev() {
+            let p1 = P1Dense::compute(&ref_fws[t], &s_prevs[t]).unwrap();
+            let mut dh_total = dys[t].clone();
+            dh_total.add_assign(&dh_next).unwrap();
+            let h_prev_t = if t == 0 { &zero_h } else { &ref_fws[t - 1].h };
+            let mut cg = CellGrads::zeros_like(&layer.params);
+            let out = cell::backward_with(
+                &layer.params,
+                &p1,
+                &xs[t],
+                h_prev_t,
+                &dh_total,
+                &ds_next,
+                &mut cg,
+                &kernel,
+            )
+            .unwrap();
+            ref_grads.accumulate(&cg).unwrap();
+            ref_dxs.push(out.dx);
+            dh_next = out.dh_prev;
+            ds_next = out.ds_prev;
+        }
+        ref_dxs.reverse();
+
+        let b = layer
+            .backward_sequence_ws(
+                &xs,
+                &tape,
+                &dys,
+                1.0,
+                &kernel,
+                &inst,
+                Some(&panels),
+                &mut ws,
+            )
+            .unwrap();
+        assert_eq!(b.dxs, ref_dxs);
+        assert_eq!(b.grads.dw, ref_grads.dw);
+        assert_eq!(b.grads.du, ref_grads.du);
+        assert_eq!(b.grads.db, ref_grads.db);
+
+        // And the panel-less wrapper agrees with the panelled run.
+        let b2 = layer
+            .backward_sequence(&xs, &tape, &dys, 1.0, &kernel, &inst)
+            .unwrap();
+        assert_eq!(b2.dxs, b.dxs);
+        assert_eq!(b2.grads.dw, b.grads.dw);
     }
 
     #[test]

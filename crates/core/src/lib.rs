@@ -55,6 +55,7 @@ pub mod optimizer;
 pub mod parallel;
 pub mod strategy;
 pub mod trainer;
+pub mod workspace;
 
 mod error;
 
@@ -65,6 +66,7 @@ pub use model::LstmModel;
 pub use parallel::Parallelism;
 pub use strategy::TrainingStrategy;
 pub use trainer::{Batch, EpochReport, Task, Trainer, TrainingReport};
+pub use workspace::{LayerPanels, ModelPanels, PanelCache, Workspace, WorkspacePool};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, LstmError>;

@@ -9,6 +9,7 @@ use crate::layer::{Instruments, LayerTape, LstmLayer, StorageMode};
 use crate::loss::{self, Head, HeadGrads, LossKind, Targets};
 use crate::ms1::Ms1Config;
 use crate::ms2::SkipPlan;
+use crate::workspace::{ModelPanels, Workspace};
 use crate::{LstmError, Result};
 use eta_tensor::{CompressionStats, Matrix, ParallelConfig};
 
@@ -212,6 +213,31 @@ impl LstmModel {
         plan: &StepPlan,
         instruments: &Instruments,
     ) -> Result<StepResult> {
+        let mut ws = Workspace::new();
+        self.train_step_ws(xs, targets, plan, instruments, None, &mut ws)
+    }
+
+    /// [`LstmModel::train_step`] against a reusable [`Workspace`] and
+    /// (optionally) the model's cached packed weight panels: per-step
+    /// scratch lives in `ws` (its high-water mark is updated once per
+    /// step), each layer consumes the previous layer's tape outputs
+    /// directly instead of a duplicated input vector, and the cell
+    /// GEMMs reuse `panels` when given (the trainer checks them out of
+    /// a [`crate::workspace::PanelCache`] once per weight update).
+    /// Bit-identical to [`LstmModel::train_step`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LstmError::BatchShape`] on malformed inputs or targets.
+    pub fn train_step_ws(
+        &self,
+        xs: &[Matrix],
+        targets: &Targets,
+        plan: &StepPlan,
+        instruments: &Instruments,
+        panels: Option<&ModelPanels>,
+        ws: &mut Workspace,
+    ) -> Result<StepResult> {
         self.check_inputs(xs)?;
         let seq_len = self.config.seq_len;
         let batch = xs[0].rows();
@@ -224,19 +250,29 @@ impl LstmModel {
         let empty_keep: Vec<bool> = Vec::new();
 
         // ---- Forward through the stack, keeping each layer's tape.
-        let mut layer_inputs: Vec<Vec<Matrix>> = vec![xs.to_vec()];
+        // Layer l > 0 reads its input straight out of the previous
+        // layer's tape (`hs` is stored there anyway) — the old
+        // duplicated `layer_inputs` vector of cloned activations is
+        // gone.
         let mut tapes: Vec<LayerTape> = Vec::with_capacity(self.layers.len());
         for (l, layer) in self.layers.iter().enumerate() {
             let keep: &[bool] = match &plan.skip {
                 Some(p) => &p.keep[l],
                 None => &empty_keep,
             };
-            let (hs, tape) =
-                layer.forward_sequence(&layer_inputs[l], mode, keep, &plan.kernel, instruments)?;
+            let input: &[Matrix] = if l == 0 { xs } else { &tapes[l - 1].hs };
+            let tape = layer.forward_sequence_ws(
+                input,
+                mode,
+                keep,
+                &plan.kernel,
+                instruments,
+                panels.and_then(|p| p.layer(l)),
+                ws,
+            )?;
             tapes.push(tape);
-            layer_inputs.push(hs);
         }
-        let top_hs = &layer_inputs[self.layers.len()];
+        let top_hs: &[Matrix] = &tapes[self.layers.len() - 1].hs;
 
         // ---- Loss + head gradients.
         let mut head_grads = self.head.zero_grads();
@@ -308,13 +344,16 @@ impl LstmModel {
                 Some(p) => p.scale[l],
                 None => 1.0,
             };
-            let back = self.layers[l].backward_sequence(
-                &layer_inputs[l],
+            let input: &[Matrix] = if l == 0 { xs } else { &tapes[l - 1].hs };
+            let back = self.layers[l].backward_sequence_ws(
+                input,
                 &tapes[l],
                 &dys_current,
                 scale,
                 &plan.kernel,
                 instruments,
+                panels.and_then(|p| p.layer(l)),
+                ws,
             )?;
             p1_stats.merge(&LstmLayer::tape_compression_stats(&tapes[l]));
             magnitudes[l] = back.magnitudes;
@@ -329,6 +368,7 @@ impl LstmModel {
             .map(|p| (p.skip_fraction() * cells_total as f64).round() as usize)
             .unwrap_or(0);
 
+        ws.note_high_water();
         Ok(StepResult {
             loss,
             grads: ModelGrads {
@@ -568,6 +608,43 @@ mod tests {
         assert_eq!(r.magnitudes[1][0], 0.0);
         assert!(r.magnitudes[1][4] > 0.0);
         assert_eq!(r.cells_skipped, 3);
+    }
+
+    /// The PR 5 contract at model level: a step with cached panels and
+    /// a reused workspace is bit-identical to the plain `train_step`,
+    /// for both dense and MS1 storage plans, at multiple kernel thread
+    /// counts.
+    #[test]
+    fn train_step_ws_bit_identical_with_panels_and_reuse() {
+        let cfg = config();
+        let model = LstmModel::new(&cfg, 42);
+        let (xs, targets) = batch(&cfg, 1);
+        let inst = Instruments::new();
+        let panels = ModelPanels::pack(&model);
+        let mut ws = Workspace::new();
+
+        for plan in [
+            StepPlan::baseline(),
+            StepPlan {
+                ms1: Some(Ms1Config { threshold: 0.0 }),
+                ..StepPlan::baseline()
+            },
+            StepPlan::baseline().with_kernel(eta_tensor::ParallelConfig::with_threads(3)),
+        ] {
+            let reference = model.train_step(&xs, &targets, &plan, &inst).unwrap();
+            // Run twice with the same workspace: reuse must not drift.
+            for _ in 0..2 {
+                let r = model
+                    .train_step_ws(&xs, &targets, &plan, &inst, Some(&panels), &mut ws)
+                    .unwrap();
+                assert_eq!(r.loss.to_bits(), reference.loss.to_bits());
+                for (a, b) in r.grads.cells.iter().zip(reference.grads.cells.iter()) {
+                    assert_eq!(a, b);
+                }
+                assert_eq!(r.magnitudes, reference.magnitudes);
+            }
+        }
+        assert!(ws.high_water_bytes() > 0, "step recorded its footprint");
     }
 
     #[test]

@@ -55,13 +55,19 @@ pub struct P1Packet {
 impl P1Packet {
     /// Compresses the dense P1 products at the given threshold.
     pub fn compress(p1: &P1Dense, threshold: f32) -> Self {
-        let streams = p1
-            .streams()
-            .map(|m| SparseVec::compress_matrix(m, threshold));
+        Self::compress_streams(p1.streams(), threshold)
+    }
+
+    /// Compresses six borrowed P1 streams (order
+    /// `p_i, p_f, p_c, p_o, p_h, p_s`) at the given threshold — the
+    /// zero-alloc MS1 path hands in workspace buffers plus the
+    /// tape-owned forget gate instead of materializing a [`P1Dense`].
+    pub fn compress_streams(streams: [&eta_tensor::Matrix; 6], threshold: f32) -> Self {
+        let compressed = streams.map(|m| SparseVec::compress_matrix(m, threshold));
         P1Packet {
-            batch: p1.p_i.rows(),
-            hidden: p1.p_i.cols(),
-            streams,
+            batch: streams[0].rows(),
+            hidden: streams[0].cols(),
+            streams: compressed,
         }
     }
 
@@ -244,5 +250,15 @@ mod tests {
     #[test]
     fn default_threshold_is_paper_value() {
         assert_eq!(Ms1Config::default().threshold, 0.1);
+    }
+
+    #[test]
+    fn compress_streams_matches_dense_compress() {
+        let p1 = sample_p1(3, 8);
+        let via_dense = P1Packet::compress(&p1, 0.1);
+        let via_streams = P1Packet::compress_streams(p1.streams(), 0.1);
+        assert_eq!(via_streams, via_dense);
+        assert_eq!(via_streams.batch(), 3);
+        assert_eq!(via_streams.hidden(), 8);
     }
 }

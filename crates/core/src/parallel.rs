@@ -21,6 +21,7 @@
 use crate::layer::Instruments;
 use crate::loss::Targets;
 use crate::model::{LstmModel, StepPlan, StepResult};
+use crate::workspace::{ModelPanels, Workspace, WorkspacePool};
 use crate::Result;
 use eta_tensor::{Matrix, ParallelConfig};
 use serde::{Deserialize, Serialize};
@@ -197,21 +198,48 @@ pub fn train_step_sharded(
     instruments: &Instruments,
     par: &Parallelism,
 ) -> Result<StepResult> {
+    let mut pool = WorkspacePool::new();
+    train_step_sharded_ws(model, xs, targets, plan, instruments, par, None, &mut pool)
+}
+
+/// [`train_step_sharded`] against a reusable [`WorkspacePool`] and
+/// (optionally) cached packed weight panels: worker `w` always uses
+/// pool slot `w`, so a long-lived pool (the trainer owns one) gives
+/// every shard worker steady-state zero-alloc scratch, and all workers
+/// share the read-only `panels`. Workspaces and panels are latency-only
+/// — the determinism contract (results depend on the shard count,
+/// never the thread count) is unchanged, as is every fallback path.
+///
+/// # Errors
+///
+/// Propagates the first shard's error in shard order (deterministic),
+/// or the serial step's shape errors for malformed inputs.
+#[allow(clippy::too_many_arguments)]
+pub fn train_step_sharded_ws(
+    model: &LstmModel,
+    xs: &[Matrix],
+    targets: &Targets,
+    plan: &StepPlan,
+    instruments: &Instruments,
+    par: &Parallelism,
+    panels: Option<&ModelPanels>,
+    pool: &mut WorkspacePool,
+) -> Result<StepResult> {
     let seq_len = model.config().seq_len;
     // Malformed batches take the serial path so error messages are
     // identical with and without the engine.
     let uniform =
         !xs.is_empty() && xs.len() == seq_len && xs.iter().all(|x| x.rows() == xs[0].rows());
     if !par.is_sharded() || !uniform {
-        return model.train_step(xs, targets, plan, instruments);
+        return model.train_step_ws(xs, targets, plan, instruments, panels, pool.slot(0));
     }
     let batch = xs[0].rows();
     if !targets_cover_batch(targets, batch, seq_len) {
-        return model.train_step(xs, targets, plan, instruments);
+        return model.train_step_ws(xs, targets, plan, instruments, panels, pool.slot(0));
     }
     let ranges = shard_ranges(batch, par.shards);
     if ranges.len() <= 1 {
-        return model.train_step(xs, targets, plan, instruments);
+        return model.train_step_ws(xs, targets, plan, instruments, panels, pool.slot(0));
     }
 
     // Materialize every shard's inputs up front (fixed order).
@@ -224,29 +252,40 @@ pub fn train_step_sharded(
         .map(|&(start, len)| slice_targets(targets, start, len))
         .collect();
 
-    let run_shard =
-        |i: usize| model.train_step(&shard_inputs[i], &shard_targets[i], plan, instruments);
+    let run_shard = |i: usize, ws: &mut Workspace| {
+        model.train_step_ws(
+            &shard_inputs[i],
+            &shard_targets[i],
+            plan,
+            instruments,
+            panels,
+            ws,
+        )
+    };
 
     let mut slots: Vec<Option<Result<StepResult>>> = (0..ranges.len()).map(|_| None).collect();
     let workers = par.threads.min(ranges.len());
     if workers <= 1 {
+        let ws = pool.slot(0);
         for (i, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(run_shard(i));
+            *slot = Some(run_shard(i, ws));
         }
     } else {
         // Round-robin shard→worker assignment; each worker drains its
-        // own bucket, writing into disjoint result slots.
+        // own bucket with its own workspace, writing into disjoint
+        // result slots.
         type Bucket<'s> = Vec<(usize, &'s mut Option<Result<StepResult>>)>;
         let mut buckets: Vec<Bucket> = (0..workers).map(|_| Vec::new()).collect();
         for (i, slot) in slots.iter_mut().enumerate() {
             buckets[i % workers].push((i, slot));
         }
         let run_shard = &run_shard;
+        let ws_slots = pool.slots_mut(workers);
         rayon::scope(|scope| {
-            for bucket in buckets {
+            for (bucket, ws) in buckets.into_iter().zip(ws_slots.iter_mut()) {
                 scope.spawn(move |_| {
                     for (i, slot) in bucket {
-                        *slot = Some(run_shard(i));
+                        *slot = Some(run_shard(i, ws));
                     }
                 });
             }
@@ -397,6 +436,57 @@ mod tests {
             assert_eq!(r.grads.head.dw, reference.grads.head.dw);
             assert_eq!(r.magnitudes, reference.magnitudes);
         }
+    }
+
+    /// The PR 5 contract at engine level: shared panels and a reused
+    /// workspace pool leave the sharded step bit-identical, at every
+    /// thread count.
+    #[test]
+    fn sharded_step_with_pool_and_panels_is_bit_identical() {
+        let cfg = config(8);
+        let model = LstmModel::new(&cfg, 7);
+        let (xs, targets) = batch_inputs(&cfg, 11);
+        let inst = Instruments::new();
+        let plan = StepPlan::baseline();
+        let reference = train_step_sharded(
+            &model,
+            &xs,
+            &targets,
+            &plan,
+            &inst,
+            &Parallelism::with_threads(1),
+        )
+        .unwrap();
+        let panels = ModelPanels::pack(&model);
+        let mut pool = WorkspacePool::new();
+        for threads in [1usize, 2, 3, 8] {
+            let par = Parallelism::with_threads(threads);
+            // The same pool serves every configuration (worker counts
+            // vary; slots are reused and resized on demand).
+            let r = train_step_sharded_ws(
+                &model,
+                &xs,
+                &targets,
+                &plan,
+                &inst,
+                &par,
+                Some(&panels),
+                &mut pool,
+            )
+            .unwrap();
+            assert_eq!(
+                r.loss.to_bits(),
+                reference.loss.to_bits(),
+                "threads={threads}"
+            );
+            for (a, b) in r.grads.cells.iter().zip(reference.grads.cells.iter()) {
+                assert_eq!(a.dw, b.dw, "threads={threads}");
+                assert_eq!(a.du, b.du, "threads={threads}");
+                assert_eq!(a.db, b.db, "threads={threads}");
+            }
+            assert_eq!(r.magnitudes, reference.magnitudes);
+        }
+        assert!(pool.high_water_bytes() > 0);
     }
 
     #[test]

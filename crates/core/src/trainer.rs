@@ -18,6 +18,7 @@ use crate::ms2::{self, GradPredictor, LossHistory};
 use crate::optimizer::{Optimizer, Sgd};
 use crate::parallel::{self, Parallelism};
 use crate::strategy::{StrategyParams, TrainingStrategy};
+use crate::workspace::{PanelCache, WorkspacePool};
 use crate::Result;
 use eta_memsim::{DataCategory, MemoryTracker, TrafficCounter};
 use eta_tensor::{Matrix, ParallelConfig};
@@ -132,6 +133,8 @@ pub struct Trainer {
     history: LossHistory,
     predictor: Option<GradPredictor>,
     parallelism: Parallelism,
+    panel_cache: PanelCache,
+    ws_pool: WorkspacePool,
     #[cfg(feature = "telemetry")]
     telemetry: Option<eta_telemetry::Telemetry>,
 }
@@ -152,6 +155,8 @@ impl Trainer {
             history: LossHistory::new(),
             predictor: None,
             parallelism: Parallelism::serial(),
+            panel_cache: PanelCache::new(),
+            ws_pool: WorkspacePool::new(),
             #[cfg(feature = "telemetry")]
             telemetry: None,
         })
@@ -282,13 +287,19 @@ impl Trainer {
                     .as_ref()
                     .map(|t| eta_telemetry::span!(t, "batch", index = b));
                 let batch = task.batch(epoch, b);
-                let result = parallel::train_step_sharded(
+                // Panels pack once per weight update: the checkout after
+                // `apply` repacks, every later one in the same update is
+                // a cache hit (only possible with multi-batch updates).
+                let panels = self.panel_cache.checkout(&self.model);
+                let result = parallel::train_step_sharded_ws(
                     &self.model,
                     &batch.inputs,
                     &batch.targets,
                     &plan,
                     &instruments,
                     &self.parallelism,
+                    Some(panels),
+                    &mut self.ws_pool,
                 )?;
                 losses.push(result.loss);
                 shards_used = shards_used.max(result.shards);
@@ -310,6 +321,8 @@ impl Trainer {
                     }
                 }
                 self.model.apply(&mut self.optimizer, &result.grads)?;
+                // The weights just changed; the packed panels are stale.
+                self.panel_cache.invalidate();
                 // The simulated DRAM frees everything between iterations.
                 let snap = instruments.mem.snapshot();
                 instruments
@@ -380,6 +393,12 @@ impl Trainer {
                 t.gauge(keys::PARALLEL_SHARDS, shards_used as f64);
                 t.gauge(keys::PARALLEL_THREADS, self.parallelism.threads as f64);
                 t.gauge(keys::PARALLEL_REDUCE_SECONDS, reduce_seconds);
+                t.gauge(keys::PANEL_PACK_COUNT, self.panel_cache.pack_count() as f64);
+                t.gauge(keys::PANEL_CACHE_HITS, self.panel_cache.hit_count() as f64);
+                t.gauge(
+                    keys::WORKSPACE_HIGH_WATER_BYTES,
+                    self.ws_pool.high_water_bytes() as f64,
+                );
             }
             #[cfg(not(feature = "telemetry"))]
             {
@@ -561,6 +580,14 @@ mod tests {
             "gauge keeps the last epoch's loss"
         );
         assert!(snap.gauge(keys::TRAIN_PEAK_FOOTPRINT_BYTES).unwrap() > 0.0);
+        // Panel cache: every batch triggers exactly one repack (each
+        // batch ends in a weight update), and never a stale hit.
+        assert_eq!(
+            snap.gauge(keys::PANEL_PACK_COUNT),
+            Some((4 * task.batches_per_epoch()) as f64)
+        );
+        assert_eq!(snap.gauge(keys::PANEL_CACHE_HITS), Some(0.0));
+        assert!(snap.gauge(keys::WORKSPACE_HIGH_WATER_BYTES).unwrap() > 0.0);
         // Memsim mirror fired through the Instruments path.
         assert!(snap.counter_total(keys::MEMSIM_ALLOC_BYTES_TOTAL) > 0);
         assert!(snap.counter_total(keys::DRAM_READ_BYTES_TOTAL) > 0);

@@ -38,7 +38,10 @@ pub struct Item {
 pub enum ItemKind {
     Fn(FnDef),
     /// `mod name { … }`; `mod name;` has no items.
-    Mod { items: Vec<Item>, inline: bool },
+    Mod {
+        items: Vec<Item>,
+        inline: bool,
+    },
     /// `impl Type { … }` / `impl Trait for Type { … }`. `self_ty` is
     /// the main identifier of the implemented type.
     Impl {
@@ -46,13 +49,21 @@ pub enum ItemKind {
         trait_name: Option<String>,
         items: Vec<Item>,
     },
-    Trait { items: Vec<Item> },
+    Trait {
+        items: Vec<Item>,
+    },
     Struct,
     Enum,
     Union,
-    Use { tree: String },
-    Const { init: Option<Expr> },
-    Static { init: Option<Expr> },
+    Use {
+        tree: String,
+    },
+    Const {
+        init: Option<Expr>,
+    },
+    Static {
+        init: Option<Expr>,
+    },
     TypeAlias,
     /// `macro_rules! name { … }` — body is an opaque token tree.
     MacroDef,
@@ -72,7 +83,9 @@ impl Item {
 
     /// True for `#[test]` / `#[proptest]`-style attributes.
     pub fn is_test_fn(&self) -> bool {
-        self.attrs.iter().any(|a| a.trim() == "test" || a.contains("cfg(test)"))
+        self.attrs
+            .iter()
+            .any(|a| a.trim() == "test" || a.contains("cfg(test)"))
     }
 }
 
@@ -142,34 +155,53 @@ pub enum ExprKind {
     Str(String),
     Char,
     Bool(bool),
-    Call { callee: Box<Expr>, args: Vec<Expr> },
+    Call {
+        callee: Box<Expr>,
+        args: Vec<Expr>,
+    },
     MethodCall {
         recv: Box<Expr>,
         method: String,
         args: Vec<Expr>,
     },
-    Field { recv: Box<Expr>, name: String },
-    Index { recv: Box<Expr>, index: Box<Expr> },
+    Field {
+        recv: Box<Expr>,
+        name: String,
+    },
+    Index {
+        recv: Box<Expr>,
+        index: Box<Expr>,
+    },
     Binary {
         op: String,
         lhs: Box<Expr>,
         rhs: Box<Expr>,
     },
-    Unary { op: char, expr: Box<Expr> },
+    Unary {
+        op: char,
+        expr: Box<Expr>,
+    },
     /// `lhs = rhs`, `lhs += rhs`, … (`op` includes the `=`).
     Assign {
         op: String,
         lhs: Box<Expr>,
         rhs: Box<Expr>,
     },
-    Cast { expr: Box<Expr>, ty_text: String },
+    Cast {
+        expr: Box<Expr>,
+        ty_text: String,
+    },
     Range {
         lo: Option<Box<Expr>>,
         hi: Option<Box<Expr>>,
         inclusive: bool,
     },
-    Ref { expr: Box<Expr> },
-    Deref { expr: Box<Expr> },
+    Ref {
+        expr: Box<Expr>,
+    },
+    Deref {
+        expr: Box<Expr>,
+    },
     Try(Box<Expr>),
     /// `path!(…)`: `args` hold the comma-separated argument exprs when
     /// the macro body parses as such, `semi_args` the `[x; n]` form,
@@ -197,7 +229,10 @@ pub enum ExprKind {
         scrutinee: Box<Expr>,
         arms: Vec<Arm>,
     },
-    While { cond: Box<Expr>, body: Block },
+    While {
+        cond: Box<Expr>,
+        body: Block,
+    },
     WhileLet {
         pat_names: Vec<String>,
         pat_text: String,
@@ -210,7 +245,9 @@ pub enum ExprKind {
         iter: Box<Expr>,
         body: Block,
     },
-    Loop { body: Block },
+    Loop {
+        body: Block,
+    },
     Closure {
         params: Vec<String>,
         body: Box<Expr>,
@@ -220,7 +257,10 @@ pub enum ExprKind {
     Continue,
     Tuple(Vec<Expr>),
     Array(Vec<Expr>),
-    Repeat { elem: Box<Expr>, len: Box<Expr> },
+    Repeat {
+        elem: Box<Expr>,
+        len: Box<Expr>,
+    },
     StructLit {
         path: Vec<String>,
         fields: Vec<(String, Expr)>,

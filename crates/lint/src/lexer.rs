@@ -306,8 +306,8 @@ impl Lexer<'_> {
 
     fn number(&mut self) {
         let start = self.pos;
-        let radix_prefixed = self.peek(0) == Some(b'0')
-            && matches!(self.peek(1), Some(b'x' | b'X' | b'b' | b'o'));
+        let radix_prefixed =
+            self.peek(0) == Some(b'0') && matches!(self.peek(1), Some(b'x' | b'X' | b'b' | b'o'));
         while let Some(b) = self.peek(0) {
             if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' {
                 // Stop `0..10` range syntax from being eaten as one number.
@@ -495,7 +495,9 @@ mod tests {
         // `'_` anonymous lifetime, `'a,` in generics, char `'''`? no —
         // but escaped quote chars must not become lifetimes.
         let toks = lex("&'_ str");
-        assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "'_"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'_"));
         let toks = lex(r"let q = '\''; let l = 'static;");
         assert_eq!(
             toks.iter().filter(|t| t.kind == TokKind::CharLit).count(),

@@ -121,11 +121,8 @@ impl Workspace {
             .fns
             .iter()
             .map(|f| {
-                let mut out: Vec<usize> = f
-                    .calls
-                    .iter()
-                    .flat_map(|c| ws.resolve_call(f, c))
-                    .collect();
+                let mut out: Vec<usize> =
+                    f.calls.iter().flat_map(|c| ws.resolve_call(f, c)).collect();
                 out.sort_unstable();
                 out.dedup();
                 out
@@ -301,9 +298,9 @@ fn collect_fns(file: &SourceFile, out: &mut Vec<FnInfo>) {
                     });
                 }
                 ItemKind::Mod { items, .. } => rec(items, file, None, item_test, out),
-                ItemKind::Impl { self_ty: ty, items, .. } => {
-                    rec(items, file, Some(ty), item_test, out)
-                }
+                ItemKind::Impl {
+                    self_ty: ty, items, ..
+                } => rec(items, file, Some(ty), item_test, out),
                 ItemKind::Trait { items } => rec(items, file, self_ty, item_test, out),
                 _ => {}
             }

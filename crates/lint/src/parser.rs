@@ -444,7 +444,13 @@ impl<'a> Parser<'a> {
                 );
             }
             let items = self.parse_item_body();
-            return mk(name, ItemKind::Mod { items, inline: true });
+            return mk(
+                name,
+                ItemKind::Mod {
+                    items,
+                    inline: true,
+                },
+            );
         }
         if self.at_ident("use") {
             self.bump();
@@ -457,7 +463,8 @@ impl<'a> Parser<'a> {
                 .to_string();
             return mk(name, ItemKind::Use { tree });
         }
-        if self.at_ident("struct") || self.at_ident("enum")
+        if self.at_ident("struct")
+            || self.at_ident("enum")
             || (self.at_ident("union")
                 && self.nth(1).is_some_and(|t| t.kind == TokKind::Ident)
                 && (self.nth_punct(2, '{') || self.nth_punct(2, '<')))
@@ -586,9 +593,7 @@ impl<'a> Parser<'a> {
         if self.at_any_ident() && self.looks_like_macro_item() {
             let expr = self.parse_expr(true);
             let name = match &expr.kind {
-                ExprKind::MacroCall { path, .. } => {
-                    path.last().cloned().unwrap_or_default()
-                }
+                ExprKind::MacroCall { path, .. } => path.last().cloned().unwrap_or_default(),
                 _ => String::from("<macro>"),
             };
             self.eat_punct(';');
@@ -779,10 +784,7 @@ impl<'a> Parser<'a> {
             || self.at_ident("loop")
             || self.at_ident("for")
             || (self.at_ident("unsafe") && self.nth_punct(1, '{'))
-            || (self
-                .tok()
-                .is_some_and(|t| t.kind == TokKind::Lifetime)
-                && self.nth_punct(1, ':'));
+            || (self.tok().is_some_and(|t| t.kind == TokKind::Lifetime) && self.nth_punct(1, ':'));
         if block_like {
             self.parse_primary(true)
         } else {
@@ -893,7 +895,10 @@ fn main_type_ident(ty: &str) -> String {
     let flush = |cur: &mut String, last: &mut String, angle: i32| {
         if angle == 0
             && !cur.is_empty()
-            && !matches!(cur.as_str(), "mut" | "dyn" | "const" | "impl" | "for" | "as")
+            && !matches!(
+                cur.as_str(),
+                "mut" | "dyn" | "const" | "impl" | "for" | "as"
+            )
             && !cur.starts_with('\'')
         {
             *last = cur.clone();
@@ -1003,8 +1008,20 @@ pub(crate) fn pat_names(toks: &[Tok]) -> Vec<String> {
         if s == "_"
             || matches!(
                 s,
-                "mut" | "ref" | "box" | "move" | "if" | "in" | "self" | "Self" | "crate"
-                    | "super" | "true" | "false" | "dyn" | "as"
+                "mut"
+                    | "ref"
+                    | "box"
+                    | "move"
+                    | "if"
+                    | "in"
+                    | "self"
+                    | "Self"
+                    | "crate"
+                    | "super"
+                    | "true"
+                    | "false"
+                    | "dyn"
+                    | "as"
             )
         {
             continue;
@@ -1048,7 +1065,10 @@ fn parse_params(toks: &[Tok]) -> (Vec<Param>, bool) {
         let mut look = p.pos;
         if p.toks.get(look).is_some_and(|t| t.is_punct('&')) {
             look += 1;
-            if p.toks.get(look).is_some_and(|t| t.kind == TokKind::Lifetime) {
+            if p.toks
+                .get(look)
+                .is_some_and(|t| t.kind == TokKind::Lifetime)
+            {
                 look += 1;
             }
         }
@@ -1124,12 +1144,10 @@ impl<'a> Parser<'a> {
     fn range_hi_follows(&self, _allow_struct: bool) -> bool {
         match self.tok() {
             None => false,
-            Some(t) if t.kind == TokKind::Punct => {
-                !matches!(
-                    t.text.chars().next().unwrap_or(' '),
-                    ';' | ',' | ')' | ']' | '}' | '{'
-                )
-            }
+            Some(t) if t.kind == TokKind::Punct => !matches!(
+                t.text.chars().next().unwrap_or(' '),
+                ';' | ',' | ')' | ']' | '}' | '{'
+            ),
             Some(t) if t.kind == TokKind::Ident => {
                 // `for x in 1.. if …`? No: `..` then a keyword that
                 // cannot start an operand means no bound.
@@ -1208,18 +1226,12 @@ impl<'a> Parser<'a> {
         }
         let c = t.text.chars().next()?;
         match c {
-            '=' if !self.nth_punct(1, '=') && !self.nth_punct(1, '>') => {
-                Some(("=".into(), 1))
-            }
+            '=' if !self.nth_punct(1, '=') && !self.nth_punct(1, '>') => Some(("=".into(), 1)),
             '+' | '-' | '*' | '/' | '%' | '^' | '&' | '|' if self.nth_punct(1, '=') => {
                 Some((format!("{c}="), 2))
             }
-            '<' if self.nth_punct(1, '<') && self.nth_punct(2, '=') => {
-                Some(("<<=".into(), 3))
-            }
-            '>' if self.nth_punct(1, '>') && self.nth_punct(2, '=') => {
-                Some((">>=".into(), 3))
-            }
+            '<' if self.nth_punct(1, '<') && self.nth_punct(2, '=') => Some(("<<=".into(), 3)),
+            '>' if self.nth_punct(1, '>') && self.nth_punct(2, '=') => Some((">>=".into(), 3)),
             _ => None,
         }
     }
@@ -1413,7 +1425,11 @@ impl<'a> Parser<'a> {
             if t.kind != TokKind::Ident {
                 break;
             }
-            last_upper = t.text.chars().next().is_some_and(|c| c.is_ascii_uppercase());
+            last_upper = t
+                .text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_uppercase());
             self.bump();
             if self.at_colons() && self.nth(2).is_some_and(|t| t.kind == TokKind::Ident) {
                 self.bump();
@@ -2111,10 +2127,7 @@ impl<'a> Parser<'a> {
                 if !self.at_punct('}') {
                     rest = Some(Box::new(self.parse_expr(true)));
                 }
-            } else if self.at_any_ident()
-                && self.nth_punct(1, ':')
-                && !self.nth_punct(2, ':')
-            {
+            } else if self.at_any_ident() && self.nth_punct(1, ':') && !self.nth_punct(2, ':') {
                 let name = self.tok().map(|t| t.text.clone()).unwrap_or_default();
                 self.bump();
                 self.bump();
@@ -2321,10 +2334,16 @@ mod tests {
     }
 
     #[test]
-    fn never_panics_on_garbage(){
+    fn never_panics_on_garbage() {
         for src in [
-            "fn f( { ) }", "let", "}}}}", "fn", "impl for {",
-            "fn f() { 1 + }", "fn f() { x[ }", "match {",
+            "fn f( { ) }",
+            "let",
+            "}}}}",
+            "fn",
+            "impl for {",
+            "fn f() { 1 + }",
+            "fn f() { x[ }",
+            "match {",
             "fn f() { a.b.c(((((((((( }",
         ] {
             let _ = parse(src);

@@ -16,12 +16,21 @@ use serde_json::Value;
 
 /// `(rule id, short description)` for the SARIF rule metadata table.
 const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
-    ("D1", "HashMap/HashSet in numeric crates: unordered iteration breaks determinism"),
-    ("D2", "entropy-seeded RNG constructed outside telemetry/bench"),
+    (
+        "D1",
+        "HashMap/HashSet in numeric crates: unordered iteration breaks determinism",
+    ),
+    (
+        "D2",
+        "entropy-seeded RNG constructed outside telemetry/bench",
+    ),
     ("D3", "unordered floating-point reduction"),
     ("A1", "unsafe block without a SAFETY comment"),
     ("T1", "telemetry emit with an unregistered key"),
-    ("S1", "panic-capable site reachable from a public numeric API"),
+    (
+        "S1",
+        "panic-capable site reachable from a public numeric API",
+    ),
     ("S2", "nondeterministic value reaches numerics or telemetry"),
     ("S3", "registered telemetry key never emitted outside tests"),
 ];
@@ -98,7 +107,10 @@ fn result(f: &Finding, level: &str, suppression_reason: Option<&str>) -> Value {
                 "physicalLocation",
                 map(vec![
                     ("artifactLocation", map(vec![("uri", s(&f.file))])),
-                    ("region", map(vec![("startLine", Value::UInt(f.line as u64))])),
+                    (
+                        "region",
+                        map(vec![("startLine", Value::UInt(f.line as u64))]),
+                    ),
                 ]),
             )])]),
         ),
@@ -140,7 +152,12 @@ mod tests {
     fn sarif_log_has_schema_results_and_levels() {
         let report = Report {
             files: vec!["crates/core/src/lib.rs".into()],
-            findings: vec![finding("S1", "crates/core/src/lib.rs", 7, "panic reachable")],
+            findings: vec![finding(
+                "S1",
+                "crates/core/src/lib.rs",
+                7,
+                "panic reachable",
+            )],
             warnings: vec![finding("S3", "crates/telemetry/src/keys.rs", 3, "dead key")],
             suppressed: vec![Suppressed {
                 finding: finding("S1", "crates/tensor/src/matrix.rs", 9, "index"),

@@ -131,9 +131,7 @@ fn learn_expr(e: &Expr, facts: &mut BoundsFacts) {
         }
         // for i in 0..hi { … } / for (i, x) in xs.iter().enumerate()
         ExprKind::ForLoop {
-            pat_names,
-            iter,
-            ..
+            pat_names, iter, ..
         } => {
             learn_for(pat_names, iter, facts);
         }
@@ -192,16 +190,15 @@ fn learn_guard(cond: &Expr, facts: &mut BoundsFacts) {
 fn learn_for(pat_names: &[String], iter: &Expr, facts: &mut BoundsFacts) {
     let iter = peel(iter);
     match &iter.kind {
-        ExprKind::Range { lo, hi: Some(hi), inclusive: false } => {
-            let zero_based = lo
-                .as_deref()
-                .map(|l| expr_text(l) == "0")
-                .unwrap_or(false);
+        ExprKind::Range {
+            lo,
+            hi: Some(hi),
+            inclusive: false,
+        } => {
+            let zero_based = lo.as_deref().map(|l| expr_text(l) == "0").unwrap_or(false);
             if zero_based {
                 if let Some(name) = pat_names.first() {
-                    facts
-                        .counter_bounds
-                        .insert(name.clone(), expr_text(hi));
+                    facts.counter_bounds.insert(name.clone(), expr_text(hi));
                 }
             }
         }
@@ -223,7 +220,12 @@ fn learn_for(pat_names: &[String], iter: &Expr, facts: &mut BoundsFacts) {
 /// (`zip` yields `min(a, b) ≤ a` items, so the bound stays sound).
 fn iter_base(recv: &Expr) -> String {
     let recv = peel(recv);
-    if let ExprKind::MethodCall { recv: inner, method, .. } = &recv.kind {
+    if let ExprKind::MethodCall {
+        recv: inner,
+        method,
+        ..
+    } = &recv.kind
+    {
         if matches!(method.as_str(), "iter" | "iter_mut" | "into_iter" | "zip") {
             return iter_base(inner);
         }
@@ -276,7 +278,11 @@ mod tests {
 
     fn body_of(src: &str) -> Block {
         let file = parse(src);
-        assert!(file.errors.is_empty(), "fixture must parse: {:?}", file.errors);
+        assert!(
+            file.errors.is_empty(),
+            "fixture must parse: {:?}",
+            file.errors
+        );
         for item in &file.items {
             if let crate::ast::ItemKind::Fn(def) = &item.kind {
                 return def.body.clone().expect("fn body");
@@ -309,10 +315,7 @@ mod tests {
              assert_eq!(a.len(), b.len());\n\
              for i in 0..a.len() { let v = a[i] + b[i]; } }",
         );
-        assert_eq!(
-            indexes(&body),
-            vec![(true, "i".into()), (true, "i".into())]
-        );
+        assert_eq!(indexes(&body), vec![(true, "i".into()), (true, "i".into())]);
     }
 
     #[test]
@@ -339,33 +342,28 @@ mod tests {
 
     #[test]
     fn let_n_equals_len_links_counter() {
-        let body = body_of(
-            "fn f(xs: &[f32]) { let n = xs.len(); for i in 0..n { let v = xs[i]; } }",
-        );
+        let body =
+            body_of("fn f(xs: &[f32]) { let n = xs.len(); for i in 0..n { let v = xs[i]; } }");
         assert_eq!(indexes(&body), vec![(true, "i".into())]);
     }
 
     #[test]
     fn vec_macro_length_fact_links() {
-        let body = body_of(
-            "fn f(n: usize) { let v = vec![0.0f32; n]; for i in 0..n { let x = v[i]; } }",
-        );
+        let body =
+            body_of("fn f(n: usize) { let v = vec![0.0f32; n]; for i in 0..n { let x = v[i]; } }");
         assert_eq!(indexes(&body), vec![(true, "i".into())]);
     }
 
     #[test]
     fn direct_assert_guard_discharges() {
-        let body = body_of(
-            "fn f(xs: &[f32], j: usize) { assert!(j < xs.len()); let v = xs[j]; }",
-        );
+        let body = body_of("fn f(xs: &[f32], j: usize) { assert!(j < xs.len()); let v = xs[j]; }");
         assert_eq!(indexes(&body), vec![(true, "j".into())]);
     }
 
     #[test]
     fn nonempty_assert_guards_index_zero() {
-        let body = body_of(
-            "fn f(xs: &[f32]) { assert!(!xs.is_empty()); let v = xs[0]; let w = xs[1]; }",
-        );
+        let body =
+            body_of("fn f(xs: &[f32]) { assert!(!xs.is_empty()); let v = xs[0]; let w = xs[1]; }");
         assert_eq!(
             indexes(&body),
             vec![(true, "0".into()), (false, "1".into())]

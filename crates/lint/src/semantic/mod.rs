@@ -36,8 +36,9 @@ pub fn analyze_sources(sources: &[(String, String)], root: Option<&Path>) -> Sem
     let ws = Workspace::build(sources, root);
     let mut findings = s1::run(&ws);
     findings.extend(s2::run(&ws));
-    findings.sort_by(|a, b| (&a.file, a.line, &a.rule, &a.message)
-        .cmp(&(&b.file, b.line, &b.rule, &b.message)));
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+    });
     SemanticReport {
         findings,
         warnings: s3::run(&ws),

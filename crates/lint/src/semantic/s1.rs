@@ -98,9 +98,7 @@ fn chain_to(ws: &Workspace, parent: &[Option<usize>], mut v: usize) -> Vec<Strin
 fn collect_dangers(ws: &Workspace) -> Vec<Danger> {
     let mut out = Vec::new();
     for f in &ws.fns {
-        if f.in_test
-            || f.kind != ScopeKind::Lib
-            || !NUMERIC_CRATES.contains(&f.crate_key.as_str())
+        if f.in_test || f.kind != ScopeKind::Lib || !NUMERIC_CRATES.contains(&f.crate_key.as_str())
         {
             continue;
         }
@@ -150,7 +148,15 @@ fn collect_dangers(ws: &Workspace) -> Vec<Danger> {
 /// Keeps diagnostics one-line even for gnarly receivers.
 fn clip(s: &str) -> String {
     if s.len() > 40 {
-        format!("{}…", &s[..s.char_indices().take(37).last().map(|(i, c)| i + c.len_utf8()).unwrap_or(0)])
+        format!(
+            "{}…",
+            &s[..s
+                .char_indices()
+                .take(37)
+                .last()
+                .map(|(i, c)| i + c.len_utf8())
+                .unwrap_or(0)]
+        )
     } else {
         s.to_string()
     }

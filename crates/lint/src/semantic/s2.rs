@@ -71,9 +71,7 @@ pub fn run(ws: &Workspace) -> Vec<Finding> {
         if f.in_test || f.kind != ScopeKind::Lib {
             continue;
         }
-        if f.crate_key.starts_with("shim:")
-            || D2_EXEMPT_CRATES.contains(&f.crate_key.as_str())
-        {
+        if f.crate_key.starts_with("shim:") || D2_EXEMPT_CRATES.contains(&f.crate_key.as_str()) {
             continue;
         }
         let Some(body) = &f.body else { continue };
@@ -111,7 +109,12 @@ fn flow_block(
 ) {
     for stmt in &block.stmts {
         match stmt {
-            Stmt::Let { names, ty_text, init, .. } => {
+            Stmt::Let {
+                names,
+                ty_text,
+                init,
+                ..
+            } => {
                 let mask = init
                     .as_ref()
                     .map(|e| taint_of(e, f, ws, summaries, env))
@@ -120,9 +123,7 @@ fn flow_block(
                     *env.entry(name.clone()).or_insert(0) |= mask;
                 }
                 // Remember hash containers so later iteration taints.
-                if is_hash_type(ty_text)
-                    || init.as_ref().is_some_and(|e| is_hash_ctor(e))
-                {
+                if is_hash_type(ty_text) || init.as_ref().is_some_and(|e| is_hash_ctor(e)) {
                     for name in names {
                         env.insert(format!("#container:{name}"), HASH);
                     }
@@ -147,13 +148,7 @@ fn flow_block(
 
 /// Propagates taint through one statement-level expression, updating
 /// `env` at assignments and binding patterns.
-fn flow_expr(
-    e: &Expr,
-    f: &FnInfo,
-    ws: &Workspace,
-    summaries: &BTreeMap<usize, u8>,
-    env: &mut Env,
-) {
+fn flow_expr(e: &Expr, f: &FnInfo, ws: &Workspace, summaries: &BTreeMap<usize, u8>, env: &mut Env) {
     match &e.kind {
         ExprKind::Assign { lhs, rhs, .. } => {
             let mask = taint_of(rhs, f, ws, summaries, env);
@@ -162,14 +157,25 @@ fn flow_expr(
             }
             flow_expr(rhs, f, ws, summaries, env);
         }
-        ExprKind::ForLoop { pat_names, iter, body, .. } => {
+        ExprKind::ForLoop {
+            pat_names,
+            iter,
+            body,
+            ..
+        } => {
             let mask = taint_of(iter, f, ws, summaries, env) | iteration_taint(iter, env);
             for name in pat_names {
                 *env.entry(name.clone()).or_insert(0) |= mask;
             }
             flow_block(body, f, ws, summaries, env);
         }
-        ExprKind::IfLet { pat_names, scrutinee, then, else_, .. } => {
+        ExprKind::IfLet {
+            pat_names,
+            scrutinee,
+            then,
+            else_,
+            ..
+        } => {
             let mask = taint_of(scrutinee, f, ws, summaries, env);
             for name in pat_names {
                 *env.entry(name.clone()).or_insert(0) |= mask;
@@ -179,7 +185,12 @@ fn flow_expr(
                 flow_expr(e, f, ws, summaries, env);
             }
         }
-        ExprKind::WhileLet { pat_names, scrutinee, body, .. } => {
+        ExprKind::WhileLet {
+            pat_names,
+            scrutinee,
+            body,
+            ..
+        } => {
             let mask = taint_of(scrutinee, f, ws, summaries, env);
             for name in pat_names {
                 *env.entry(name.clone()).or_insert(0) |= mask;
@@ -297,10 +308,7 @@ fn taint_of(
                 "iter" | "iter_mut" | "into_iter" | "keys" | "values" | "values_mut" | "drain"
             ) {
                 let base = expr_text(peel(recv));
-                mask |= env
-                    .get(&format!("#container:{base}"))
-                    .copied()
-                    .unwrap_or(0);
+                mask |= env.get(&format!("#container:{base}")).copied().unwrap_or(0);
             }
             mask |= taint_of(recv, f, ws, summaries, env);
             for a in args {
@@ -311,14 +319,11 @@ fn taint_of(
             }
             mask
         }
-        ExprKind::Field { recv, .. } => env
-            .get(&expr_text(e))
-            .copied()
-            .unwrap_or(0)
-            | taint_of(recv, f, ws, summaries, env),
+        ExprKind::Field { recv, .. } => {
+            env.get(&expr_text(e)).copied().unwrap_or(0) | taint_of(recv, f, ws, summaries, env)
+        }
         ExprKind::Index { recv, .. } => {
-            env.get(&expr_text(e)).copied().unwrap_or(0)
-                | taint_of(recv, f, ws, summaries, env)
+            env.get(&expr_text(e)).copied().unwrap_or(0) | taint_of(recv, f, ws, summaries, env)
         }
         ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
             taint_of(lhs, f, ws, summaries, env) | taint_of(rhs, f, ws, summaries, env)
@@ -329,8 +334,10 @@ fn taint_of(
         | ExprKind::Deref { expr }
         | ExprKind::Try(expr) => taint_of(expr, f, ws, summaries, env),
         ExprKind::Range { lo, hi, .. } => {
-            lo.as_ref().map_or(0, |e| taint_of(e, f, ws, summaries, env))
-                | hi.as_ref().map_or(0, |e| taint_of(e, f, ws, summaries, env))
+            lo.as_ref()
+                .map_or(0, |e| taint_of(e, f, ws, summaries, env))
+                | hi.as_ref()
+                    .map_or(0, |e| taint_of(e, f, ws, summaries, env))
         }
         ExprKind::MacroCall { args, .. } | ExprKind::Tuple(args) | ExprKind::Array(args) => args
             .iter()
@@ -456,7 +463,10 @@ fn scan_sinks(
             }
             ExprKind::MethodCall { recv, method, args } => {
                 if numeric
-                    && matches!(method.as_str(), "push" | "extend" | "insert" | "copy_from_slice")
+                    && matches!(
+                        method.as_str(),
+                        "push" | "extend" | "insert" | "copy_from_slice"
+                    )
                 {
                     let mask = args
                         .iter()

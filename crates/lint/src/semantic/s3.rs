@@ -23,7 +23,10 @@ pub fn run(ws: &Workspace) -> Vec<Finding> {
         return Vec::new();
     };
     walk_items(&keys_file.ast.items, &mut |item| {
-        if let ItemKind::Const { init: Some(init), .. } = &item.kind {
+        if let ItemKind::Const {
+            init: Some(init), ..
+        } = &item.kind
+        {
             if let ExprKind::Str(s) = &init.kind {
                 registered.insert(s.clone(), (item.name.clone(), item.line));
             }

@@ -20,14 +20,50 @@ use proptest::prelude::*;
 /// Weighted token alphabet: heavy on the punctuation that drives the
 /// parser's trickiest paths (angle brackets, dots, pipes, braces).
 const WORDS: &[&str] = &[
-    "fn", "let", "if", "else", "match", "while", "for", "loop", "in", "impl", "trait",
-    "struct", "enum", "mod", "pub", "use", "const", "static", "unsafe", "move", "mut",
-    "return", "break", "continue", "as", "where", "self", "Self", "true", "false",
-    "x", "y", "foo", "Bar", "vec", "macro_rules", "extern", "crate", "type", "ref",
+    "fn",
+    "let",
+    "if",
+    "else",
+    "match",
+    "while",
+    "for",
+    "loop",
+    "in",
+    "impl",
+    "trait",
+    "struct",
+    "enum",
+    "mod",
+    "pub",
+    "use",
+    "const",
+    "static",
+    "unsafe",
+    "move",
+    "mut",
+    "return",
+    "break",
+    "continue",
+    "as",
+    "where",
+    "self",
+    "Self",
+    "true",
+    "false",
+    "x",
+    "y",
+    "foo",
+    "Bar",
+    "vec",
+    "macro_rules",
+    "extern",
+    "crate",
+    "type",
+    "ref",
 ];
 const PUNCTS: &[char] = &[
-    '{', '}', '(', ')', '[', ']', '<', '>', ';', ',', '.', ':', '=', '+', '-', '*', '/',
-    '%', '&', '|', '^', '!', '?', '#', '@', '$', '~', '\'',
+    '{', '}', '(', ')', '[', ']', '<', '>', ';', ',', '.', ':', '=', '+', '-', '*', '/', '%', '&',
+    '|', '^', '!', '?', '#', '@', '$', '~', '\'',
 ];
 
 fn tok(kind: TokKind, text: impl Into<String>) -> Tok {
@@ -42,7 +78,10 @@ fn token_from_choice(word: usize, punct: usize, kind: u8) -> Tok {
     match kind % 5 {
         0 => tok(TokKind::Ident, WORDS[word % WORDS.len()]),
         1 => tok(TokKind::Punct, PUNCTS[punct % PUNCTS.len()].to_string()),
-        2 => tok(TokKind::Num, ["0", "1", "2.5", "0.1", "1e-3", "42"][word % 6]),
+        2 => tok(
+            TokKind::Num,
+            ["0", "1", "2.5", "0.1", "1e-3", "42"][word % 6],
+        ),
         3 => tok(TokKind::Str, "s"),
         _ => tok(TokKind::Lifetime, "'a"),
     }

@@ -19,7 +19,11 @@ fn rs_files(root: &Path) -> Vec<std::path::PathBuf> {
     while let Some(dir) = stack.pop() {
         for entry in std::fs::read_dir(&dir).expect("read_dir") {
             let path = entry.expect("dir entry").path();
-            let name = path.file_name().unwrap_or_default().to_string_lossy().into_owned();
+            let name = path
+                .file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .into_owned();
             if path.is_dir() {
                 if name == "target" || name.starts_with('.') || name == "results" {
                     continue;

@@ -231,8 +231,7 @@ fn s2_hash_iteration_order_into_telemetry_is_flagged() {
     assert_eq!(s2.len(), 1, "{findings:#?}");
     assert_eq!(s2[0].line, 6);
     assert!(
-        s2[0].message.contains("(hash-order)")
-            && s2[0].message.contains("telemetry value"),
+        s2[0].message.contains("(hash-order)") && s2[0].message.contains("telemetry value"),
         "{}",
         s2[0].message
     );

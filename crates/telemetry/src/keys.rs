@@ -37,6 +37,16 @@ pub const PARALLEL_THREADS: &str = "parallel_threads";
 /// Gauge: wall seconds spent in the fixed-order tree reduction.
 pub const PARALLEL_REDUCE_SECONDS: &str = "parallel_reduce_seconds";
 
+// -- kernel layer: panel cache + workspace (eta-lstm-core) -----------------
+
+/// Gauge: cumulative weight-panel pack operations performed by the
+/// trainer's panel cache (one per layer per weight update).
+pub const PANEL_PACK_COUNT: &str = "panel_pack_count";
+/// Gauge: cumulative panel-cache checkouts served without repacking.
+pub const PANEL_CACHE_HITS: &str = "panel_cache_hits";
+/// Gauge: high-water mark of the reusable training workspace, bytes.
+pub const WORKSPACE_HIGH_WATER_BYTES: &str = "workspace_high_water_bytes";
+
 // -- memory simulator (eta-memsim) -----------------------------------------
 
 /// Counter (labels: `category`): bytes allocated in simulated DRAM.
@@ -99,6 +109,9 @@ pub const ALL: &[&str] = &[
     PARALLEL_SHARDS,
     PARALLEL_THREADS,
     PARALLEL_REDUCE_SECONDS,
+    PANEL_PACK_COUNT,
+    PANEL_CACHE_HITS,
+    WORKSPACE_HIGH_WATER_BYTES,
     MEMSIM_ALLOC_BYTES_TOTAL,
     MEMSIM_FREE_BYTES_TOTAL,
     MEMSIM_LIVE_BYTES,

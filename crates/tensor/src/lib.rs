@@ -27,14 +27,18 @@
 
 pub mod activation;
 pub mod init;
+pub mod kernels;
 pub mod matrix;
+pub mod pack;
 pub mod parallel;
 pub mod sparse;
 
 mod error;
 
 pub use error::TensorError;
-pub use matrix::Matrix;
+pub use kernels::Store;
+pub use matrix::{Matrix, PACK_MIN_FLOPS};
+pub use pack::PackedB;
 pub use parallel::ParallelConfig;
 pub use sparse::{CompressionStats, SparseVec};
 

@@ -10,9 +10,19 @@
 //! - input gradient `Wᵀ δ`: [`Matrix::matmul_nn`] (`δ · W`)
 //! - weight gradient `δ ⊗ x`: [`Matrix::matmul_tn`] (`δᵀ · x`)
 
+use crate::kernels::{self, Store};
+use crate::pack::PackedB;
 use crate::parallel::ParallelConfig;
 use crate::{Result, TensorError};
 use serde::{Deserialize, Serialize};
+
+/// Below this many fused multiply-adds (`m * k * n`) the `matmul_*`
+/// entry points run the naive reference loops instead of packing B for
+/// the register-blocked kernels: packing costs `O(k · n)` writes, which
+/// only amortizes once the product is large enough. Results are
+/// bit-identical on both sides, so the threshold is purely a latency
+/// knob.
+pub const PACK_MIN_FLOPS: usize = 32 * 32 * 32;
 
 /// Per-row kernel shared by the serial and parallel `nn` paths:
 /// `out_row += a_row · B` with the zero-skip the serial kernel uses.
@@ -42,24 +52,6 @@ fn nt_row(a_row: &[f32], b: &[f32], k: usize, out_row: &mut [f32]) {
             acc += x * y;
         }
         *o = acc;
-    }
-}
-
-/// Per-row kernel of the parallel `tn` path: output row `i` of
-/// `Aᵀ · B` accumulates `A[p][i] * B[p][:]` in ascending `p` — the
-/// same per-element accumulation order as the serial `p`-outer sweep,
-/// so panels are bit-identical to it.
-#[inline]
-fn tn_row(a: &[f32], b: &[f32], m: usize, n: usize, k: usize, i: usize, out_row: &mut [f32]) {
-    for p in 0..k {
-        let av = a[p * m + i];
-        if av == 0.0 {
-            continue;
-        }
-        let b_row = &b[p * n..(p + 1) * n];
-        for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-            *o += av * bv;
-        }
     }
 }
 
@@ -231,10 +223,29 @@ impl Matrix {
     /// `self · rhs` with both operands untransposed:
     /// `[m, k] · [k, n] -> [m, n]`.
     ///
+    /// Above [`PACK_MIN_FLOPS`] the product runs through the packed
+    /// register-blocked kernel; results are bit-identical to
+    /// [`Matrix::matmul_nn_naive`] either way.
+    ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if `self.cols != rhs.rows`.
     pub fn matmul_nn(&self, rhs: &Matrix) -> Result<Matrix> {
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        if self.cols == rhs.rows && m * k * n >= PACK_MIN_FLOPS {
+            return self.matmul_nn_packed(&PackedB::from_nn(rhs));
+        }
+        self.matmul_nn_naive(rhs)
+    }
+
+    /// Naive reference `self · rhs`: one row-loop per output row with a
+    /// zero-skip on the A element. The packed kernels are defined (and
+    /// proptested) to be bit-identical to this loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols != rhs.rows`.
+    pub fn matmul_nn_naive(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul_nn",
@@ -251,15 +262,55 @@ impl Matrix {
         Ok(out)
     }
 
+    /// `self · B` against an already-packed B (`[k, n]` packed with
+    /// [`PackedB::from_nn`]) — always the register-blocked kernel, so
+    /// callers holding a panel cache (LSTM weights) skip both the
+    /// dispatch and the packing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols != pb.k()`.
+    pub fn matmul_nn_packed(&self, pb: &PackedB) -> Result<Matrix> {
+        if self.cols != pb.k() {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nn_packed",
+                lhs: (self.rows, self.cols),
+                rhs: (pb.k(), pb.n()),
+            });
+        }
+        let (m, k) = (self.rows, self.cols);
+        let mut out = Matrix::zeros(m, pb.n());
+        kernels::gemm_nn_rows(&self.data, m, k, pb, &mut out.data, Store::Assign);
+        Ok(out)
+    }
+
     /// `self · rhsᵀ`: `[m, k] · [n, k]ᵀ -> [m, n]`.
     ///
     /// This is the forward-propagation orientation: activations
-    /// `[batch, in] · W[out, in]ᵀ -> [batch, out]`.
+    /// `[batch, in] · W[out, in]ᵀ -> [batch, out]`. Above
+    /// [`PACK_MIN_FLOPS`] the product runs through the packed
+    /// register-blocked kernel; results are bit-identical to
+    /// [`Matrix::matmul_nt_naive`] either way.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if `self.cols != rhs.cols`.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Result<Matrix> {
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        if self.cols == rhs.cols && m * k * n >= PACK_MIN_FLOPS {
+            return self.matmul_nt_packed(&PackedB::from_nt(rhs));
+        }
+        self.matmul_nt_naive(rhs)
+    }
+
+    /// Naive reference `self · rhsᵀ`: one dot-product accumulator per
+    /// output element, no zero-skip. The packed kernels are defined
+    /// (and proptested) to be bit-identical to this loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols != rhs.cols`.
+    pub fn matmul_nt_naive(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.cols {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul_nt",
@@ -276,16 +327,130 @@ impl Matrix {
         Ok(out)
     }
 
+    /// `self · Bᵀ` against an already-packed B (`[n, k]` packed with
+    /// [`PackedB::from_nt`]) — always the register-blocked kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols != pb.k()`.
+    pub fn matmul_nt_packed(&self, pb: &PackedB) -> Result<Matrix> {
+        if self.cols != pb.k() {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nt_packed",
+                lhs: (self.rows, self.cols),
+                rhs: (pb.n(), pb.k()),
+            });
+        }
+        let (m, k) = (self.rows, self.cols);
+        let mut out = Matrix::zeros(m, pb.n());
+        kernels::gemm_nt_rows(&self.data, m, k, pb, &mut out.data, Store::Assign);
+        Ok(out)
+    }
+
+    /// In-place `out (+)= self · Bᵀ` against an already-packed B, with
+    /// [`Store::Assign`] overwriting and [`Store::Add`] accumulating.
+    /// The accumulating form still computes each product tile from zero
+    /// and adds it once, so it is bit-identical to building the product
+    /// separately and [`Matrix::add_assign`]-ing it. Row panels run in
+    /// parallel when `cfg` allows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the operand widths or
+    /// `out`'s shape do not match.
+    pub fn matmul_nt_packed_into(
+        &self,
+        pb: &PackedB,
+        out: &mut Matrix,
+        store: Store,
+        cfg: &ParallelConfig,
+    ) -> Result<()> {
+        let (m, k, n) = (self.rows, self.cols, pb.n());
+        if self.cols != pb.k() || out.rows != m || out.cols != n {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nt_packed_into",
+                lhs: (self.rows, self.cols),
+                rhs: (pb.n(), pb.k()),
+            });
+        }
+        if !cfg.should_parallelize(m, k, n, m) {
+            kernels::gemm_nt_rows(&self.data, m, k, pb, &mut out.data, store);
+            return Ok(());
+        }
+        let a = &self.data;
+        Self::par_row_blocks(&mut out.data, m, n, cfg.threads, |row0, rows, chunk| {
+            kernels::gemm_nt_rows(&a[row0 * k..(row0 + rows) * k], rows, k, pb, chunk, store);
+        });
+        Ok(())
+    }
+
+    /// In-place `out[i][j] = f(j, out[i][j] + (self · Bᵀ)[i][j])`
+    /// against an already-packed B — the fused-epilogue hook the LSTM
+    /// cell uses to fold bias addition and gate activation into the
+    /// preactivation GEMM's store pass. Row panels run in parallel when
+    /// `cfg` allows; `f` must be pure for that to be deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the operand widths or
+    /// `out`'s shape do not match.
+    pub fn matmul_nt_packed_epilogue<F: Fn(usize, f32) -> f32 + Sync>(
+        &self,
+        pb: &PackedB,
+        out: &mut Matrix,
+        cfg: &ParallelConfig,
+        f: F,
+    ) -> Result<()> {
+        let (m, k, n) = (self.rows, self.cols, pb.n());
+        if self.cols != pb.k() || out.rows != m || out.cols != n {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nt_packed_epilogue",
+                lhs: (self.rows, self.cols),
+                rhs: (pb.n(), pb.k()),
+            });
+        }
+        if !cfg.should_parallelize(m, k, n, m) {
+            kernels::gemm_nt_rows_epilogue(&self.data, m, k, pb, &mut out.data, &f);
+            return Ok(());
+        }
+        let a = &self.data;
+        let f = &f;
+        Self::par_row_blocks(&mut out.data, m, n, cfg.threads, |row0, rows, chunk| {
+            kernels::gemm_nt_rows_epilogue(&a[row0 * k..(row0 + rows) * k], rows, k, pb, chunk, f);
+        });
+        Ok(())
+    }
+
     /// `selfᵀ · rhs`: `[k, m]ᵀ · [k, n] -> [m, n]`.
     ///
     /// This is the weight-gradient orientation: gate gradients
     /// `[batch, out]ᵀ · x [batch, in] -> [out, in]` (the paper's outer
-    /// product summed over the batch, Eq. 3).
+    /// product summed over the batch, Eq. 3). Above [`PACK_MIN_FLOPS`]
+    /// the product runs through the packed register-blocked kernel;
+    /// results are bit-identical to [`Matrix::matmul_tn_naive`] either
+    /// way (the tiled kernel accumulates each output element over the
+    /// same ascending batch order `p = 0..k`).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if `self.rows != rhs.rows`.
     pub fn matmul_tn(&self, rhs: &Matrix) -> Result<Matrix> {
+        let (k, m, n) = (self.rows, self.cols, rhs.cols);
+        if self.rows == rhs.rows && m * k * n >= PACK_MIN_FLOPS {
+            return self.matmul_tn_packed(&PackedB::from_nn(rhs));
+        }
+        self.matmul_tn_naive(rhs)
+    }
+
+    /// Naive reference `selfᵀ · rhs`: `p`-outer sweep with a zero-skip
+    /// on the A element, accumulating each output element in ascending
+    /// `p`. The packed kernels are defined (and proptested) to be
+    /// bit-identical to this loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.rows != rhs.rows`.
+    pub fn matmul_tn_naive(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.rows != rhs.rows {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul_tn",
@@ -311,48 +476,64 @@ impl Matrix {
         Ok(out)
     }
 
-    /// Cache-blocked `self · rhs`, numerically identical to
-    /// [`Matrix::matmul_nn`] but tiled over `block × block` panels so
-    /// large operands stay in cache. Falls back to the straight loop
-    /// for small matrices.
+    /// `selfᵀ · B` against an already-packed B (`[k, n]` packed with
+    /// [`PackedB::from_nn`]) — always the register-blocked kernel.
     ///
     /// # Errors
     ///
-    /// Returns [`TensorError::ShapeMismatch`] if `self.cols != rhs.rows`.
-    pub fn matmul_blocked(&self, rhs: &Matrix, block: usize) -> Result<Matrix> {
-        if self.cols != rhs.rows {
+    /// Returns [`TensorError::ShapeMismatch`] if `self.rows != pb.k()`.
+    pub fn matmul_tn_packed(&self, pb: &PackedB) -> Result<Matrix> {
+        if self.rows != pb.k() {
             return Err(TensorError::ShapeMismatch {
-                op: "matmul_blocked",
+                op: "matmul_tn_packed",
+                lhs: (self.rows, self.cols),
+                rhs: (pb.k(), pb.n()),
+            });
+        }
+        let (k, m) = (self.rows, self.cols);
+        let mut out = Matrix::zeros(m, pb.n());
+        kernels::gemm_tn_rows(&self.data, m, k, 0, m, pb, &mut out.data, Store::Assign);
+        Ok(out)
+    }
+
+    /// In-place accumulating `out += selfᵀ · rhs` — the weight-gradient
+    /// hot path (`dW += δᵀ · x` at every timestep). The rhs changes
+    /// every timestep so it is packed fresh here when large enough;
+    /// small products run the naive loop into a temporary. Both paths
+    /// are bit-identical to `matmul_tn` followed by
+    /// [`Matrix::add_assign`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.rows != rhs.rows`
+    /// or `out` is not `[self.cols, rhs.cols]`.
+    pub fn matmul_tn_acc_into(
+        &self,
+        rhs: &Matrix,
+        out: &mut Matrix,
+        cfg: &ParallelConfig,
+    ) -> Result<()> {
+        let (k, m, n) = (self.rows, self.cols, rhs.cols);
+        if self.rows != rhs.rows || out.rows != m || out.cols != n {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_tn_acc_into",
                 lhs: (self.rows, self.cols),
                 rhs: (rhs.rows, rhs.cols),
             });
         }
-        let block = block.max(8);
-        let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        if m * k * n < 64 * 64 * 64 {
-            return self.matmul_nn(rhs);
+        if m * k * n < PACK_MIN_FLOPS {
+            return out.add_assign(&self.matmul_tn_naive(rhs)?);
         }
-        let mut out = Matrix::zeros(m, n);
-        for i0 in (0..m).step_by(block) {
-            let i1 = (i0 + block).min(m);
-            for p0 in (0..k).step_by(block) {
-                let p1 = (p0 + block).min(k);
-                for i in i0..i1 {
-                    let a_row = &self.data[i * k..(i + 1) * k];
-                    let out_row = &mut out.data[i * n..(i + 1) * n];
-                    for (p, &a) in a_row.iter().enumerate().take(p1).skip(p0) {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let b_row = &rhs.data[p * n..(p + 1) * n];
-                        for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                            *o += a * b;
-                        }
-                    }
-                }
-            }
+        let pb = PackedB::from_nn(rhs);
+        let a = &self.data;
+        if !cfg.should_parallelize(m, k, n, m) {
+            kernels::gemm_tn_rows(a, m, k, 0, m, &pb, &mut out.data, Store::Add);
+            return Ok(());
         }
-        Ok(out)
+        Self::par_row_blocks(&mut out.data, m, n, cfg.threads, |row0, rows, chunk| {
+            kernels::gemm_tn_rows(a, m, k, row0, rows, &pb, chunk, Store::Add);
+        });
+        Ok(())
     }
 
     /// Multi-threaded `self · rhsᵀ` with an explicit thread count;
@@ -367,33 +548,34 @@ impl Matrix {
         self.par_matmul_nt(rhs, &ParallelConfig::with_threads(threads))
     }
 
-    /// Splits the output of an `[m, n]` product into one disjoint
-    /// row-panel per worker and runs `kernel` on each panel in a scoped
-    /// thread. `kernel(i, out_row)` fills output row `i`.
-    fn par_row_panels<K>(m: usize, n: usize, threads: usize, kernel: K) -> Matrix
+    /// Splits an `[m, n]` output buffer into one disjoint row block per
+    /// worker and runs `kernel(row0, rows, chunk)` on each block in a
+    /// scoped thread. Blocks are a deterministic function of `(m,
+    /// threads)` and each block is produced by the same serial kernel
+    /// sweep it would see single-threaded, so the partitioning never
+    /// changes results.
+    fn par_row_blocks<K>(out: &mut [f32], m: usize, n: usize, threads: usize, kernel: K)
     where
-        K: Fn(usize, &mut [f32]) + Sync,
+        K: Fn(usize, usize, &mut [f32]) + Sync,
     {
-        let mut out = Matrix::zeros(m, n);
-        let rows_per = m.div_ceil(threads);
+        let rows_per = m.div_ceil(threads.max(1)).max(1);
         let kernel = &kernel;
         rayon::scope(|scope| {
-            for (chunk_idx, chunk) in out.data.chunks_mut(rows_per * n).enumerate() {
+            for (chunk_idx, chunk) in out.chunks_mut(rows_per * n).enumerate() {
                 let row0 = chunk_idx * rows_per;
                 scope.spawn(move |_| {
-                    for (local_i, out_row) in chunk.chunks_mut(n).enumerate() {
-                        kernel(row0 + local_i, out_row);
-                    }
+                    let rows = chunk.len() / n.max(1);
+                    kernel(row0, rows, chunk);
                 });
             }
         });
-        out
     }
 
-    /// Parallel `self · rhs` — row-panel partitioned, bit-identical to
-    /// [`Matrix::matmul_nn`] (each panel runs the serial per-row
-    /// kernel), with a serial fallback below the config's size
-    /// threshold.
+    /// Parallel `self · rhs` — packs B once, then partitions the output
+    /// into row blocks that each run the register-blocked kernel.
+    /// Bit-identical to [`Matrix::matmul_nn`] (every output element is
+    /// one accumulator summing ascending `p` on both paths), with a
+    /// serial fallback below the config's size threshold.
     ///
     /// # Errors
     ///
@@ -410,15 +592,47 @@ impl Matrix {
         if !cfg.should_parallelize(m, k, n, m) {
             return self.matmul_nn(rhs);
         }
-        let (a, b) = (&self.data, &rhs.data);
-        Ok(Self::par_row_panels(m, n, cfg.threads, |i, out_row| {
-            nn_row(&a[i * k..(i + 1) * k], b, n, out_row);
-        }))
+        self.par_matmul_nn_packed(&PackedB::from_nn(rhs), cfg)
+    }
+
+    /// Parallel `self · B` against an already-packed B — row blocks of
+    /// the register-blocked `nn` kernel, no packing cost. Falls back to
+    /// the serial packed kernel below the config's size threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols != pb.k()`.
+    pub fn par_matmul_nn_packed(&self, pb: &PackedB, cfg: &ParallelConfig) -> Result<Matrix> {
+        if self.cols != pb.k() {
+            return Err(TensorError::ShapeMismatch {
+                op: "par_matmul_nn_packed",
+                lhs: (self.rows, self.cols),
+                rhs: (pb.k(), pb.n()),
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, pb.n());
+        if !cfg.should_parallelize(m, k, n, m) {
+            return self.matmul_nn_packed(pb);
+        }
+        let a = &self.data;
+        let mut out = Matrix::zeros(m, n);
+        Self::par_row_blocks(&mut out.data, m, n, cfg.threads, |row0, rows, chunk| {
+            kernels::gemm_nn_rows(
+                &a[row0 * k..(row0 + rows) * k],
+                rows,
+                k,
+                pb,
+                chunk,
+                Store::Assign,
+            );
+        });
+        Ok(out)
     }
 
     /// Parallel `self · rhsᵀ` (the forward-propagation orientation) —
-    /// row-panel partitioned, bit-identical to [`Matrix::matmul_nt`],
-    /// with a serial fallback below the config's size threshold.
+    /// packs B once, then row blocks of the register-blocked kernel.
+    /// Bit-identical to [`Matrix::matmul_nt`], with a serial fallback
+    /// below the config's size threshold.
     ///
     /// # Errors
     ///
@@ -435,18 +649,49 @@ impl Matrix {
         if !cfg.should_parallelize(m, k, n, m) {
             return self.matmul_nt(rhs);
         }
-        let (a, b) = (&self.data, &rhs.data);
-        Ok(Self::par_row_panels(m, n, cfg.threads, |i, out_row| {
-            nt_row(&a[i * k..(i + 1) * k], b, k, out_row);
-        }))
+        self.par_matmul_nt_packed(&PackedB::from_nt(rhs), cfg)
+    }
+
+    /// Parallel `self · Bᵀ` against an already-packed B — row blocks of
+    /// the register-blocked `nt` kernel, no packing cost. Falls back to
+    /// the serial packed kernel below the config's size threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols != pb.k()`.
+    pub fn par_matmul_nt_packed(&self, pb: &PackedB, cfg: &ParallelConfig) -> Result<Matrix> {
+        if self.cols != pb.k() {
+            return Err(TensorError::ShapeMismatch {
+                op: "par_matmul_nt_packed",
+                lhs: (self.rows, self.cols),
+                rhs: (pb.n(), pb.k()),
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, pb.n());
+        if !cfg.should_parallelize(m, k, n, m) {
+            return self.matmul_nt_packed(pb);
+        }
+        let a = &self.data;
+        let mut out = Matrix::zeros(m, n);
+        Self::par_row_blocks(&mut out.data, m, n, cfg.threads, |row0, rows, chunk| {
+            kernels::gemm_nt_rows(
+                &a[row0 * k..(row0 + rows) * k],
+                rows,
+                k,
+                pb,
+                chunk,
+                Store::Assign,
+            );
+        });
+        Ok(out)
     }
 
     /// Parallel `selfᵀ · rhs` (the weight-gradient orientation) —
-    /// partitioned over **output** rows (columns of `self`), with each
-    /// element accumulating over the batch dimension in the same
-    /// ascending order as [`Matrix::matmul_tn`], so results are
-    /// bit-identical to the serial kernel. Serial fallback below the
-    /// config's size threshold.
+    /// packs B once, then partitions over **output** rows (columns of
+    /// `self`), with each element accumulating over the batch dimension
+    /// in the same ascending order as [`Matrix::matmul_tn`], so results
+    /// are bit-identical to the serial kernel. Serial fallback below
+    /// the config's size threshold.
     ///
     /// # Errors
     ///
@@ -463,10 +708,13 @@ impl Matrix {
         if !cfg.should_parallelize(m, k, n, m) {
             return self.matmul_tn(rhs);
         }
-        let (a, b) = (&self.data, &rhs.data);
-        Ok(Self::par_row_panels(m, n, cfg.threads, |i, out_row| {
-            tn_row(a, b, m, n, k, i, out_row);
-        }))
+        let pb = PackedB::from_nn(rhs);
+        let a = &self.data;
+        let mut out = Matrix::zeros(m, n);
+        Self::par_row_blocks(&mut out.data, m, n, cfg.threads, |row0, rows, chunk| {
+            kernels::gemm_tn_rows(a, m, k, row0, rows, &pb, chunk, Store::Assign);
+        });
+        Ok(out)
     }
 
     /// Element-wise sum `self + rhs`.
@@ -864,20 +1112,100 @@ mod tests {
     }
 
     #[test]
-    fn blocked_matmul_matches_reference() {
+    fn packed_dispatch_is_bit_identical_to_naive() {
         use crate::init;
-        for (m_dim, k, n) in [(65usize, 70usize, 66usize), (128, 96, 100)] {
-            let a = init::uniform(m_dim, k, -2.0, 2.0, 5);
-            let b = init::uniform(k, n, -2.0, 2.0, 6);
-            let fast = a.matmul_blocked(&b, 32).unwrap();
-            let slow = a.matmul_nn(&b).unwrap();
-            assert!(fast.rel_diff(&slow) < 1e-6, "{m_dim}x{k}x{n}");
-        }
-        // Small matrices take the fallback path.
-        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
-        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
-        assert_eq!(a.matmul_blocked(&b, 64).unwrap(), a.matmul_nn(&b).unwrap());
-        assert!(a.matmul_blocked(&a, 64).is_err());
+        // Above PACK_MIN_FLOPS: the implicit entry points take the
+        // packed kernels; results must equal the naive loops bitwise.
+        let a = init::uniform(65, 70, -2.0, 2.0, 5);
+        let b_nn = init::uniform(70, 66, -2.0, 2.0, 6);
+        let b_nt = init::uniform(66, 70, -2.0, 2.0, 7);
+        let a_tn = init::uniform(70, 65, -2.0, 2.0, 8);
+        assert_eq!(
+            a.matmul_nn(&b_nn).unwrap(),
+            a.matmul_nn_naive(&b_nn).unwrap()
+        );
+        assert_eq!(
+            a.matmul_nt(&b_nt).unwrap(),
+            a.matmul_nt_naive(&b_nt).unwrap()
+        );
+        assert_eq!(
+            a_tn.matmul_tn(&b_nn).unwrap(),
+            a_tn.matmul_tn_naive(&b_nn).unwrap()
+        );
+    }
+
+    #[test]
+    fn packed_apis_match_dispatch_and_reject_mismatches() {
+        use crate::init;
+        let cfg = ParallelConfig::with_threads(2);
+        let a = init::uniform(9, 12, -1.0, 1.0, 14);
+        let b_nn = init::uniform(12, 10, -1.0, 1.0, 15);
+        let b_nt = init::uniform(10, 12, -1.0, 1.0, 16);
+        let pb_nn = PackedB::from_nn(&b_nn);
+        let pb_nt = PackedB::from_nt(&b_nt);
+        // Explicit packed APIs always run the tiled kernel and still
+        // agree with the naive loops bitwise, even below the dispatch
+        // threshold.
+        assert_eq!(
+            a.matmul_nn_packed(&pb_nn).unwrap(),
+            a.matmul_nn_naive(&b_nn).unwrap()
+        );
+        assert_eq!(
+            a.matmul_nt_packed(&pb_nt).unwrap(),
+            a.matmul_nt_naive(&b_nt).unwrap()
+        );
+        // The into/accumulate forms match product-then-add_assign.
+        let base = init::uniform(9, 10, -1.0, 1.0, 17);
+        let mut acc = base.clone();
+        a.matmul_nt_packed_into(&pb_nt, &mut acc, Store::Add, &cfg)
+            .unwrap();
+        let mut reference = base.clone();
+        reference
+            .add_assign(&a.matmul_nt_naive(&b_nt).unwrap())
+            .unwrap();
+        assert_eq!(acc, reference);
+
+        let rhs_tn = init::uniform(9, 11, -1.0, 1.0, 18);
+        let mut dw = init::uniform(12, 11, -1.0, 1.0, 19);
+        let mut dw_ref = dw.clone();
+        a.matmul_tn_acc_into(&rhs_tn, &mut dw, &cfg).unwrap();
+        dw_ref
+            .add_assign(&a.matmul_tn_naive(&rhs_tn).unwrap())
+            .unwrap();
+        assert_eq!(dw, dw_ref);
+
+        // Shape mismatches are rejected on every packed entry point.
+        assert!(a
+            .matmul_nn_packed(&PackedB::from_nn(&Matrix::zeros(5, 4)))
+            .is_err());
+        assert!(a
+            .matmul_nt_packed(&PackedB::from_nt(&Matrix::zeros(4, 5)))
+            .is_err());
+        assert!(a
+            .matmul_nt_packed_into(&pb_nt, &mut Matrix::zeros(9, 3), Store::Assign, &cfg)
+            .is_err());
+        assert!(a
+            .matmul_tn_acc_into(&rhs_tn, &mut Matrix::zeros(3, 3), &cfg)
+            .is_err());
+    }
+
+    #[test]
+    fn fused_epilogue_matches_separate_passes() {
+        use crate::init;
+        let cfg = ParallelConfig::with_threads(3);
+        let x = init::uniform(11, 6, -1.0, 1.0, 25);
+        let w = init::uniform(8, 6, -1.0, 1.0, 26);
+        let pb = PackedB::from_nt(&w);
+        let bias = [0.5f32, -1.0, 0.0, 0.25, 2.0, -0.5, 1.5, 0.75];
+
+        let mut fused = Matrix::zeros(11, 8);
+        x.matmul_nt_packed_epilogue(&pb, &mut fused, &cfg, |j, v| (v + bias[j]).tanh())
+            .unwrap();
+
+        let mut reference = x.matmul_nt_naive(&w).unwrap();
+        reference.add_row_broadcast(&bias).unwrap();
+        reference.map_inplace(f32::tanh);
+        assert_eq!(fused, reference);
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Panel packing for the register-blocked GEMM kernels.
+//!
+//! The microkernels in [`crate::kernels`] consume the B operand as
+//! `NR`-wide column panels laid out k-major: panel `j0` holds, for each
+//! reduction index `p` in ascending order, the `NR` values
+//! `B'[p][j0..j0 + NR]` contiguously, where `B'` is the *logical*
+//! `[k, n]` right operand of the product. A GEMM then streams one panel
+//! linearly per output-column block instead of striding through the
+//! row-major buffer, and an LSTM can pack its weights **once per
+//! optimizer step** and reuse the panels at every timestep (see
+//! `eta_lstm_core::workspace`).
+//!
+//! The edge panel (when `n % NR != 0`) is zero-padded; kernels compute
+//! all `NR` lanes but store only the valid ones, so the padding never
+//! reaches an output buffer.
+
+use crate::Matrix;
+
+/// Lane width of a packed panel — the register-tile width of the
+/// microkernels (`NR` accumulator columns).
+pub const NR: usize = 8;
+
+/// The right-hand operand of a GEMM, re-laid-out as `NR`-wide k-major
+/// column panels.
+///
+/// One `PackedB` serves both logical orientations:
+///
+/// - [`PackedB::from_nn`] packs a `[k, n]` matrix used as the rhs of
+///   `matmul_nn` / `matmul_tn` (both consume `B[p][j]`);
+/// - [`PackedB::from_nt`] packs a `[n, k]` matrix used as the rhs of
+///   `matmul_nt` (which consumes `B[j][p]`) — packing performs the
+///   transpose, so the kernels are orientation-agnostic afterwards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedB {
+    /// Logical reduction depth `k`.
+    k: usize,
+    /// Logical output-column count `n`.
+    n: usize,
+    /// Panel-major buffer: `ceil(n / NR)` panels of `k * NR` values.
+    data: Vec<f32>,
+}
+
+impl PackedB {
+    /// Packs a `[k, n]` matrix (the rhs of an `nn` or `tn` product).
+    pub fn from_nn(b: &Matrix) -> Self {
+        let (k, n) = (b.rows(), b.cols());
+        let panels = n.div_ceil(NR);
+        let mut data = vec![0.0f32; panels * k * NR];
+        if k > 0 {
+            let src = b.as_slice();
+            for (panel, chunk) in data.chunks_mut(k * NR).enumerate() {
+                let j0 = panel * NR;
+                let width = NR.min(n - j0);
+                for p in 0..k {
+                    let row = &src[p * n + j0..p * n + j0 + width];
+                    chunk[p * NR..p * NR + width].copy_from_slice(row);
+                }
+            }
+        }
+        PackedB { k, n, data }
+    }
+
+    /// Packs a `[n, k]` matrix (the rhs of an `nt` product), performing
+    /// the transpose during packing.
+    pub fn from_nt(b: &Matrix) -> Self {
+        let (n, k) = (b.rows(), b.cols());
+        let panels = n.div_ceil(NR);
+        let mut data = vec![0.0f32; panels * k * NR];
+        if k > 0 {
+            let src = b.as_slice();
+            for (panel, chunk) in data.chunks_mut(k * NR).enumerate() {
+                let j0 = panel * NR;
+                let width = NR.min(n - j0);
+                for jj in 0..width {
+                    let b_row = &src[(j0 + jj) * k..(j0 + jj + 1) * k];
+                    for (p, &v) in b_row.iter().enumerate() {
+                        chunk[p * NR + jj] = v;
+                    }
+                }
+            }
+        }
+        PackedB { k, n, data }
+    }
+
+    /// Logical reduction depth `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Logical output-column count `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of `NR`-wide panels.
+    pub fn panels(&self) -> usize {
+        self.n.div_ceil(NR)
+    }
+
+    /// The k-major buffer of panel `idx` (`k * NR` values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.panels()`.
+    #[inline]
+    pub fn panel(&self, idx: usize) -> &[f32] {
+        let stride = self.k * NR;
+        &self.data[idx * stride..(idx + 1) * stride]
+    }
+
+    /// Size of the packed buffer in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f32>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    #[test]
+    fn nn_pack_lays_out_k_major_panels() {
+        // [k=2, n=3]: rows (1 2 3) / (4 5 6).
+        let b = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let pb = PackedB::from_nn(&b);
+        assert_eq!(pb.panels(), 1);
+        assert_eq!(pb.k(), 2);
+        assert_eq!(pb.n(), 3);
+        let panel = pb.panel(0);
+        // p = 0 lanes then p = 1 lanes, zero-padded to NR.
+        assert_eq!(&panel[..3], &[1.0, 2.0, 3.0]);
+        assert!(panel[3..NR].iter().all(|&v| v == 0.0));
+        assert_eq!(&panel[NR..NR + 3], &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn nt_pack_equals_nn_pack_of_transpose() {
+        let b = init::uniform(13, 7, -1.0, 1.0, 3);
+        assert_eq!(PackedB::from_nt(&b), PackedB::from_nn(&b.transpose()));
+    }
+
+    #[test]
+    fn multi_panel_shapes_round_trip_via_panel_reads() {
+        let b = init::uniform(5, 19, -1.0, 1.0, 9);
+        let pb = PackedB::from_nn(&b);
+        assert_eq!(pb.panels(), 3);
+        for j in 0..19 {
+            let (panel, lane) = (j / NR, j % NR);
+            for p in 0..5 {
+                assert_eq!(pb.panel(panel)[p * NR + lane], b.get(p, j));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_k_packs_to_empty_panels() {
+        let b = Matrix::zeros(0, 5);
+        let pb = PackedB::from_nn(&b);
+        assert_eq!(pb.panels(), 1);
+        assert_eq!(pb.panel(0).len(), 0);
+    }
+}

@@ -1,7 +1,21 @@
 //! Property-based tests for the tensor substrate.
 
-use eta_tensor::{activation, Matrix, SparseVec};
+use eta_tensor::{activation, Matrix, PackedB, ParallelConfig, SparseVec, Store};
 use proptest::prelude::*;
+
+/// Zero-seasoned random matrix: exact zeros are planted so the packed
+/// kernels' zero-skip branches get exercised alongside the dense path.
+fn seasoned(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut m = eta_tensor::init::uniform(rows, cols, -2.0, 2.0, seed);
+    if !m.is_empty() {
+        let n = m.len();
+        for idx in 0..n / 5 {
+            let flat = (idx * 7 + seed as usize) % n;
+            m.as_mut_slice()[flat] = 0.0;
+        }
+    }
+    m
+}
 
 fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
@@ -78,6 +92,107 @@ proptest! {
         let lhs = a.matmul_nn(&b.add(&c).unwrap()).unwrap();
         let rhs = a.matmul_nn(&b).unwrap().add(&a.matmul_nn(&c).unwrap()).unwrap();
         prop_assert!(lhs.rel_diff(&rhs) < 1e-4);
+    }
+
+    /// The PR 5 kernel contract: the packed register-blocked GEMMs are
+    /// **bit-identical** to the naive reference loops for every
+    /// orientation, across odd shapes — non-multiples of the 4×8 tile,
+    /// degenerate 1×N / N×1 edges, and empty-k products (0 is included
+    /// in every dimension range).
+    #[test]
+    fn packed_gemm_bit_identical_to_naive_all_orientations(
+        (m, k, n) in (0usize..18, 0usize..18, 0usize..18),
+        seed in 0u64..1000
+    ) {
+        let a_nn = seasoned(m, k, seed);
+        let b_nn = seasoned(k, n, seed.wrapping_add(1));
+        prop_assert_eq!(
+            a_nn.matmul_nn_packed(&PackedB::from_nn(&b_nn)).unwrap(),
+            a_nn.matmul_nn_naive(&b_nn).unwrap()
+        );
+
+        let b_nt = seasoned(n, k, seed.wrapping_add(2));
+        prop_assert_eq!(
+            a_nn.matmul_nt_packed(&PackedB::from_nt(&b_nt)).unwrap(),
+            a_nn.matmul_nt_naive(&b_nt).unwrap()
+        );
+
+        let a_tn = seasoned(k, m, seed.wrapping_add(3));
+        prop_assert_eq!(
+            a_tn.matmul_tn_packed(&PackedB::from_nn(&b_nn)).unwrap(),
+            a_tn.matmul_tn_naive(&b_nn).unwrap()
+        );
+    }
+
+    /// The implicit entry points (which dispatch on PACK_MIN_FLOPS) and
+    /// the parallel entry points agree bitwise with the naive loops at
+    /// any thread count — the dispatch threshold and the row-block
+    /// partitioning are latency knobs, never numeric ones.
+    #[test]
+    fn gemm_dispatch_and_parallel_bit_identical_to_naive(
+        (m, k, n) in (1usize..12, 1usize..12, 1usize..12),
+        threads in 1usize..5,
+        force_parallel in proptest::bool::ANY,
+        seed in 1000u64..2000
+    ) {
+        let mut cfg = ParallelConfig::with_threads(threads);
+        if force_parallel {
+            cfg.min_kernel_flops = 1;
+        }
+        let a = seasoned(m, k, seed);
+        let b_nn = seasoned(k, n, seed.wrapping_add(1));
+        let b_nt = seasoned(n, k, seed.wrapping_add(2));
+        let a_tn = seasoned(k, m, seed.wrapping_add(3));
+
+        prop_assert_eq!(a.matmul_nn(&b_nn).unwrap(), a.matmul_nn_naive(&b_nn).unwrap());
+        prop_assert_eq!(a.matmul_nt(&b_nt).unwrap(), a.matmul_nt_naive(&b_nt).unwrap());
+        prop_assert_eq!(a_tn.matmul_tn(&b_nn).unwrap(), a_tn.matmul_tn_naive(&b_nn).unwrap());
+
+        prop_assert_eq!(a.par_matmul_nn(&b_nn, &cfg).unwrap(), a.matmul_nn_naive(&b_nn).unwrap());
+        prop_assert_eq!(a.par_matmul_nt(&b_nt, &cfg).unwrap(), a.matmul_nt_naive(&b_nt).unwrap());
+        prop_assert_eq!(
+            a_tn.par_matmul_tn(&b_nn, &cfg).unwrap(),
+            a_tn.matmul_tn_naive(&b_nn).unwrap()
+        );
+    }
+
+    /// The in-place accumulate/epilogue forms match their composed
+    /// reference pipelines bitwise (product, add_assign, bias, map).
+    #[test]
+    fn packed_into_forms_match_composed_reference(
+        (m, k, n) in (1usize..10, 1usize..10, 1usize..10),
+        threads in 1usize..4,
+        seed in 2000u64..3000
+    ) {
+        let mut cfg = ParallelConfig::with_threads(threads);
+        cfg.min_kernel_flops = 1;
+        let a = seasoned(m, k, seed);
+        let b_nt = seasoned(n, k, seed.wrapping_add(1));
+        let pb = PackedB::from_nt(&b_nt);
+        let base = seasoned(m, n, seed.wrapping_add(2));
+
+        let mut acc = base.clone();
+        a.matmul_nt_packed_into(&pb, &mut acc, Store::Add, &cfg).unwrap();
+        let mut reference = base.clone();
+        reference.add_assign(&a.matmul_nt_naive(&b_nt).unwrap()).unwrap();
+        prop_assert_eq!(&acc, &reference);
+
+        let bias: Vec<f32> = (0..n).map(|j| (j as f32) * 0.25 - 1.0).collect();
+        let mut fused = base.clone();
+        a.matmul_nt_packed_epilogue(&pb, &mut fused, &cfg, |j, v| (v + bias[j]).tanh()).unwrap();
+        let mut composed = base.clone();
+        composed.add_assign(&a.matmul_nt_naive(&b_nt).unwrap()).unwrap();
+        composed.add_row_broadcast(&bias).unwrap();
+        composed.map_inplace(f32::tanh);
+        prop_assert_eq!(&fused, &composed);
+
+        let a_tn = seasoned(k, m, seed.wrapping_add(3));
+        let rhs = seasoned(k, n, seed.wrapping_add(4));
+        let mut dw = seasoned(m, n, seed.wrapping_add(5));
+        let mut dw_ref = dw.clone();
+        a_tn.matmul_tn_acc_into(&rhs, &mut dw, &cfg).unwrap();
+        dw_ref.add_assign(&a_tn.matmul_tn_naive(&rhs).unwrap()).unwrap();
+        prop_assert_eq!(&dw, &dw_ref);
     }
 
     #[test]
