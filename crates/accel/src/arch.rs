@@ -365,7 +365,9 @@ impl EtaAccel {
         eff: &OptEffects,
         telemetry: Option<&eta_telemetry::Telemetry>,
     ) -> AccelReport {
+        let sim_span = telemetry.map(|t| t.span("accel_simulate"));
         let report = self.simulate(shape, eff);
+        drop(sim_span);
         let Some(t) = telemetry else {
             return report;
         };
@@ -377,6 +379,11 @@ impl EtaAccel {
         let fw = Self::forward_workload(shape, eff);
         let bp = Self::backward_workload(shape, eff);
         for (phase, w) in [("fw", &fw), ("bp", &bp)] {
+            let _phase_span = t.span(if phase == "fw" {
+                "accel_fw_timing"
+            } else {
+                "accel_bp_timing"
+            });
             let timing = if self.kind.dynamic() {
                 scheduler::simulate_dynamic(w, ops_per_cycle)
             } else {

@@ -1,14 +1,25 @@
-//! Packed register-blocked GEMM vs the naive triple loop (PR
-//! acceptance: the packed `nt` kernel must be ≥2× faster than naive at
-//! 256×256×1024 in release). The naive loops are the repo's bit-exact
-//! reference; the packed kernels reorder *memory traffic* (panel
-//! packing, cache blocking, 4×8 register tiles) but never the
-//! arithmetic — one accumulator per element, ascending-k — so the
-//! speedup comes for free numerically. This bench re-checks the bit
-//! identity before timing, then writes the measured medians to
-//! `BENCH_gemm.json` at the repo root.
+//! Packed register-blocked GEMM vs the naive triple loop, plus the
+//! per-shape roofline sweep.
+//!
+//! Three products come out of one run:
+//!
+//! 1. **Acceptance anchor** — the packed `nt` kernel must stay ≥2×
+//!    faster than naive at 256×256×1024 in release, and both packed
+//!    orientations must stay bit-identical to the naive reference
+//!    (the packed kernels reorder *memory traffic* — panel packing,
+//!    cache blocking, 4×8 register tiles — never the arithmetic).
+//! 2. **Machine roofs** — peak compute GFLOP/s from an in-cache packed
+//!    GEMM and memory bandwidth GB/s from a streaming triad, measured
+//!    on the machine the sweep runs on rather than assumed.
+//! 3. **Per-shape medians** — the three LSTM-cell GEMM orientations at
+//!    the paper's batch-128/hidden-2048 cell dimensions
+//!    (`eta_prof::roofline::cell_gemm_dims`), written to
+//!    `BENCH_gemm.json` (the perf-gate input consumed by
+//!    `eta-bench-track`) and folded into `results/roofline.json`
+//!    (achieved vs roof GFLOP/s for every LN5–LN8 Table I shape).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use eta_prof::roofline::{self, KernelMeasurement, MachineRoofs};
 use eta_tensor::{init, Matrix, PackedB};
 use serde_json::Value;
 use std::hint::black_box;
@@ -26,19 +37,16 @@ fn map(entries: Vec<(&str, Value)>) -> Value {
     )
 }
 
+/// Acceptance-anchor shape (the original PR gate).
 const M: usize = 256;
 const K: usize = 256;
 const N: usize = 1024;
 
-/// The acceptance shape's operands: `a · b_ntᵀ` (the LSTM forward
-/// orientation, `x·Wᵀ`) and `a · b_nn` (the backward data-gradient
-/// orientation, `δ·W`).
-fn operands() -> (Matrix, Matrix, Matrix) {
-    let a = init::uniform(M, K, -1.0, 1.0, 11);
-    let b_nt = init::uniform(N, K, -1.0, 1.0, 12);
-    let b_nn = init::uniform(K, N, -1.0, 1.0, 13);
-    (a, b_nt, b_nn)
-}
+/// Samples per kernel in the interleaved sweeps: the naive reference
+/// is sampled less (it is the slow side and only normalizes speedup);
+/// medians discard stray slow runs either way.
+const NAIVE_SAMPLES: usize = 3;
+const PACKED_SAMPLES: usize = 5;
 
 fn assert_bits_equal(lhs: &Matrix, rhs: &Matrix, what: &str) {
     assert_eq!(lhs.rows(), rhs.rows(), "{what}: row mismatch");
@@ -57,8 +65,144 @@ fn median(v: &mut [f64]) -> f64 {
     v[v.len() / 2]
 }
 
+/// Peak compute roof: an in-cache packed `nt` GEMM (128³ — ~200 KB of
+/// operands, resident in L2) timed in batches; the best batch
+/// approximates the kernel's compute ceiling.
+fn measure_peak_gflops() -> f64 {
+    const D: usize = 128;
+    const CALLS_PER_BATCH: usize = 8;
+    let a = init::uniform(D, D, -1.0, 1.0, 21);
+    let b = init::uniform(D, D, -1.0, 1.0, 22);
+    let pb = PackedB::from_nt(&b);
+    // Warm the caches and the branch predictors.
+    black_box(a.matmul_nt_packed(&pb).unwrap());
+    let flops = (2 * D * D * D * CALLS_PER_BATCH) as f64;
+    let mut best = f64::INFINITY;
+    for _ in 0..10 {
+        let t0 = Instant::now();
+        for _ in 0..CALLS_PER_BATCH {
+            black_box(a.matmul_nt_packed(&pb).unwrap());
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    flops / best / 1e9
+}
+
+/// Memory-bandwidth roof: a streaming triad `a[i] = b[i] + s·c[i]`
+/// over arrays far larger than last-level cache. Bytes are counted
+/// STREAM-style (two reads + one write per element, no write-allocate
+/// credit), so the roof is conservative.
+fn measure_mem_bw_gbps() -> f64 {
+    const LEN: usize = 1 << 24; // 16.7M f32 per array, 64 MB each
+    let b = vec![1.5f32; LEN];
+    let c = vec![2.5f32; LEN];
+    let mut a = vec![0.0f32; LEN];
+    let bytes = (3 * LEN * 4) as f64;
+    let mut best = f64::INFINITY;
+    for pass in 0..5 {
+        let s = 1.0 + pass as f32; // defeat pass-to-pass folding
+        let t0 = Instant::now();
+        for ((ai, bi), ci) in a.iter_mut().zip(&b).zip(&c) {
+            *ai = *bi + s * *ci;
+        }
+        black_box(&mut a);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    bytes / best / 1e9
+}
+
+/// One cell-dimension orientation, measured interleaved (each rep
+/// times naive then packed back to back so drift hits both sides).
+fn measure_orientation(orientation: &str, m: usize, k: usize, n: usize) -> KernelMeasurement {
+    let mut naive = Vec::new();
+    let mut packed = Vec::new();
+    match orientation {
+        "nt" => {
+            let a = init::uniform(m, k, -1.0, 1.0, 31);
+            let b = init::uniform(n, k, -1.0, 1.0, 32);
+            let pb = PackedB::from_nt(&b);
+            for rep in 0..PACKED_SAMPLES {
+                if rep < NAIVE_SAMPLES {
+                    let t0 = Instant::now();
+                    black_box(a.matmul_nt_naive(&b).unwrap());
+                    naive.push(t0.elapsed().as_secs_f64());
+                }
+                let t1 = Instant::now();
+                black_box(a.matmul_nt_packed(&pb).unwrap());
+                packed.push(t1.elapsed().as_secs_f64());
+            }
+        }
+        "nn" => {
+            let a = init::uniform(m, k, -1.0, 1.0, 33);
+            let b = init::uniform(k, n, -1.0, 1.0, 34);
+            let pb = PackedB::from_nn(&b);
+            for rep in 0..PACKED_SAMPLES {
+                if rep < NAIVE_SAMPLES {
+                    let t0 = Instant::now();
+                    black_box(a.matmul_nn_naive(&b).unwrap());
+                    naive.push(t0.elapsed().as_secs_f64());
+                }
+                let t1 = Instant::now();
+                black_box(a.matmul_nn_packed(&pb).unwrap());
+                packed.push(t1.elapsed().as_secs_f64());
+            }
+        }
+        "tn" => {
+            // `selfᵀ · rhs`: self is [k, m], rhs is [k, n].
+            let a = init::uniform(k, m, -1.0, 1.0, 35);
+            let b = init::uniform(k, n, -1.0, 1.0, 36);
+            let pb = PackedB::from_nn(&b);
+            for rep in 0..PACKED_SAMPLES {
+                if rep < NAIVE_SAMPLES {
+                    let t0 = Instant::now();
+                    black_box(a.matmul_tn_naive(&b).unwrap());
+                    naive.push(t0.elapsed().as_secs_f64());
+                }
+                let t1 = Instant::now();
+                black_box(a.matmul_tn_packed(&pb).unwrap());
+                packed.push(t1.elapsed().as_secs_f64());
+            }
+        }
+        other => panic!("unknown orientation {other}"),
+    }
+    KernelMeasurement {
+        orientation: orientation.to_string(),
+        m,
+        k,
+        n,
+        naive_seconds: median(&mut naive),
+        packed_seconds: median(&mut packed),
+    }
+}
+
+fn shape_entry(label: &str, km: &KernelMeasurement) -> Value {
+    let gflops = if km.packed_seconds > 0.0 {
+        km.flops() as f64 / km.packed_seconds / 1e9
+    } else {
+        0.0
+    };
+    let speedup = if km.packed_seconds > 0.0 {
+        km.naive_seconds / km.packed_seconds
+    } else {
+        0.0
+    };
+    map(vec![
+        ("label", Value::Str(label.into())),
+        ("orientation", Value::Str(km.orientation.clone())),
+        ("m", Value::UInt(km.m as u64)),
+        ("k", Value::UInt(km.k as u64)),
+        ("n", Value::UInt(km.n as u64)),
+        ("naive_seconds", Value::Float(km.naive_seconds)),
+        ("packed_seconds", Value::Float(km.packed_seconds)),
+        ("gflops", Value::Float(gflops)),
+        ("speedup", Value::Float(speedup)),
+    ])
+}
+
 fn bench_gemm_packed_vs_naive(c: &mut Criterion) {
-    let (a, b_nt, b_nn) = operands();
+    let a = init::uniform(M, K, -1.0, 1.0, 11);
+    let b_nt = init::uniform(N, K, -1.0, 1.0, 12);
+    let b_nn = init::uniform(K, N, -1.0, 1.0, 13);
     let pb_nt = PackedB::from_nt(&b_nt);
     let pb_nn = PackedB::from_nn(&b_nn);
 
@@ -98,60 +242,89 @@ fn bench_gemm_packed_vs_naive(c: &mut Criterion) {
     });
     group.finish();
 
-    // Interleaved-median comparison for the asserted acceptance number
-    // (robust to drift: each repetition times both variants back to
-    // back, and the median discards stray slow runs).
-    let mut naive = Vec::new();
-    let mut packed = Vec::new();
-    let mut packed_with_pack = Vec::new();
-    for _ in 0..7 {
-        let t0 = Instant::now();
-        black_box(a.matmul_nt_naive(&b_nt).unwrap());
-        naive.push(t0.elapsed().as_secs_f64());
-        let t1 = Instant::now();
-        black_box(a.matmul_nt_packed(&pb_nt).unwrap());
-        packed.push(t1.elapsed().as_secs_f64());
-        let t2 = Instant::now();
-        let pb = PackedB::from_nt(&b_nt);
-        black_box(a.matmul_nt_packed(&pb).unwrap());
-        packed_with_pack.push(t2.elapsed().as_secs_f64());
-    }
-    let naive_s = median(&mut naive);
-    let packed_s = median(&mut packed);
-    let packed_pack_s = median(&mut packed_with_pack);
-    let speedup = naive_s / packed_s;
-    let flops = (2 * M * K * N) as f64;
+    // Machine roofs first — they bound every roofline entry below.
+    let machine = MachineRoofs {
+        peak_gflops: measure_peak_gflops(),
+        mem_bw_gbps: measure_mem_bw_gbps(),
+    };
     println!(
-        "gemm nt {M}x{K}x{N}: naive {:.2} GFLOP/s, packed {:.2} GFLOP/s, speedup {speedup:.2}x",
-        flops / naive_s / 1e9,
-        flops / packed_s / 1e9,
+        "machine roofs: peak {:.2} GFLOP/s, bandwidth {:.2} GB/s",
+        machine.peak_gflops, machine.mem_bw_gbps
     );
 
+    // Acceptance anchor, interleaved medians.
+    let anchor = measure_orientation("nt", M, K, N);
+    let speedup = anchor.naive_seconds / anchor.packed_seconds;
+    println!(
+        "gemm nt {M}x{K}x{N}: naive {:.2} GFLOP/s, packed {:.2} GFLOP/s, speedup {speedup:.2}x",
+        anchor.flops() as f64 / anchor.naive_seconds / 1e9,
+        anchor.flops() as f64 / anchor.packed_seconds / 1e9,
+    );
+
+    // Cell-dimension sweep: the three GEMM orientations one LSTM cell
+    // executes at the paper's batch/hidden. These dims depend only on
+    // batch and hidden width, so the measurements are shared by every
+    // LN5–LN8 shape entry in the roofline report.
+    let cell_kernels: Vec<KernelMeasurement> =
+        roofline::cell_gemm_dims(roofline::LN_BATCH, roofline::LN_HIDDEN)
+            .into_iter()
+            .map(|(orient, m, k, n)| {
+                let km = measure_orientation(orient, m, k, n);
+                println!(
+                    "cell gemm {orient} {m}x{k}x{n}: naive {:.4}s, packed {:.4}s ({:.2} GFLOP/s)",
+                    km.naive_seconds,
+                    km.packed_seconds,
+                    km.flops() as f64 / km.packed_seconds / 1e9
+                );
+                km
+            })
+            .collect();
+
+    // BENCH_gemm.json — the perf-gate input. One entry per tracked
+    // shape (anchor + the three cell orientations); `eta-bench-track`
+    // keys baselines off `label`.
+    let mut shapes = vec![shape_entry(&format!("anchor nt m{M} k{K} n{N}"), &anchor)];
+    for km in &cell_kernels {
+        shapes.push(shape_entry(
+            &format!("{} m{} k{} n{}", km.orientation, km.m, km.k, km.n),
+            km,
+        ));
+    }
     let report = map(vec![
-        ("bench", Value::Str("gemm_packed_vs_naive".into())),
+        ("bench", Value::Str("gemm_packed".into())),
         (
-            "shape",
+            "machine",
             map(vec![
-                ("m", Value::UInt(M as u64)),
-                ("k", Value::UInt(K as u64)),
-                ("n", Value::UInt(N as u64)),
+                ("peak_gflops", Value::Float(machine.peak_gflops)),
+                ("mem_bw_gbps", Value::Float(machine.mem_bw_gbps)),
             ]),
         ),
-        ("orientation", Value::Str("nt".into())),
-        ("naive_median_seconds", Value::Float(naive_s)),
-        ("packed_median_seconds", Value::Float(packed_s)),
         (
-            "packed_including_pack_median_seconds",
-            Value::Float(packed_pack_s),
+            "samples",
+            map(vec![
+                ("naive", Value::UInt(NAIVE_SAMPLES as u64)),
+                ("packed", Value::UInt(PACKED_SAMPLES as u64)),
+            ]),
         ),
-        ("speedup", Value::Float(speedup)),
-        ("naive_gflops", Value::Float(flops / naive_s / 1e9)),
-        ("packed_gflops", Value::Float(flops / packed_s / 1e9)),
-        ("samples", Value::UInt(7)),
+        ("shapes", Value::Seq(shapes)),
     ]);
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
-    std::fs::write(path, serde_json::to_string_pretty(&report).unwrap()).unwrap();
-    println!("wrote {path}");
+    let bench_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
+    std::fs::write(bench_path, serde_json::to_string_pretty(&report).unwrap()).unwrap();
+    println!("wrote {bench_path}");
+
+    // results/roofline.json — achieved vs roof for the cell kernels
+    // and every LN5–LN8 training-step shape.
+    let roofline_report = roofline::build_report(machine, &cell_kernels);
+    print!("\n{}", roofline_report.render());
+    let results_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    std::fs::create_dir_all(results_dir).unwrap();
+    let roofline_path = format!("{results_dir}/roofline.json");
+    std::fs::write(
+        &roofline_path,
+        serde_json::to_string_pretty(&roofline_report).unwrap(),
+    )
+    .unwrap();
+    println!("wrote {roofline_path}");
 
     assert!(
         speedup >= 2.0,

@@ -82,6 +82,71 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     );
 }
 
+/// Guard for the span *tracing* cost: a training run with telemetry
+/// plus an attached [`eta_prof::Tracer`] (every span boundary recorded
+/// with a timestamp) must stay within 5 % of the same telemetry run
+/// with no tracer. This is the ISSUE's <5 % tracing-overhead contract
+/// — the spans are always compiled in (`prof` is a default feature);
+/// attaching the observer is what turns recording on.
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let cfg = eta_bench::scaled_config(Benchmark::Imdb);
+    let task = scaled_task(Benchmark::Imdb);
+    let run = |with_tracer: bool| {
+        let manifest =
+            eta_telemetry::RunManifest::capture("bench", eta_telemetry::config_hash(&SEED), SEED);
+        let telemetry = eta_telemetry::Telemetry::new(manifest);
+        let tracer = with_tracer.then(|| {
+            let tracer = eta_prof::Tracer::new();
+            telemetry.set_span_observer(tracer.clone());
+            tracer
+        });
+        let mut trainer = Trainer::new(cfg, TrainingStrategy::CombinedMs, SEED)
+            .unwrap()
+            .with_telemetry(telemetry.clone());
+        let report = trainer.run(&task, 4).unwrap();
+        if let Some(tracer) = tracer {
+            telemetry.clear_span_observer();
+            assert!(tracer.span_count() > 0, "tracer saw no spans");
+        }
+        report
+    };
+
+    let mut group = c.benchmark_group("tracing_overhead_scaled_imdb");
+    group.sample_size(10);
+    group.bench_function("telemetry_only", |bench| {
+        bench.iter(|| black_box(run(false)));
+    });
+    group.bench_function("telemetry_plus_tracer", |bench| {
+        bench.iter(|| black_box(run(true)));
+    });
+    group.finish();
+
+    // Same interleaved-median scheme as the telemetry guard above.
+    let mut bare = Vec::new();
+    let mut traced = Vec::new();
+    for _ in 0..7 {
+        let t0 = std::time::Instant::now();
+        black_box(run(false));
+        bare.push(t0.elapsed().as_secs_f64());
+        let t1 = std::time::Instant::now();
+        black_box(run(true));
+        traced.push(t1.elapsed().as_secs_f64());
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    let ratio = median(&mut traced) / median(&mut bare);
+    println!(
+        "tracing overhead: {:+.2}% (traced/untraced ratio {ratio:.4})",
+        (ratio - 1.0) * 100.0
+    );
+    assert!(
+        ratio < 1.05,
+        "span tracing exceeds the 5% overhead budget: ratio {ratio:.4}"
+    );
+}
+
 /// Data-parallel engine speedup (PR acceptance: ≥2× at 4 threads on a
 /// machine that has them). On hosts with fewer than 4 cores the engine
 /// still runs — the determinism suite proves the numbers are identical
@@ -155,6 +220,7 @@ criterion_group!(
     benches,
     bench_strategies,
     bench_telemetry_overhead,
+    bench_tracing_overhead,
     bench_parallel_engine,
     bench_inference
 );

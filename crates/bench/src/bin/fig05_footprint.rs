@@ -9,7 +9,7 @@ use eta_bench::{mean, Table};
 use eta_memsim::model::{footprint, LstmShape, OptEffects};
 
 fn main() {
-    let telemetry = eta_bench::telemetry_from_env("fig05_footprint");
+    let (telemetry, _trace) = eta_bench::instrumentation_from_env("fig05_footprint");
     let mut table = Table::new(
         "Fig. 5 — memory footprint per training iteration (GB)",
         &[

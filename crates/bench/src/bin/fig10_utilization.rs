@@ -24,7 +24,7 @@ fn render(label: &str, tl: &eta_accel::timeline::Timeline, scale: f64) {
 }
 
 fn main() {
-    let telemetry = eta_bench::telemetry_from_env("fig10_utilization");
+    let (telemetry, _trace) = eta_bench::instrumentation_from_env("fig10_utilization");
     // Three cells of a reordered (MS1) forward phase: heavy MatMul
     // followed by a significant EW burst.
     let cells = vec![

@@ -22,7 +22,7 @@ struct DesignPoint {
 }
 
 fn main() {
-    let telemetry = eta_bench::telemetry_from_env("fig15_speedup_energy");
+    let (telemetry, _trace) = eta_bench::instrumentation_from_env("fig15_speedup_energy");
     let gpu = baseline_gpu();
     let machines = [
         EtaAccel::new(AccelConfig::paper_4board(), ArchKind::LstmInf),

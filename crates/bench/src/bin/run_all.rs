@@ -2,11 +2,19 @@
 //! in sequence (the same binaries `results/` is built from), printing
 //! each to stdout with a separator.
 //!
-//! `cargo run --release -p eta-bench --bin run_all [-- --telemetry <dir>] [--threads N]`
+//! `cargo run --release -p eta-bench --bin run_all [-- --telemetry <dir>] [--trace <dir>] [--threads N]`
 //!
 //! With `--telemetry <dir>`, every child binary writes a JSONL
 //! telemetry stream to `<dir>/<binary>.jsonl` (manifest line first;
 //! see DESIGN.md "Observability" for the schema).
+//!
+//! With `--trace <dir>`, every instrumented child additionally writes
+//! `<dir>/<binary>.trace.json` (Chrome trace-event JSON — load it at
+//! <https://ui.perfetto.dev>) and `<dir>/<binary>.folded.txt`
+//! (collapsed stacks for flamegraph tools). Tracing rides on the
+//! telemetry span hooks; with `--trace` alone an in-memory telemetry
+//! handle is constructed so spans still flow (no JSONL is written
+//! unless `--telemetry` is also given).
 //!
 //! With `--threads N` (default: the machine's available parallelism),
 //! every child trains under the data-parallel engine with `N` worker
@@ -19,6 +27,7 @@ use std::process::Command;
 
 struct Args {
     telemetry_dir: Option<PathBuf>,
+    trace_dir: Option<PathBuf>,
     threads: usize,
 }
 
@@ -53,6 +62,7 @@ fn default_threads() -> usize {
 
 fn parse_args() -> Args {
     let mut telemetry_dir = None;
+    let mut trace_dir = None;
     let mut threads = default_threads();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -63,6 +73,13 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
                 telemetry_dir = Some(PathBuf::from(dir));
+            }
+            "--trace" => {
+                let dir = args.next().unwrap_or_else(|| {
+                    eprintln!("--trace needs a directory argument");
+                    std::process::exit(2);
+                });
+                trace_dir = Some(PathBuf::from(dir));
             }
             "--threads" => {
                 let n = args.next().unwrap_or_else(|| {
@@ -79,13 +96,17 @@ fn parse_args() -> Args {
                 }
             }
             other => {
-                eprintln!("unknown argument: {other} (expected --telemetry <dir> | --threads <n>)");
+                eprintln!(
+                    "unknown argument: {other} \
+                     (expected --telemetry <dir> | --trace <dir> | --threads <n>)"
+                );
                 std::process::exit(2);
             }
         }
     }
     Args {
         telemetry_dir,
+        trace_dir,
         threads,
     }
 }
@@ -94,6 +115,9 @@ fn main() {
     let args = parse_args();
     if let Some(dir) = &args.telemetry_dir {
         std::fs::create_dir_all(dir).expect("create telemetry directory");
+    }
+    if let Some(dir) = &args.trace_dir {
+        std::fs::create_dir_all(dir).expect("create trace directory");
     }
     println!("worker threads: {} (ETA_THREADS)", args.threads);
     let exe = std::env::current_exe().expect("own path");
@@ -105,6 +129,9 @@ fn main() {
         cmd.env(eta_bench::THREADS_ENV, args.threads.to_string());
         if let Some(dir) = &args.telemetry_dir {
             cmd.env(eta_bench::TELEMETRY_DIR_ENV, dir);
+        }
+        if let Some(dir) = &args.trace_dir {
+            cmd.env(eta_bench::TRACE_DIR_ENV, dir);
         }
         let status = cmd
             .status()
@@ -123,6 +150,12 @@ fn main() {
         println!("\nall harnesses completed");
         if let Some(dir) = &args.telemetry_dir {
             println!("telemetry streams in {}", dir.display());
+        }
+        if let Some(dir) = &args.trace_dir {
+            println!(
+                "traces in {} (load *.trace.json at https://ui.perfetto.dev)",
+                dir.display()
+            );
         }
     } else {
         eprintln!("\nFAILED: {failures:?}");

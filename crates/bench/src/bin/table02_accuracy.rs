@@ -93,7 +93,7 @@ fn metric_name(m: Metric) -> &'static str {
 }
 
 fn main() {
-    let telemetry = eta_bench::telemetry_from_env("table02_accuracy");
+    let (telemetry, _trace) = eta_bench::instrumentation_from_env("table02_accuracy");
     let mut table = Table::new(
         "Table II — accuracy impact (scaled synthetic analogues)",
         &[

@@ -69,6 +69,66 @@ pub fn telemetry_from_env(binary: &str) -> Option<eta_telemetry::Telemetry> {
     telemetry_to(std::path::Path::new(&dir), binary)
 }
 
+/// Environment variable naming the directory where harness binaries
+/// write Chrome-trace + flamegraph exports (`run_all --trace <dir>`
+/// sets it for every child).
+pub const TRACE_DIR_ENV: &str = "ETA_TRACE_DIR";
+
+/// Attaches a span tracer to `telemetry`, exporting to
+/// `<dir>/<binary>.trace.json` (Chrome/Perfetto) and
+/// `<dir>/<binary>.folded.txt` (flamegraph) when the returned session
+/// is finished or dropped.
+///
+/// Returns `None` when `telemetry` is off — spans have nowhere to come
+/// from without a telemetry handle, and the harness output is the
+/// product; observability must never fail a run.
+pub fn trace_to(
+    dir: &std::path::Path,
+    binary: &str,
+    telemetry: Option<&eta_telemetry::Telemetry>,
+) -> Option<eta_prof::TraceSession> {
+    let telemetry = telemetry?;
+    Some(eta_prof::TraceSession::start(
+        telemetry.clone(),
+        dir,
+        binary,
+    ))
+}
+
+/// Starts a trace session when [`TRACE_DIR_ENV`] is set; `None` (no
+/// tracer attached, spans cost one atomic load) otherwise.
+pub fn trace_from_env(
+    binary: &str,
+    telemetry: Option<&eta_telemetry::Telemetry>,
+) -> Option<eta_prof::TraceSession> {
+    let dir = std::env::var(TRACE_DIR_ENV).ok()?;
+    trace_to(std::path::Path::new(&dir), binary, telemetry)
+}
+
+/// The full observability bundle from the environment: a telemetry
+/// handle when [`TELEMETRY_DIR_ENV`] is set, a trace session when
+/// [`TRACE_DIR_ENV`] is set. `--trace` alone still traces — spans need
+/// a telemetry handle, so an in-memory one (no JSONL stream) is
+/// constructed for the tracer to ride on.
+///
+/// Keep the returned session alive for the whole run; its drop/finish
+/// writes the trace artifacts.
+pub fn instrumentation_from_env(
+    binary: &str,
+) -> (
+    Option<eta_telemetry::Telemetry>,
+    Option<eta_prof::TraceSession>,
+) {
+    let mut telemetry = telemetry_from_env(binary);
+    if telemetry.is_none() && std::env::var(TRACE_DIR_ENV).is_ok() {
+        let manifest =
+            eta_telemetry::RunManifest::capture(binary, eta_telemetry::config_hash(&SEED), SEED);
+        telemetry = Some(eta_telemetry::Telemetry::new(manifest));
+    }
+    let trace = trace_from_env(binary, telemetry.as_ref());
+    (telemetry, trace)
+}
+
 /// Measured/derived optimization effects for one benchmark.
 #[derive(Debug, Clone, Copy)]
 pub struct BenchEffects {

@@ -485,6 +485,7 @@ pub fn compute_p1_into(buf: &mut P1Buffers, fw: &CellForward, s_prev: &Matrix) -
 ///
 /// Returns a shape error if the operand shapes are inconsistent with
 /// `params`/`panels`.
+#[allow(clippy::too_many_arguments)]
 pub fn forward_ws(
     params: &CellParams,
     panels: &LayerPanels,
@@ -493,6 +494,7 @@ pub fn forward_ws(
     s_prev: &Matrix,
     kernel: &ParallelConfig,
     ws: &mut Workspace,
+    instruments: &crate::layer::Instruments,
 ) -> Result<CellForward> {
     let h = params.hidden();
     let batch = x.rows();
@@ -507,17 +509,23 @@ pub fn forward_ws(
     }
     ws.ensure_forward(batch, h);
 
-    x.matmul_nt_packed_into(&panels.w_fwd, &mut ws.preact, Store::Assign, kernel)?;
+    {
+        let _g = instruments.scope("gemm");
+        x.matmul_nt_packed_into(&panels.w_fwd, &mut ws.preact, Store::Assign, kernel)?;
+    }
     let b = &params.b;
     let tanh_cols = 2 * h..3 * h;
-    h_prev.matmul_nt_packed_epilogue(&panels.u_fwd, &mut ws.preact, kernel, |j, v| {
-        let z = v + b[j];
-        if tanh_cols.contains(&j) {
-            activation::tanh(z)
-        } else {
-            activation::sigmoid(z)
-        }
-    })?;
+    {
+        let _g = instruments.scope("gemm_epilogue");
+        h_prev.matmul_nt_packed_epilogue(&panels.u_fwd, &mut ws.preact, kernel, |j, v| {
+            let z = v + b[j];
+            if tanh_cols.contains(&j) {
+                activation::tanh(z)
+            } else {
+                activation::sigmoid(z)
+            }
+        })?;
+    }
 
     // The activations are already applied; the gate matrices are plain
     // column copies out of the fused preactivation buffer.
@@ -572,6 +580,7 @@ pub fn backward_ws(
     grads: &mut CellGrads,
     kernel: &ParallelConfig,
     bwd: &mut BwdBuffers,
+    instruments: &crate::layer::Instruments,
 ) -> Result<CellBackwardOut> {
     let (batch, h) = (dh_total.rows(), dh_total.cols());
     for m in [p1.p_i, p1.p_f, p1.p_c, p1.p_o, p1.p_h, p1.p_s, ds] {
@@ -588,6 +597,7 @@ pub fn backward_ws(
     bwd.ensure(batch, h);
     let BwdBuffers { ds_acc, dgates } = bwd;
 
+    let ew_scope = instruments.scope("bp_ew");
     // BP-EW-P2: δS' = δS + δH' ⊙ p_h, fused in place.
     for (((dst, &dsv), &dhv), &ph) in ds_acc
         .as_mut_slice()
@@ -631,7 +641,9 @@ pub fn backward_ws(
     }
 
     let ds_prev = ds_acc.hadamard(p1.p_s)?;
+    drop(ew_scope);
 
+    let gemm_scope = instruments.scope("bp_gemm");
     // BP-MatMul (Eq. 2) over the cached backward panels.
     let dx = dgates.par_matmul_nn_packed(&panels.w_bwd, kernel)?;
     let dh_prev = dgates.par_matmul_nn_packed(&panels.u_bwd, kernel)?;
@@ -644,6 +656,7 @@ pub fn backward_ws(
             *acc += g;
         }
     }
+    drop(gemm_scope);
 
     Ok(CellBackwardOut {
         dx,
@@ -841,12 +854,17 @@ mod tests {
             let mut ws = Workspace::new();
 
             let reference = forward_with(&params, &x, &h_prev, &s_prev, &kernel).unwrap();
-            let fused =
-                forward_ws(&params, &panels, &x, &h_prev, &s_prev, &kernel, &mut ws).unwrap();
+            let inst = crate::layer::Instruments::new();
+            let fused = forward_ws(
+                &params, &panels, &x, &h_prev, &s_prev, &kernel, &mut ws, &inst,
+            )
+            .unwrap();
             assert_eq!(fused, reference);
             // Reuse: the second call overwrites stale buffer contents.
-            let again =
-                forward_ws(&params, &panels, &x, &h_prev, &s_prev, &kernel, &mut ws).unwrap();
+            let again = forward_ws(
+                &params, &panels, &x, &h_prev, &s_prev, &kernel, &mut ws, &inst,
+            )
+            .unwrap();
             assert_eq!(again, reference);
 
             let p1 = P1Dense::compute(&reference, &s_prev).unwrap();
@@ -882,6 +900,7 @@ mod tests {
                 &mut g_ws,
                 &kernel,
                 &mut ws.bwd,
+                &inst,
             )
             .unwrap();
             assert_eq!(out_ws, out_ref);
@@ -899,6 +918,7 @@ mod tests {
                 &mut g_ws,
                 &kernel,
                 &mut ws.bwd,
+                &inst,
             )
             .unwrap();
             let mut g_ref2 = g_ref.clone();
@@ -920,6 +940,7 @@ mod tests {
         let bad_ds = Matrix::zeros(3, 4);
         let mut grads = CellGrads::zeros_like(&params);
         let mut bwd = BwdBuffers::default();
+        let inst = crate::layer::Instruments::new();
         let err = backward_ws(
             &panels,
             &p1.as_ref(),
@@ -930,11 +951,14 @@ mod tests {
             &mut grads,
             &kernel,
             &mut bwd,
+            &inst,
         );
         assert!(err.is_err());
         let bad_s = Matrix::zeros(3, 4);
         let mut ws = Workspace::new();
-        assert!(forward_ws(&params, &panels, &x, &h_prev, &bad_s, &kernel, &mut ws).is_err());
+        assert!(
+            forward_ws(&params, &panels, &x, &h_prev, &bad_s, &kernel, &mut ws, &inst).is_err()
+        );
         assert!(compute_p1_into(&mut ws.p1, &fw, &bad_s).is_err());
     }
 }

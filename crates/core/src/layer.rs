@@ -57,13 +57,28 @@ pub struct LayerTape {
     pub hs: Vec<Matrix>,
 }
 
-/// Instrumentation hooks shared across the model (footprint + traffic).
-#[derive(Debug, Clone, Default)]
+/// Instrumentation hooks shared across the model (footprint, traffic,
+/// and — with the `telemetry` feature — span tracing).
+#[derive(Clone, Default)]
 pub struct Instruments {
     /// Footprint tracker.
     pub mem: eta_memsim::SharedTracker,
     /// DRAM traffic counter.
     pub traffic: eta_memsim::SharedTraffic,
+    /// Telemetry handle for span tracing; `None` leaves every span
+    /// hook a no-op.
+    #[cfg(feature = "telemetry")]
+    pub telemetry: Option<eta_telemetry::Telemetry>,
+}
+
+impl std::fmt::Debug for Instruments {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("Instruments");
+        d.field("mem", &self.mem).field("traffic", &self.traffic);
+        #[cfg(feature = "telemetry")]
+        d.field("telemetry", &self.telemetry.is_some());
+        d.finish()
+    }
 }
 
 impl Instruments {
@@ -73,13 +88,58 @@ impl Instruments {
     }
 
     /// Instruments whose footprint and traffic events are mirrored
-    /// into `telemetry` (as `memsim_*` and `dram_*` metrics).
+    /// into `telemetry` (as `memsim_*` and `dram_*` metrics) and whose
+    /// span hooks open telemetry spans.
     #[cfg(feature = "telemetry")]
     pub fn with_telemetry(telemetry: eta_telemetry::Telemetry) -> Self {
         Instruments {
             mem: eta_memsim::SharedTracker::with_telemetry(telemetry.clone()),
-            traffic: eta_memsim::SharedTraffic::with_telemetry(telemetry),
+            traffic: eta_memsim::SharedTraffic::with_telemetry(telemetry.clone()),
+            telemetry: Some(telemetry),
         }
+    }
+
+    /// Opens a registry span named `name` (see
+    /// [`eta_telemetry::Telemetry::span`]); `None` without a handle.
+    #[cfg(feature = "telemetry")]
+    pub fn span(&self, name: &'static str) -> Option<eta_telemetry::SpanGuard> {
+        self.telemetry.as_ref().map(|t| t.span(name))
+    }
+
+    /// No-op without the `telemetry` feature.
+    #[cfg(not(feature = "telemetry"))]
+    pub fn span(&self, _name: &'static str) -> Option<()> {
+        None
+    }
+
+    /// Opens a span at the root of a fresh per-thread stack (see
+    /// [`eta_telemetry::Telemetry::span_root`]) — shard scopes use
+    /// this so trace structure is thread-count invariant.
+    #[cfg(feature = "telemetry")]
+    pub fn span_root(&self, name: &'static str) -> Option<eta_telemetry::SpanGuard> {
+        self.telemetry.as_ref().map(|t| t.span_root(name))
+    }
+
+    /// No-op without the `telemetry` feature.
+    #[cfg(not(feature = "telemetry"))]
+    pub fn span_root(&self, _name: &'static str) -> Option<()> {
+        None
+    }
+
+    /// Opens a trace-only scope (see
+    /// [`eta_telemetry::Telemetry::scope`]): `None` — one relaxed
+    /// atomic load — unless an eta-prof tracer is attached. The
+    /// per-cell GEMM/epilogue/BP hooks go through here, so the hot
+    /// path pays nothing measurable when not tracing.
+    #[cfg(feature = "prof")]
+    pub fn scope(&self, name: &'static str) -> Option<eta_telemetry::SpanGuard> {
+        self.telemetry.as_ref().and_then(|t| t.scope(name))
+    }
+
+    /// No-op without the `prof` feature.
+    #[cfg(not(feature = "prof"))]
+    pub fn scope(&self, _name: &'static str) -> Option<()> {
+        None
     }
 
     fn store(&self, cat: DataCategory, bytes: u64) {
@@ -188,10 +248,12 @@ impl LstmLayer {
             keep.is_empty() || keep.len() == xs.len(),
             "keep mask length mismatch"
         );
+        let _layer_span = instruments.span("layer_fw");
         let local_panels;
         let panels = match panels {
             Some(p) => p,
             None => {
+                let _pack = instruments.scope("pack");
                 local_panels = LayerPanels::pack(&self.params);
                 &local_panels
             }
@@ -206,7 +268,18 @@ impl LstmLayer {
         for (t, x) in xs.iter().enumerate() {
             // Every cell loads the layer weights.
             instruments.load(DataCategory::Weights, self.params.size_bytes());
-            let fw = cell::forward_ws(&self.params, panels, x, &h_prev, &s_prev, kernel, ws)?;
+            let cell_scope = instruments.scope("fw_cell");
+            let fw = cell::forward_ws(
+                &self.params,
+                panels,
+                x,
+                &h_prev,
+                &s_prev,
+                kernel,
+                ws,
+                instruments,
+            )?;
+            drop(cell_scope);
             let kept = keep.is_empty() || keep[t];
             if !kept {
                 // Inference-style cell: store s only if the successor is
@@ -321,10 +394,12 @@ impl LstmLayer {
         let h = self.hidden();
         let zero_h = Matrix::zeros(batch, h);
 
+        let _layer_span = instruments.span("layer_bp");
         let local_panels;
         let panels = match panels {
             Some(p) => p,
             None => {
+                let _pack = instruments.scope("pack");
                 local_panels = LayerPanels::pack(&self.params);
                 &local_panels
             }
@@ -410,6 +485,7 @@ impl LstmLayer {
             );
 
             let mut cell_grads = CellGrads::zeros_like(&self.params);
+            let cell_scope = instruments.scope("bp_cell");
             let out = cell::backward_ws(
                 panels,
                 &p1,
@@ -420,7 +496,9 @@ impl LstmLayer {
                 &mut cell_grads,
                 kernel,
                 bwd,
+                instruments,
             )?;
+            drop(cell_scope);
             magnitudes[t] = cell_grads.magnitude();
             grads.accumulate(&cell_grads)?;
 

@@ -226,6 +226,7 @@ pub fn train_step_sharded_ws(
     pool: &mut WorkspacePool,
 ) -> Result<StepResult> {
     let seq_len = model.config().seq_len;
+    let _step_span = instruments.span("step");
     // Malformed batches take the serial path so error messages are
     // identical with and without the engine.
     let uniform =
@@ -253,6 +254,11 @@ pub fn train_step_sharded_ws(
         .collect();
 
     let run_shard = |i: usize, ws: &mut Workspace| {
+        // Root the shard's span stack so its trace structure is
+        // `shard/...` whether it runs on a worker thread (empty stack)
+        // or inline on the caller (under `epoch/batch/step`) — trace
+        // structure must be thread-count invariant, like the numerics.
+        let _shard_span = instruments.span_root("shard");
         model.train_step_ws(
             &shard_inputs[i],
             &shard_targets[i],
@@ -299,6 +305,7 @@ pub fn train_step_sharded_ws(
     }
 
     let reduce_start = std::time::Instant::now();
+    let _reduce_span = instruments.span("reduce");
     // Pre-scale each shard by its batch fraction: per-shard losses and
     // gradients are shard means, so the weighted sum reproduces the
     // full-batch mean exactly.

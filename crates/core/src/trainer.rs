@@ -264,6 +264,8 @@ impl Trainer {
         let mut first_epoch_magnitudes: Vec<Vec<f64>> = Vec::new();
         let loss_kind = task.loss_kind();
 
+        #[cfg(feature = "telemetry")]
+        let mut kernel_stats_last = eta_tensor::stats::snapshot();
         for epoch in 0..epochs {
             let plan = self.plan_for_epoch(epoch);
             let instruments = self.epoch_instruments();
@@ -290,7 +292,9 @@ impl Trainer {
                 // Panels pack once per weight update: the checkout after
                 // `apply` repacks, every later one in the same update is
                 // a cache hit (only possible with multi-batch updates).
+                let pack_span = instruments.span("pack_panels");
                 let panels = self.panel_cache.checkout(&self.model);
+                drop(pack_span);
                 let result = parallel::train_step_sharded_ws(
                     &self.model,
                     &batch.inputs,
@@ -320,7 +324,9 @@ impl Trainer {
                         }
                     }
                 }
+                let apply_span = instruments.span("apply");
                 self.model.apply(&mut self.optimizer, &result.grads)?;
+                drop(apply_span);
                 // The weights just changed; the packed panels are stale.
                 self.panel_cache.invalidate();
                 // The simulated DRAM frees everything between iterations.
@@ -399,6 +405,15 @@ impl Trainer {
                     keys::WORKSPACE_HIGH_WATER_BYTES,
                     self.ws_pool.high_water_bytes() as f64,
                 );
+                // Kernel FLOP/byte work this epoch: the counters are
+                // process-global, so only epoch-over-epoch deltas are
+                // attributable to this trainer.
+                let know = eta_tensor::stats::snapshot();
+                let kdelta = know.since(&kernel_stats_last);
+                kernel_stats_last = know;
+                t.incr(keys::KERNEL_GEMM_FLOPS_TOTAL, kdelta.flops);
+                t.incr(keys::KERNEL_GEMM_BYTES_TOTAL, kdelta.bytes);
+                t.incr(keys::KERNEL_GEMM_CALLS_TOTAL, kdelta.calls);
             }
             #[cfg(not(feature = "telemetry"))]
             {
@@ -564,6 +579,7 @@ mod tests {
         let task = ToyTask::new(config(), LossKind::SingleLoss);
         let mut t = Trainer::new(config(), TrainingStrategy::CombinedMs, 3)
             .unwrap()
+            .with_parallelism(Parallelism::with_threads(2))
             .with_telemetry(telemetry.clone());
         let report = t.run(&task, 4).unwrap();
 
@@ -591,12 +607,24 @@ mod tests {
         // Memsim mirror fired through the Instruments path.
         assert!(snap.counter_total(keys::MEMSIM_ALLOC_BYTES_TOTAL) > 0);
         assert!(snap.counter_total(keys::DRAM_READ_BYTES_TOTAL) > 0);
+        // Kernel accounting: every epoch ran packed GEMMs, so the
+        // FLOP/byte/call counters all advanced (exact values depend on
+        // what else ran in this process — the trainer emits deltas).
+        assert!(snap.counter_total(keys::KERNEL_GEMM_FLOPS_TOTAL) > 0);
+        assert!(snap.counter_total(keys::KERNEL_GEMM_BYTES_TOTAL) > 0);
+        assert!(snap.counter_total(keys::KERNEL_GEMM_CALLS_TOTAL) > 0);
         // Spans: 4 epochs, each containing the batches.
         assert_eq!(snap.span("epoch").unwrap().count, 4);
         assert_eq!(
             snap.span("epoch/batch").unwrap().count,
             4 * task.batches_per_epoch() as u64
         );
+        // The engine-level spans sit under the batch scope; shard spans
+        // are rooted at `shard` so structure is thread-count invariant.
+        assert!(snap.span("epoch/batch/pack_panels").is_some());
+        assert!(snap.span("epoch/batch/step").is_some());
+        assert!(snap.span("epoch/batch/apply").is_some());
+        assert!(snap.span("shard").is_some());
         // The event stream saw the manifest first.
         let events = handle.events();
         assert!(matches!(events[0], eta_telemetry::Event::Manifest(_)));

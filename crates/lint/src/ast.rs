@@ -494,7 +494,7 @@ pub fn expr_text(e: &Expr) -> String {
 }
 
 /// Strips leading `&`/`*`/parens-like wrappers for receiver matching.
-pub fn peel<'a>(e: &'a Expr) -> &'a Expr {
+pub fn peel(e: &Expr) -> &Expr {
     match &e.kind {
         ExprKind::Ref { expr } | ExprKind::Deref { expr } => peel(expr),
         _ => e,

@@ -55,7 +55,7 @@ fn parse_args() -> Result<Args, String> {
                     "eta-lint — workspace static analysis for the eta-LSTM contracts\n\n\
                      USAGE: eta-lint [--root DIR] [--format text|json|sarif] [--output FILE]\n\n\
                      Token rules: D1 hash-ordered collections in numeric crates; D2 entropy\n\
-                     sources outside telemetry+bench; D3 unordered float reductions;\n\
+                     sources outside telemetry+bench+prof; D3 unordered float reductions;\n\
                      A1 unsafe needs // SAFETY:; T1 telemetry keys from eta_telemetry::keys.\n\
                      Semantic rules (AST + call graph): S1 panic-capable sites reachable\n\
                      from public numeric APIs (diagnostic shows the call chain); S2 clock/\n\

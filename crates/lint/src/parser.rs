@@ -388,21 +388,18 @@ impl<'a> Parser<'a> {
 
         // Function/impl/trait qualifiers, in any sane order.
         loop {
-            if self.at_ident("const")
+            let single_qualifier = (self.at_ident("const")
                 && (self.nth_ident(1, "fn")
                     || self.nth_ident(1, "unsafe")
                     || self.nth_ident(1, "extern")
-                    || self.nth_ident(1, "async"))
-            {
-                self.bump();
-            } else if self.at_ident("unsafe")
-                && (self.nth_ident(1, "fn")
-                    || self.nth_ident(1, "extern")
-                    || self.nth_ident(1, "impl")
-                    || self.nth_ident(1, "trait"))
-            {
-                self.bump();
-            } else if self.at_ident("async") && self.nth_ident(1, "fn") {
+                    || self.nth_ident(1, "async")))
+                || (self.at_ident("unsafe")
+                    && (self.nth_ident(1, "fn")
+                        || self.nth_ident(1, "extern")
+                        || self.nth_ident(1, "impl")
+                        || self.nth_ident(1, "trait")))
+                || (self.at_ident("async") && self.nth_ident(1, "fn"));
+            if single_qualifier {
                 self.bump();
             } else if self.at_ident("extern")
                 && self.nth(1).is_some_and(|t| t.kind == TokKind::Str)

@@ -3,7 +3,7 @@
 //! | rule | contract                                                        |
 //! |------|-----------------------------------------------------------------|
 //! | D1   | no hash-ordered collections in numeric crates                   |
-//! | D2   | no entropy-seeded RNG construction outside telemetry and bench  |
+//! | D2   | no entropy-seeded RNG construction outside telemetry/bench/prof |
 //! | D3   | no unordered float reductions (parallel / hash-fed `sum`/`fold`)|
 //! | A1   | every `unsafe` carries a nearby `// SAFETY:` comment            |
 //! | T1   | telemetry key literals must come from the central registry      |
@@ -57,7 +57,7 @@ pub struct FileScope {
 /// semantic S1/S2 sink rules apply.
 pub const NUMERIC_CRATES: &[&str] = &["tensor", "core", "accel", "memsim"];
 /// Crates allowed to read wall clocks and construct entropy RNGs.
-pub const D2_EXEMPT_CRATES: &[&str] = &["telemetry", "bench"];
+pub const D2_EXEMPT_CRATES: &[&str] = &["telemetry", "bench", "prof"];
 /// Telemetry itself defines the key registry; T1 checks everyone else.
 const T1_EXEMPT_CRATES: &[&str] = &["telemetry"];
 
@@ -264,7 +264,7 @@ fn rule_d1(file: &str, code: &[&Tok], mask: &[bool], out: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------------
-// D2 — entropy sources outside telemetry and bench
+// D2 — entropy sources outside telemetry, bench, and prof
 // ---------------------------------------------------------------------------
 //
 // Wall clocks (`Instant::now` / `SystemTime`) used to be flagged here
@@ -289,7 +289,7 @@ fn rule_d2(file: &str, code: &[&Tok], mask: &[bool], out: &mut Vec<Finding>) {
                 file: file.into(),
                 line: t.line,
                 message: format!(
-                    "{what} outside the telemetry/bench crates: numeric code must be \
+                    "{what} outside the telemetry/bench/prof crates: numeric code must be \
                      replayable, so entropy sources are confined to instrumentation \
                      (seeded `StdRng::seed_from_u64` is fine)"
                 ),

@@ -22,7 +22,7 @@ const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
     ),
     (
         "D2",
-        "entropy-seeded RNG constructed outside telemetry/bench",
+        "entropy-seeded RNG constructed outside telemetry/bench/prof",
     ),
     ("D3", "unordered floating-point reduction"),
     ("A1", "unsafe block without a SAFETY comment"),

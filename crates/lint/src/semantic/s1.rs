@@ -126,18 +126,16 @@ fn collect_dangers(ws: &Workspace) -> Vec<Danger> {
                     desc: format!("`{}!`", path.last().unwrap()),
                 });
             }
-            ExprKind::Index { recv, index } => {
-                if !bounds::discharged(recv, index, &facts) {
-                    out.push(Danger {
-                        fn_id: f.id,
-                        line: e.line,
-                        desc: format!(
-                            "unchecked index `{}[{}]`",
-                            clip(&expr_text(peel(recv))),
-                            clip(&expr_text(index))
-                        ),
-                    });
-                }
+            ExprKind::Index { recv, index } if !bounds::discharged(recv, index, &facts) => {
+                out.push(Danger {
+                    fn_id: f.id,
+                    line: e.line,
+                    desc: format!(
+                        "unchecked index `{}[{}]`",
+                        clip(&expr_text(peel(recv))),
+                        clip(&expr_text(index))
+                    ),
+                });
             }
             _ => {}
         });

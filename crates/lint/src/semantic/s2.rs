@@ -123,7 +123,7 @@ fn flow_block(
                     *env.entry(name.clone()).or_insert(0) |= mask;
                 }
                 // Remember hash containers so later iteration taints.
-                if is_hash_type(ty_text) || init.as_ref().is_some_and(|e| is_hash_ctor(e)) {
+                if is_hash_type(ty_text) || init.as_ref().is_some_and(is_hash_ctor) {
                     for name in names {
                         env.insert(format!("#container:{name}"), HASH);
                     }

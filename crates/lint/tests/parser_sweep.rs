@@ -80,11 +80,7 @@ fn sweep_finds_real_structure_not_empty_trees() {
         let src = std::fs::read_to_string(&path).expect("read source");
         let parsed = parse(&src);
         walk_items(&parsed.items, &mut |item| match &item.kind {
-            ItemKind::Fn(def) => {
-                if def.body.is_some() {
-                    fns += 1;
-                }
-            }
+            ItemKind::Fn(def) if def.body.is_some() => fns += 1,
             ItemKind::Impl { .. } => impls += 1,
             _ => {}
         });

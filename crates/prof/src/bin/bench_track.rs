@@ -1,0 +1,127 @@
+//! `eta-bench-track` — the perf-trajectory CLI.
+//!
+//! ```text
+//! eta-bench-track record  --bench-json BENCH_gemm.json \
+//!     --history results/bench_history.jsonl [--sha <rev>]
+//! eta-bench-track compare --bench-json BENCH_gemm.json \
+//!     --history results/bench_history.jsonl [--threshold 0.10]
+//! ```
+//!
+//! `record` appends the current bench medians to the history;
+//! `compare` gates them against the last committed baseline and exits
+//! non-zero with one line per offending shape when any median is more
+//! than `threshold` slower. CI runs `compare` before `record` so a
+//! regressing PR fails before it can re-baseline itself.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use eta_prof::track;
+
+struct Args {
+    command: String,
+    bench_json: PathBuf,
+    history: PathBuf,
+    threshold: f64,
+    sha: Option<String>,
+}
+
+const USAGE: &str = "usage: eta-bench-track <record|compare> \
+    --bench-json <file> --history <file> [--threshold 0.10] [--sha <rev>]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or(USAGE)?;
+    if command != "record" && command != "compare" {
+        return Err(format!("unknown command `{command}`\n{USAGE}"));
+    }
+    let mut bench_json = None;
+    let mut history = None;
+    let mut threshold = 0.10f64;
+    let mut sha = None;
+    while let Some(flag) = argv.next() {
+        let mut value = || {
+            argv.next()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--bench-json" => bench_json = Some(PathBuf::from(value()?)),
+            "--history" => history = Some(PathBuf::from(value()?)),
+            "--threshold" => {
+                threshold = value()?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+                if !(0.0..10.0).contains(&threshold) {
+                    return Err("--threshold must be in [0, 10)".to_string());
+                }
+            }
+            "--sha" => sha = Some(value()?),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        command,
+        bench_json: bench_json.ok_or(format!("--bench-json is required\n{USAGE}"))?,
+        history: history.ok_or(format!("--history is required\n{USAGE}"))?,
+        threshold,
+        sha,
+    })
+}
+
+/// `git rev-parse --short HEAD`, or `unknown` outside a repo.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let text = std::fs::read_to_string(&args.bench_json)
+        .map_err(|e| format!("{}: {e}", args.bench_json.display()))?;
+    let sha = args.sha.clone().unwrap_or_else(git_sha);
+    let current = track::records_from_bench_json(&text, &sha)?;
+    match args.command.as_str() {
+        "record" => {
+            track::append(&args.history, &current)
+                .map_err(|e| format!("{}: {e}", args.history.display()))?;
+            println!(
+                "recorded {} metric(s) @ {sha} into {}",
+                current.len(),
+                args.history.display()
+            );
+            Ok(true)
+        }
+        "compare" => {
+            let history = track::read(&args.history)
+                .map_err(|e| format!("{}: {e}", args.history.display()))?;
+            let report = track::compare(&history, &current, args.threshold);
+            print!("{}", report.render());
+            Ok(report.passed())
+        }
+        _ => unreachable!("validated in parse_args"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("eta-bench-track: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Per-shape roofline report over the paper's LN5–LN8 configurations.
+//!
+//! Two levels of entries, both bounded by the same measured machine
+//! roofs (peak compute from an in-cache packed GEMM, memory bandwidth
+//! from a streaming triad — measured by the bench harness, not
+//! assumed):
+//!
+//! - **kernel entries** — one per GEMM orientation at the LSTM cell's
+//!   dimensions (`nt` forward preactivation, `nn` backward data
+//!   gradient, `tn` weight gradient). Achieved GFLOP/s comes from the
+//!   measured packed-kernel median; the roof uses the kernel's
+//!   *logical* arithmetic intensity `2mkn / 4(mk+kn+mn)`. The cell
+//!   dimensions depend on batch and hidden width only, so these
+//!   entries are shared by every LN configuration — the report states
+//!   this rather than fabricating per-LN kernel variation.
+//! - **shape entries** — one per LN5–LN8 training step. FLOPs come
+//!   from the analytical model (`LstmShape::training_flops`), bytes
+//!   from eta-memsim's DRAM traffic model, so arithmetic intensity is
+//!   DRAM-level and genuinely varies with LN; achieved GFLOP/s is
+//!   projected from the measured per-cell kernel times scaled by the
+//!   shape's cell count.
+
+use eta_memsim::model::{self, LstmShape, OptEffects};
+
+/// Paper Table I scale shared by the LN sweep.
+pub const LN_HIDDEN: usize = 2048;
+/// Embedding width feeding layer 0.
+pub const LN_INPUT: usize = 2048;
+/// Unrolled timesteps per layer.
+pub const LN_SEQ: usize = 35;
+/// Minibatch size.
+pub const LN_BATCH: usize = 128;
+
+/// The LN5–LN8 shapes from Table I (hidden 2048, seq 35, batch 128).
+pub fn ln_shapes() -> Vec<(String, LstmShape)> {
+    (5..=8)
+        .map(|ln| {
+            (
+                format!("LN{ln}"),
+                LstmShape::new(LN_INPUT, LN_HIDDEN, ln, LN_SEQ, LN_BATCH),
+            )
+        })
+        .collect()
+}
+
+/// The three GEMM orientations one LSTM cell executes, at `(m, k, n)`
+/// for the given batch/hidden: `nt` is the forward preactivation
+/// (`x·Wᵀ`), `nn` the backward data gradient (`δ·W`), `tn` the weight
+/// gradient (`δᵀ·x`).
+pub fn cell_gemm_dims(batch: usize, hidden: usize) -> [(&'static str, usize, usize, usize); 3] {
+    [
+        ("nt", batch, hidden, 4 * hidden),
+        ("nn", batch, 4 * hidden, hidden),
+        ("tn", 4 * hidden, batch, hidden),
+    ]
+}
+
+/// Measured machine ceilings.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct MachineRoofs {
+    /// Compute roof, GFLOP/s (in-cache packed GEMM).
+    pub peak_gflops: f64,
+    /// Memory bandwidth roof, GB/s (streaming triad).
+    pub mem_bw_gbps: f64,
+}
+
+impl MachineRoofs {
+    /// The roofline: `min(peak, bw × intensity)` GFLOP/s.
+    pub fn roof_gflops(&self, intensity: f64) -> f64 {
+        (self.mem_bw_gbps * intensity).min(self.peak_gflops)
+    }
+}
+
+/// One measured kernel timing the bench harness feeds in.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct KernelMeasurement {
+    /// GEMM orientation (`nt`/`nn`/`tn`).
+    pub orientation: String,
+    /// Output rows.
+    pub m: usize,
+    /// Reduction depth.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Median seconds of the naive reference kernel.
+    pub naive_seconds: f64,
+    /// Median seconds of the packed register-blocked kernel.
+    pub packed_seconds: f64,
+}
+
+impl KernelMeasurement {
+    /// Nominal FLOPs of one call (`2mkn`).
+    pub fn flops(&self) -> u64 {
+        2 * (self.m as u64) * (self.k as u64) * (self.n as u64)
+    }
+
+    /// Logical operand bytes of one call (`4(mk + kn + mn)`).
+    pub fn bytes(&self) -> u64 {
+        4 * ((self.m * self.k) as u64 + (self.k * self.n) as u64 + (self.m * self.n) as u64)
+    }
+}
+
+/// Roofline entry for one GEMM orientation at cell dimensions.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct KernelEntry {
+    /// GEMM orientation (`nt`/`nn`/`tn`).
+    pub orientation: String,
+    /// Output rows.
+    pub m: usize,
+    /// Reduction depth.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Nominal FLOPs per call.
+    pub flops: u64,
+    /// Logical operand bytes per call.
+    pub bytes: u64,
+    /// FLOPs per byte.
+    pub intensity: f64,
+    /// Measured packed-kernel GFLOP/s.
+    pub achieved_gflops: f64,
+    /// `min(peak, bw × intensity)` at this intensity.
+    pub roof_gflops: f64,
+    /// `achieved / roof`, in `[0, 1]` for a sound measurement.
+    pub efficiency: f64,
+    /// Packed vs naive median speedup.
+    pub speedup: f64,
+}
+
+/// Roofline entry for one LN training-step shape.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ShapeEntry {
+    /// Shape label (`LN5`…`LN8`).
+    pub shape: String,
+    /// Stacked layers.
+    pub layers: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Unrolled timesteps.
+    pub seq_len: usize,
+    /// Minibatch rows.
+    pub batch: usize,
+    /// Analytical FLOPs of one training iteration.
+    pub flops: u64,
+    /// Modeled DRAM traffic of one iteration, bytes.
+    pub traffic_bytes: u64,
+    /// DRAM-level arithmetic intensity, FLOPs per byte.
+    pub intensity: f64,
+    /// GFLOP/s projected from measured per-cell kernel medians.
+    pub achieved_gflops: f64,
+    /// `min(peak, bw × intensity)` at this intensity.
+    pub roof_gflops: f64,
+    /// `achieved / roof`.
+    pub efficiency: f64,
+}
+
+/// The full report: machine roofs + kernel + per-shape entries.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RooflineReport {
+    /// Measured ceilings bounding every entry.
+    pub machine: MachineRoofs,
+    /// Per-orientation kernel entries (shared across LN shapes).
+    pub kernels: Vec<KernelEntry>,
+    /// Per-LN training-step entries.
+    pub shapes: Vec<ShapeEntry>,
+}
+
+/// Builds the report from measured machine roofs and kernel timings.
+/// Shape entries cover LN5–LN8 with baseline (no MS1/MS2) traffic.
+pub fn build_report(machine: MachineRoofs, kernels: &[KernelMeasurement]) -> RooflineReport {
+    let kernel_entries: Vec<KernelEntry> = kernels
+        .iter()
+        .map(|km| {
+            let flops = km.flops();
+            let bytes = km.bytes();
+            let intensity = flops as f64 / bytes as f64;
+            let achieved = if km.packed_seconds > 0.0 {
+                flops as f64 / km.packed_seconds / 1e9
+            } else {
+                0.0
+            };
+            let roof = machine.roof_gflops(intensity);
+            KernelEntry {
+                orientation: km.orientation.clone(),
+                m: km.m,
+                k: km.k,
+                n: km.n,
+                flops,
+                bytes,
+                intensity,
+                achieved_gflops: achieved,
+                roof_gflops: roof,
+                efficiency: if roof > 0.0 { achieved / roof } else { 0.0 },
+                speedup: if km.packed_seconds > 0.0 {
+                    km.naive_seconds / km.packed_seconds
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+
+    // One cell runs the forward preactivation GEMM pair (both `nt`)
+    // plus, in backward, two `nn` and two `tn` GEMMs.
+    let per_cell_seconds: f64 = kernels.iter().map(|km| km.packed_seconds * 2.0).sum();
+
+    let shapes = ln_shapes()
+        .into_iter()
+        .map(|(label, shape)| {
+            let flops = shape.training_flops();
+            let traffic = model::traffic(&shape, &OptEffects::baseline()).total();
+            let intensity = if traffic > 0 {
+                flops as f64 / traffic as f64
+            } else {
+                0.0
+            };
+            let step_seconds = per_cell_seconds * shape.cells() as f64;
+            let achieved = if step_seconds > 0.0 {
+                flops as f64 / step_seconds / 1e9
+            } else {
+                0.0
+            };
+            let roof = machine.roof_gflops(intensity);
+            ShapeEntry {
+                shape: label,
+                layers: shape.layers,
+                hidden: shape.hidden,
+                seq_len: shape.seq_len,
+                batch: shape.batch,
+                flops,
+                traffic_bytes: traffic,
+                intensity,
+                achieved_gflops: achieved,
+                roof_gflops: roof,
+                efficiency: if roof > 0.0 { achieved / roof } else { 0.0 },
+            }
+        })
+        .collect();
+
+    RooflineReport {
+        machine,
+        kernels: kernel_entries,
+        shapes,
+    }
+}
+
+impl RooflineReport {
+    /// Figure-style text table (kernels, then shapes).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "machine roofs: peak {:.2} GFLOP/s, bandwidth {:.2} GB/s\n\n",
+            self.machine.peak_gflops, self.machine.mem_bw_gbps
+        ));
+        out.push_str("kernel (cell dims, shared across LN5-LN8)\n");
+        out.push_str(
+            "orient        m      k      n    AI f/B  achieved  roof GF/s  eff   speedup\n",
+        );
+        for e in &self.kernels {
+            out.push_str(&format!(
+                "{:<6} {:>7} {:>6} {:>6} {:>8.2} {:>9.2} {:>10.2} {:>5.2} {:>8.2}x\n",
+                e.orientation,
+                e.m,
+                e.k,
+                e.n,
+                e.intensity,
+                e.achieved_gflops,
+                e.roof_gflops,
+                e.efficiency,
+                e.speedup
+            ));
+        }
+        out.push_str("\ntraining step (DRAM-level intensity from eta-memsim)\n");
+        out.push_str("shape  layers  GFLOP/iter  GB/iter  AI f/B  achieved  roof GF/s  eff\n");
+        for e in &self.shapes {
+            out.push_str(&format!(
+                "{:<6} {:>6} {:>11.2} {:>8.3} {:>7.2} {:>9.2} {:>10.2} {:>5.2}\n",
+                e.shape,
+                e.layers,
+                e.flops as f64 / 1e9,
+                e.traffic_bytes as f64 / 1e9,
+                e.intensity,
+                e.achieved_gflops,
+                e.roof_gflops,
+                e.efficiency
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measurements() -> Vec<KernelMeasurement> {
+        cell_gemm_dims(LN_BATCH, LN_HIDDEN)
+            .into_iter()
+            .map(|(orient, m, k, n)| KernelMeasurement {
+                orientation: orient.to_string(),
+                m,
+                k,
+                n,
+                naive_seconds: 0.4,
+                packed_seconds: 0.1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn report_covers_all_four_ln_shapes() {
+        let report = build_report(
+            MachineRoofs {
+                peak_gflops: 50.0,
+                mem_bw_gbps: 10.0,
+            },
+            &measurements(),
+        );
+        assert_eq!(report.kernels.len(), 3);
+        assert_eq!(report.shapes.len(), 4);
+        for (e, ln) in report.shapes.iter().zip(5..=8) {
+            assert_eq!(e.shape, format!("LN{ln}"));
+            assert_eq!(e.layers, ln);
+            assert!(e.flops > 0);
+            assert!(e.traffic_bytes > 0);
+            assert!(e.achieved_gflops > 0.0);
+            assert!(e.roof_gflops > 0.0);
+        }
+    }
+
+    #[test]
+    fn roof_is_min_of_compute_and_bandwidth() {
+        let m = MachineRoofs {
+            peak_gflops: 100.0,
+            mem_bw_gbps: 10.0,
+        };
+        assert_eq!(m.roof_gflops(2.0), 20.0); // bandwidth-bound
+        assert_eq!(m.roof_gflops(50.0), 100.0); // compute-bound
+    }
+
+    #[test]
+    fn kernel_entries_compute_speedup_and_efficiency() {
+        let report = build_report(
+            MachineRoofs {
+                peak_gflops: 50.0,
+                mem_bw_gbps: 10.0,
+            },
+            &measurements(),
+        );
+        for e in &report.kernels {
+            assert!((e.speedup - 4.0).abs() < 1e-12);
+            assert!(e.efficiency > 0.0);
+            assert!(e.intensity > 0.0);
+        }
+        // The three orientations are permutations of the same dims, so
+        // their logical intensities coincide.
+        let ai0 = report.kernels[0].intensity;
+        for e in &report.kernels[1..] {
+            assert!((e.intensity - ai0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn report_serializes_and_renders() {
+        let report = build_report(
+            MachineRoofs {
+                peak_gflops: 50.0,
+                mem_bw_gbps: 10.0,
+            },
+            &measurements(),
+        );
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: RooflineReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.shapes.len(), 4);
+        let table = report.render();
+        assert!(table.contains("LN5") && table.contains("LN8"));
+        assert!(table.contains("machine roofs"));
+    }
+}

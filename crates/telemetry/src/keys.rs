@@ -91,6 +91,24 @@ pub const ACCEL_ACCUMULATOR_STALL_FRACTION: &str = "accel_accumulator_stall_frac
 /// Counter: total accumulator stall cycles.
 pub const ACCEL_ACCUMULATOR_STALL_CYCLES_TOTAL: &str = "accel_accumulator_stall_cycles_total";
 
+// -- kernel accounting + tracing (eta-tensor / eta-prof) -------------------
+
+/// Counter: floating-point operations executed by the packed GEMM
+/// kernels (2·m·k·n per call, epilogue-fused paths included).
+pub const KERNEL_GEMM_FLOPS_TOTAL: &str = "kernel_gemm_flops_total";
+/// Counter: logical operand bytes touched by the packed GEMM kernels
+/// (A + packed-B + C, 4 bytes per element).
+pub const KERNEL_GEMM_BYTES_TOTAL: &str = "kernel_gemm_bytes_total";
+/// Counter: packed GEMM kernel invocations.
+pub const KERNEL_GEMM_CALLS_TOTAL: &str = "kernel_gemm_calls_total";
+/// Counter: spans captured by an attached eta-prof tracer.
+pub const TRACE_SPANS_TOTAL: &str = "trace_spans_total";
+/// Counter: spans dropped by an attached eta-prof tracer after its
+/// event cap was reached (never silently truncated).
+pub const TRACE_SPANS_DROPPED_TOTAL: &str = "trace_spans_dropped_total";
+/// Gauge: distinct threads observed by an attached eta-prof tracer.
+pub const TRACE_THREADS: &str = "trace_threads";
+
 // -- figure/table export harnesses (eta-bench) -----------------------------
 
 /// Gauge (labels: `config`, `component`): footprint breakdown exported
@@ -131,6 +149,12 @@ pub const ALL: &[&str] = &[
     ACCEL_DMA_COMPRESSION_RATIO,
     ACCEL_ACCUMULATOR_STALL_FRACTION,
     ACCEL_ACCUMULATOR_STALL_CYCLES_TOTAL,
+    KERNEL_GEMM_FLOPS_TOTAL,
+    KERNEL_GEMM_BYTES_TOTAL,
+    KERNEL_GEMM_CALLS_TOTAL,
+    TRACE_SPANS_TOTAL,
+    TRACE_SPANS_DROPPED_TOTAL,
+    TRACE_THREADS,
     FOOTPRINT_BYTES,
 ];
 
@@ -171,7 +195,10 @@ mod tests {
                         || key.contains("handoffs")
                         || key.contains("cycles")
                         || key.contains("epochs")
-                        || key.contains("batches"),
+                        || key.contains("batches")
+                        || key.contains("flops")
+                        || key.contains("calls")
+                        || key.contains("spans"),
                     "`{key}` ends in _total but names no countable quantity"
                 );
             }

@@ -8,6 +8,10 @@
 //!   histograms addressed by static name + key-value labels,
 //! - hierarchical span timers ([`span!`]) with per-path aggregate
 //!   statistics (count/total/min/max),
+//! - a [`SpanObserver`] hook notified at every span open/close, the
+//!   attachment point for `eta-prof`'s Chrome-trace recorder (the
+//!   observer reads its own clock, so this crate stays free of any
+//!   trace-format knowledge),
 //! - pluggable [`Sink`]s: [`MemorySink`] for tests, [`JsonlSink`] for
 //!   offline analysis, and [`render_summary`] for human eyes,
 //! - a per-run [`RunManifest`] written at the top of every JSONL
@@ -33,6 +37,7 @@ pub use summary::render_summary;
 use metrics::Registry;
 use std::cell::RefCell;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -42,9 +47,29 @@ thread_local! {
     static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
 }
 
+/// Receives a callback at every span open and close.
+///
+/// Observers run on the thread that owns the span, so a tracer can read
+/// thread ids and its own monotonic clock at both edges. `enter_span`
+/// fires after the span's name is pushed onto the thread's stack (so
+/// `path` is the full hierarchical path); `exit_span` fires as the
+/// guard drops, before the aggregate registry records the close.
+pub trait SpanObserver: Send + Sync {
+    /// A span opened; `path` is its full hierarchical path.
+    fn enter_span(&self, name: &'static str, path: &str);
+    /// The span named `name` (the most recent open on this thread)
+    /// closed after `seconds` of wall time.
+    fn exit_span(&self, name: &'static str, seconds: f64);
+}
+
 struct Inner {
     registry: Mutex<Registry>,
     sinks: Mutex<Vec<Box<dyn Sink>>>,
+    observer: Mutex<Option<Arc<dyn SpanObserver>>>,
+    // Fast-path flag mirroring `observer.is_some()`: trace-only scopes
+    // ([`Telemetry::scope`]) cost one relaxed load when no tracer is
+    // attached.
+    observed: AtomicBool,
     manifest: RunManifest,
 }
 
@@ -62,6 +87,8 @@ impl Telemetry {
             inner: Arc::new(Inner {
                 registry: Mutex::new(Registry::default()),
                 sinks: Mutex::new(Vec::new()),
+                observer: Mutex::new(None),
+                observed: AtomicBool::new(false),
                 manifest,
             }),
         }
@@ -146,17 +173,93 @@ impl Telemetry {
 
     /// Opens a span with labels attached to its close event.
     pub fn span_with(&self, name: &'static str, labels: Labels) -> SpanGuard {
+        self.open_span(name, labels, true, None)
+    }
+
+    /// Opens a span at the **root of a fresh per-thread stack**: the
+    /// current stack is saved and restored when the guard drops, and
+    /// nested spans build paths under `name` alone. The data-parallel
+    /// engine uses this for its shard scopes, so a shard's span
+    /// structure is identical whether the shard ran on a worker thread
+    /// (empty stack) or inline on the caller (stack holding
+    /// `epoch/batch/step`) — the anchor of the thread-count-invariant
+    /// trace-structure contract.
+    pub fn span_root(&self, name: &'static str) -> SpanGuard {
+        let saved = SPAN_STACK.with(|stack| std::mem::take(&mut *stack.borrow_mut()));
+        self.open_span(name, Vec::new(), true, Some(saved))
+    }
+
+    /// Opens a **trace-only scope**: `None` (no work at all beyond one
+    /// atomic load) unless a [`SpanObserver`] is attached, and the
+    /// resulting span feeds only the observer, never the aggregate
+    /// registry or sinks. This is the hook for hot-path scopes (per-cell
+    /// GEMM/epilogue/BP spans) that would be too numerous for the
+    /// registry but are exactly what a trace viewer wants.
+    pub fn scope(&self, name: &'static str) -> Option<SpanGuard> {
+        if !self.tracing() {
+            return None;
+        }
+        Some(self.open_span(name, Vec::new(), false, None))
+    }
+
+    fn open_span(
+        &self,
+        name: &'static str,
+        labels: Labels,
+        registry: bool,
+        saved_stack: Option<Vec<&'static str>>,
+    ) -> SpanGuard {
         let path = SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             stack.push(name);
             stack.join("/")
         });
+        let observed = match self.observer() {
+            Some(o) => {
+                o.enter_span(name, &path);
+                true
+            }
+            None => false,
+        };
         SpanGuard {
             telemetry: self.clone(),
+            name,
             path,
             labels,
             start: Instant::now(),
+            registry,
+            observed,
+            saved_stack,
         }
+    }
+
+    // -- span observer ----------------------------------------------
+
+    /// Attaches the span observer (replacing any previous one); every
+    /// subsequent span open/close on any thread notifies it, and
+    /// [`Telemetry::scope`] sites start emitting.
+    pub fn set_span_observer(&self, observer: Arc<dyn SpanObserver>) {
+        *self.lock_observer() = Some(observer);
+        self.inner.observed.store(true, Ordering::Release);
+    }
+
+    /// Detaches the span observer; spans already open still notify it
+    /// on close.
+    pub fn clear_span_observer(&self) {
+        self.inner.observed.store(false, Ordering::Release);
+        *self.lock_observer() = None;
+    }
+
+    /// Whether a span observer is attached (i.e. a tracer is live).
+    pub fn tracing(&self) -> bool {
+        self.inner.observed.load(Ordering::Relaxed)
+    }
+
+    fn observer(&self) -> Option<Arc<dyn SpanObserver>> {
+        if !self.tracing() {
+            return None;
+        }
+        self.lock_observer().clone()
     }
 
     // -- output -----------------------------------------------------
@@ -196,6 +299,14 @@ impl Telemetry {
         self.inner.sinks.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    #[allow(clippy::type_complexity)]
+    fn lock_observer(&self) -> std::sync::MutexGuard<'_, Option<Arc<dyn SpanObserver>>> {
+        self.inner
+            .observer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
     fn close_span(&self, path: &str, labels: &Labels, seconds: f64) {
         self.lock_registry().record_span(path, seconds);
         let mut sinks = self.lock_sinks();
@@ -226,9 +337,17 @@ impl std::fmt::Debug for Telemetry {
 /// RAII guard of an open span; records wall time on drop.
 pub struct SpanGuard {
     telemetry: Telemetry,
+    name: &'static str,
     path: String,
     labels: Labels,
     start: Instant,
+    // Trace-only scopes skip the aggregate registry and sinks.
+    registry: bool,
+    // Whether the observer saw this span's enter (so an observer
+    // attached mid-span never receives an unmatched exit).
+    observed: bool,
+    // `span_root` saves the stack it displaced and restores it here.
+    saved_stack: Option<Vec<&'static str>>,
 }
 
 impl SpanGuard {
@@ -240,11 +359,21 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        SPAN_STACK.with(|stack| {
-            stack.borrow_mut().pop();
-        });
+        match self.saved_stack.take() {
+            Some(saved) => SPAN_STACK.with(|stack| *stack.borrow_mut() = saved),
+            None => SPAN_STACK.with(|stack| {
+                stack.borrow_mut().pop();
+            }),
+        }
         let seconds = self.start.elapsed().as_secs_f64();
-        self.telemetry.close_span(&self.path, &self.labels, seconds);
+        if self.observed {
+            if let Some(o) = self.telemetry.observer() {
+                o.exit_span(self.name, seconds);
+            }
+        }
+        if self.registry {
+            self.telemetry.close_span(&self.path, &self.labels, seconds);
+        }
     }
 }
 
@@ -380,6 +509,75 @@ mod tests {
             assert!(v.field("type").unwrap().as_str().is_some());
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[derive(Default)]
+    struct RecordingObserver {
+        log: Mutex<Vec<String>>,
+    }
+
+    impl SpanObserver for RecordingObserver {
+        fn enter_span(&self, _name: &'static str, path: &str) {
+            self.log.lock().unwrap().push(format!("B {path}"));
+        }
+        fn exit_span(&self, name: &'static str, _seconds: f64) {
+            self.log.lock().unwrap().push(format!("E {name}"));
+        }
+    }
+
+    #[test]
+    fn observer_sees_enter_exit_with_paths() {
+        let t = Telemetry::new(test_manifest());
+        let obs = Arc::new(RecordingObserver::default());
+        t.set_span_observer(obs.clone());
+        {
+            let _epoch = span!(t, "epoch");
+            let _batch = span!(t, "batch");
+        }
+        let log = obs.log.lock().unwrap().clone();
+        assert_eq!(log, vec!["B epoch", "B epoch/batch", "E batch", "E epoch"]);
+    }
+
+    #[test]
+    fn scope_is_none_without_observer_and_trace_only_with_one() {
+        let t = Telemetry::new(test_manifest());
+        assert!(t.scope("gemm").is_none());
+        let obs = Arc::new(RecordingObserver::default());
+        t.set_span_observer(obs.clone());
+        {
+            let _g = t.scope("gemm");
+        }
+        let log = obs.log.lock().unwrap().clone();
+        assert_eq!(log, vec!["B gemm", "E gemm"]);
+        // Trace-only scopes never reach the aggregate registry.
+        assert!(t.snapshot().span("gemm").is_none());
+        t.clear_span_observer();
+        assert!(t.scope("gemm").is_none());
+    }
+
+    #[test]
+    fn span_root_isolates_and_restores_the_stack() {
+        let t = Telemetry::new(test_manifest());
+        let _outer = span!(t, "epoch");
+        {
+            let root = t.span_root("shard");
+            assert_eq!(root.path(), "shard");
+            let inner = t.span("cell");
+            assert_eq!(inner.path(), "shard/cell");
+        }
+        // The displaced stack is restored: new spans nest under epoch.
+        let after = t.span("batch");
+        assert_eq!(after.path(), "epoch/batch");
+    }
+
+    #[test]
+    fn observer_attached_mid_span_gets_no_unmatched_exit() {
+        let t = Telemetry::new(test_manifest());
+        let obs = Arc::new(RecordingObserver::default());
+        let guard = t.span("early");
+        t.set_span_observer(obs.clone());
+        drop(guard);
+        assert!(obs.log.lock().unwrap().is_empty());
     }
 
     #[test]

@@ -184,6 +184,7 @@ pub fn gemm_nt_rows(
     debug_assert_eq!(a_rows.len(), rows * k);
     let n = pb.n();
     debug_assert_eq!(out_rows.len(), rows * n);
+    crate::stats::record_gemm(rows, k, n);
     for panel_idx in 0..pb.panels() {
         let panel = pb.panel(panel_idx);
         let j0 = panel_idx * NR;
@@ -224,6 +225,7 @@ pub fn gemm_nt_rows_epilogue<F: Fn(usize, f32) -> f32>(
     debug_assert_eq!(a_rows.len(), rows * k);
     let n = pb.n();
     debug_assert_eq!(out_rows.len(), rows * n);
+    crate::stats::record_gemm(rows, k, n);
     for panel_idx in 0..pb.panels() {
         let panel = pb.panel(panel_idx);
         let j0 = panel_idx * NR;
@@ -262,6 +264,7 @@ pub fn gemm_nn_rows(
     debug_assert_eq!(a_rows.len(), rows * k);
     let n = pb.n();
     debug_assert_eq!(out_rows.len(), rows * n);
+    crate::stats::record_gemm(rows, k, n);
     for panel_idx in 0..pb.panels() {
         let panel = pb.panel(panel_idx);
         let j0 = panel_idx * NR;
@@ -306,6 +309,7 @@ pub fn gemm_tn_rows(
     debug_assert_eq!(a.len(), k * m);
     let n = pb.n();
     debug_assert_eq!(out_rows.len(), rows * n);
+    crate::stats::record_gemm(rows, k, n);
     for panel_idx in 0..pb.panels() {
         let panel = pb.panel(panel_idx);
         let j0 = panel_idx * NR;

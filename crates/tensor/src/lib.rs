@@ -32,6 +32,7 @@ pub mod matrix;
 pub mod pack;
 pub mod parallel;
 pub mod sparse;
+pub mod stats;
 
 mod error;
 

@@ -1,0 +1,118 @@
+//! Process-global FLOP/byte accounting for the packed GEMM kernels.
+//!
+//! Every `gemm_*_rows` entry point records its nominal work here with
+//! relaxed atomic adds: `2·rows·k·n` flops (the dense multiply-add
+//! count — zero-skips make the *executed* count a lower bound of this,
+//! so the nominal figure is the one comparable across kernels and
+//! runs) and `4·(rows·k + k·n + rows·n)` logical operand bytes (each
+//! operand element counted once, ignoring cache re-reads). The
+//! trainer snapshots these counters per epoch and emits the deltas as
+//! `kernel_gemm_*_total` telemetry; the roofline sweep in eta-bench
+//! reads them directly to derive per-shape arithmetic intensity.
+//!
+//! The counters are global rather than threaded through the call tree
+//! because the kernels are leaf functions reached from several crates
+//! (core cell, tensor parallel path, benches); consumers must diff
+//! [`snapshot`]s rather than read absolutes, since parallel tests in
+//! the same process also advance them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FLOPS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+static CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Point-in-time reading of the global GEMM counters; diff two of
+/// these to attribute work to a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GemmSnapshot {
+    /// Nominal floating-point operations (2 per multiply-add).
+    pub flops: u64,
+    /// Logical operand bytes (A + B + C, each element once).
+    pub bytes: u64,
+    /// Kernel invocations.
+    pub calls: u64,
+}
+
+impl GemmSnapshot {
+    /// Work recorded since `earlier` (saturating, so a stale snapshot
+    /// never underflows).
+    pub fn since(&self, earlier: &GemmSnapshot) -> GemmSnapshot {
+        GemmSnapshot {
+            flops: self.flops.saturating_sub(earlier.flops),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+            calls: self.calls.saturating_sub(earlier.calls),
+        }
+    }
+
+    /// Arithmetic intensity in flops per byte (0 when no bytes moved).
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.bytes as f64
+        }
+    }
+}
+
+/// Reads the current counter values.
+pub fn snapshot() -> GemmSnapshot {
+    GemmSnapshot {
+        flops: FLOPS.load(Ordering::Relaxed),
+        bytes: BYTES.load(Ordering::Relaxed),
+        calls: CALLS.load(Ordering::Relaxed),
+    }
+}
+
+/// Records one `rows × k × n` GEMM call. Called by the kernel entry
+/// points; the cost is three relaxed adds per kernel invocation,
+/// negligible next to the O(rows·k·n) work that follows.
+#[inline]
+pub fn record_gemm(rows: usize, k: usize, n: usize) {
+    let flops = 2 * (rows as u64) * (k as u64) * (n as u64);
+    let bytes = 4 * ((rows * k) as u64 + (k * n) as u64 + (rows * n) as u64);
+    FLOPS.fetch_add(flops, Ordering::Relaxed);
+    BYTES.fetch_add(bytes, Ordering::Relaxed);
+    CALLS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_advances_all_three_counters() {
+        let before = snapshot();
+        record_gemm(4, 8, 16);
+        let d = snapshot().since(&before);
+        assert!(d.flops >= 2 * 4 * 8 * 16);
+        assert!(d.bytes >= 4 * (4 * 8 + 8 * 16 + 4 * 16));
+        assert!(d.calls >= 1);
+    }
+
+    #[test]
+    fn intensity_is_flops_over_bytes() {
+        let s = GemmSnapshot {
+            flops: 200,
+            bytes: 50,
+            calls: 1,
+        };
+        assert_eq!(s.intensity(), 4.0);
+        assert_eq!(GemmSnapshot::default().intensity(), 0.0);
+    }
+
+    #[test]
+    fn since_saturates_instead_of_underflowing() {
+        let newer = GemmSnapshot {
+            flops: 1,
+            bytes: 1,
+            calls: 1,
+        };
+        let older = GemmSnapshot {
+            flops: 5,
+            bytes: 5,
+            calls: 5,
+        };
+        assert_eq!(newer.since(&older), GemmSnapshot::default());
+    }
+}
