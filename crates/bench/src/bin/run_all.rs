@@ -32,7 +32,7 @@ struct Args {
 }
 
 /// Every harness binary, in paper order.
-pub const ALL_BINARIES: [&str; 19] = [
+pub const ALL_BINARIES: [&str; 20] = [
     "table01_benchmarks",
     "fig03_gpu_scaling",
     "fig04_data_movement",
@@ -45,6 +45,7 @@ pub const ALL_BINARIES: [&str; 19] = [
     "fig16_energy_efficiency",
     "fig17_dm_reduction",
     "fig18_footprint_reduction",
+    "ms3_matrix",
     "table02_accuracy",
     "table03_accumulator",
     "ablation_ms1_threshold",

@@ -137,6 +137,10 @@ pub struct BenchEffects {
     pub p1_density: f64,
     /// MS2 skip fraction, computed exactly on the paper-scale graph.
     pub skip_fraction: f64,
+    /// MS3 checkpoint interval `k` (tape keeps every k-th cell record).
+    pub ms3_k: usize,
+    /// MS3 storage width in bytes per element (2 = bf16/f16).
+    pub ms3_bytes_per_element: u64,
 }
 
 impl BenchEffects {
@@ -148,6 +152,11 @@ impl BenchEffects {
             TrainingStrategy::Ms2 => OptEffects::ms2(self.skip_fraction),
             TrainingStrategy::CombinedMs => {
                 OptEffects::combined(self.p1_density, self.skip_fraction)
+            }
+            TrainingStrategy::Ms3 => OptEffects::ms3(self.ms3_k, self.ms3_bytes_per_element),
+            TrainingStrategy::CombinedAll => {
+                OptEffects::combined(self.p1_density, self.skip_fraction)
+                    .with_ms3(self.ms3_k, self.ms3_bytes_per_element)
             }
         }
     }
@@ -297,11 +306,17 @@ pub fn skip_fraction(benchmark: Benchmark) -> f64 {
     plan.skip_fraction()
 }
 
-/// Measures/derives both effects for a benchmark.
+/// Measures/derives the software optimizations' effects for a
+/// benchmark. MS1/MS2 effects are measured; the MS3 knobs come from the
+/// repo-default [`StrategyParams`](eta_lstm_core::strategy::StrategyParams)
+/// (k = 4, bf16 storage).
 pub fn bench_effects(benchmark: Benchmark) -> BenchEffects {
+    let ms3 = eta_lstm_core::strategy::StrategyParams::default().ms3;
     BenchEffects {
         p1_density: measure_p1_density(benchmark),
         skip_fraction: skip_fraction(benchmark),
+        ms3_k: ms3.k,
+        ms3_bytes_per_element: ms3.precision.bytes_per_element(),
     }
 }
 
@@ -374,6 +389,8 @@ mod tests {
         let e = BenchEffects {
             p1_density: 0.3,
             skip_fraction: 0.5,
+            ms3_k: 4,
+            ms3_bytes_per_element: 2,
         };
         assert!(!e.for_strategy(TrainingStrategy::Baseline).ms1);
         assert!(e.for_strategy(TrainingStrategy::Ms1).ms1);
@@ -381,6 +398,13 @@ mod tests {
         assert!(c.ms1 && c.ms2);
         assert_eq!(c.p1_density, 0.3);
         assert_eq!(c.skip_fraction, 0.5);
+        assert!(!c.ms3);
+        let m = e.for_strategy(TrainingStrategy::Ms3);
+        assert!(m.ms3 && !m.ms1 && !m.ms2);
+        assert_eq!(m.ms3_k, 4);
+        let all = e.for_strategy(TrainingStrategy::CombinedAll);
+        assert!(all.ms1 && all.ms2 && all.ms3);
+        assert_eq!(all.ms3_bytes_per_element, 2);
     }
 
     #[test]

@@ -92,6 +92,20 @@ impl CellForward {
     pub fn stored_bytes(&self) -> u64 {
         self.i.size_bytes() * 5
     }
+
+    /// An empty (0×0) record to hand to [`forward_ws_into`] — the first
+    /// fill sizes every field; later fills reuse the buffers.
+    pub fn empty() -> Self {
+        CellForward {
+            i: Matrix::zeros(0, 0),
+            f: Matrix::zeros(0, 0),
+            c: Matrix::zeros(0, 0),
+            o: Matrix::zeros(0, 0),
+            s: Matrix::zeros(0, 0),
+            tanh_s: Matrix::zeros(0, 0),
+            h: Matrix::zeros(0, 0),
+        }
+    }
 }
 
 /// The BP-EW-P1 products: every factor of the gate-gradient element-wise
@@ -559,6 +573,137 @@ pub fn forward_ws(
     })
 }
 
+/// [`forward_ws`] writing into a caller-owned [`CellForward`] instead of
+/// allocating one — the MS3 recompute path replays dropped tape segments
+/// through this so backward stays allocation-free after the segment
+/// buffer warms up. Runs the exact same packed GEMMs, fused epilogue and
+/// elementwise scalar sequences as [`forward_ws`], so the recomputed
+/// record is bit-identical to the one the forward pass dropped.
+///
+/// # Errors
+///
+/// Returns a shape error if the operand shapes are inconsistent with
+/// `params`/`panels`.
+#[allow(clippy::too_many_arguments)]
+pub fn forward_ws_into(
+    params: &CellParams,
+    panels: &LayerPanels,
+    x: &Matrix,
+    h_prev: &Matrix,
+    s_prev: &Matrix,
+    kernel: &ParallelConfig,
+    ws: &mut Workspace,
+    instruments: &crate::layer::Instruments,
+    out: &mut CellForward,
+) -> Result<()> {
+    forward_into_with_preact(
+        params,
+        panels,
+        x,
+        h_prev,
+        s_prev,
+        kernel,
+        &mut ws.preact,
+        instruments,
+        out,
+    )
+}
+
+/// [`forward_ws_into`] against a bare preactivation buffer instead of a
+/// whole [`Workspace`] — the MS3 segment recompute borrows the
+/// workspace's `preact` and segment cache as disjoint fields, so it
+/// cannot hand the full workspace back in.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn forward_into_with_preact(
+    params: &CellParams,
+    panels: &LayerPanels,
+    x: &Matrix,
+    h_prev: &Matrix,
+    s_prev: &Matrix,
+    kernel: &ParallelConfig,
+    preact: &mut Matrix,
+    instruments: &crate::layer::Instruments,
+    out: &mut CellForward,
+) -> Result<()> {
+    let h = params.hidden();
+    let batch = x.rows();
+    if s_prev.rows() != batch || s_prev.cols() != h {
+        return Err(LstmError::BatchShape {
+            detail: format!(
+                "forward_ws_into: s_prev is {}x{}, expected {batch}x{h}",
+                s_prev.rows(),
+                s_prev.cols()
+            ),
+        });
+    }
+    crate::workspace::ensure_shape(preact, batch, 4 * h);
+
+    {
+        let _g = instruments.scope("gemm");
+        x.matmul_nt_packed_into(&panels.w_fwd, preact, Store::Assign, kernel)?;
+    }
+    let b = &params.b;
+    let tanh_cols = 2 * h..3 * h;
+    {
+        let _g = instruments.scope("gemm_epilogue");
+        h_prev.matmul_nt_packed_epilogue(&panels.u_fwd, preact, kernel, |j, v| {
+            let z = v + b[j];
+            if tanh_cols.contains(&j) {
+                activation::tanh(z)
+            } else {
+                activation::sigmoid(z)
+            }
+        })?;
+    }
+
+    for m in [
+        &mut out.i,
+        &mut out.f,
+        &mut out.c,
+        &mut out.o,
+        &mut out.s,
+        &mut out.tanh_s,
+        &mut out.h,
+    ] {
+        crate::workspace::ensure_shape(m, batch, h);
+    }
+
+    // Gate matrices are plain column copies out of the fused
+    // preactivation buffer (exact, like `col_slice`).
+    for r in 0..batch {
+        let row = preact.row(r);
+        out.i.row_mut(r).copy_from_slice(&row[0..h]);
+        out.f.row_mut(r).copy_from_slice(&row[h..2 * h]);
+        out.c.row_mut(r).copy_from_slice(&row[2 * h..3 * h]);
+        out.o.row_mut(r).copy_from_slice(&row[3 * h..4 * h]);
+    }
+
+    // s = f ⊙ s_prev + i ⊙ c — the same fused scalar sequence as
+    // `forward_ws`.
+    for ((dst, (&fv, &sp)), (&iv, &cv)) in out
+        .s
+        .as_mut_slice()
+        .iter_mut()
+        .zip(out.f.as_slice().iter().zip(s_prev.as_slice()))
+        .zip(out.i.as_slice().iter().zip(out.c.as_slice()))
+    {
+        *dst = fv * sp + iv * cv;
+    }
+    for (dst, &sv) in out.tanh_s.as_mut_slice().iter_mut().zip(out.s.as_slice()) {
+        *dst = activation::tanh(sv);
+    }
+    for ((dst, &ov), &ts) in out
+        .h
+        .as_mut_slice()
+        .iter_mut()
+        .zip(out.o.as_slice())
+        .zip(out.tanh_s.as_slice())
+    {
+        *dst = ov * ts;
+    }
+    Ok(())
+}
+
 /// Zero-alloc backward pass of one cell against pre-packed weight
 /// panels and reused [`BwdBuffers`]: the accumulated state gradient and
 /// the `[batch, 4H]` gate-gradient block are written in place (no
@@ -926,6 +1071,53 @@ mod tests {
                 backward_with(&params, &p1, &x, &h_prev, &dh, &ds, &mut g_ref2, &kernel).unwrap();
             assert_eq!(out_ws2, out_ref2);
             assert_eq!(g_ws, g_ref2);
+        }
+    }
+
+    #[test]
+    fn forward_ws_into_bit_identical_and_reusable() {
+        for (batch, input, hidden, force_par) in
+            [(1, 3, 4, false), (3, 5, 8, false), (4, 20, 40, true)]
+        {
+            let (params, x, h_prev, s_prev) = setup(batch, input, hidden);
+            let panels = LayerPanels::pack(&params);
+            let mut kernel = ParallelConfig::with_threads(2);
+            if force_par {
+                kernel.min_kernel_flops = 1;
+            }
+            let mut ws = Workspace::new();
+            let inst = crate::layer::Instruments::new();
+
+            let reference = forward_ws(
+                &params, &panels, &x, &h_prev, &s_prev, &kernel, &mut ws, &inst,
+            )
+            .unwrap();
+
+            let mut out = CellForward::empty();
+            forward_ws_into(
+                &params, &panels, &x, &h_prev, &s_prev, &kernel, &mut ws, &inst, &mut out,
+            )
+            .unwrap();
+            assert_eq!(out, reference);
+
+            // Refill over stale contents of a *different* shape: buffers
+            // resize and the result stays exact.
+            let (params2, x2, h2, s2) = setup(batch + 1, input, hidden);
+            let panels2 = LayerPanels::pack(&params2);
+            let reference2 =
+                forward_ws(&params2, &panels2, &x2, &h2, &s2, &kernel, &mut ws, &inst).unwrap();
+            forward_ws_into(
+                &params2, &panels2, &x2, &h2, &s2, &kernel, &mut ws, &inst, &mut out,
+            )
+            .unwrap();
+            assert_eq!(out, reference2);
+
+            // Shape errors propagate like forward_ws.
+            let bad_s = Matrix::zeros(batch, hidden + 1);
+            assert!(forward_ws_into(
+                &params, &panels, &x, &h_prev, &bad_s, &kernel, &mut ws, &inst, &mut out
+            )
+            .is_err());
         }
     }
 

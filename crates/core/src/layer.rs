@@ -15,13 +15,23 @@
 //!   (the cell ran inference-style). A skipped cell whose successor is
 //!   kept still stores its `s_t`, which the successor's baseline
 //!   backward needs.
+//! - [`TapeEntry::Dropped`] — MS3: the cell's record was discarded at
+//!   checkpoint granularity `k` (only every k-th cell keeps a full
+//!   entry); backward recomputes the dropped segment from the preceding
+//!   checkpoint's `s` and the always-kept `h` sequence, through the same
+//!   `forward_ws` kernels — so an f32 recompute is bit-identical to what
+//!   was dropped. Under a narrow storage precision every stored tensor
+//!   (kept records, checkpoint states, the `h` sequence) is additionally
+//!   rounded through bf16/f16 ([`eta_tensor::lowp`]), and the
+//!   instrumented byte accounting scales to the narrow width.
 
 use crate::cell::{self, CellForward, CellGrads, CellParams, P1Dense, P1Ref};
 use crate::ms1::{Ms1Config, P1Packet};
+use crate::ms3::{self, Ms3Config};
 use crate::workspace::{ensure_shape, LayerPanels, Workspace};
 use crate::{LstmError, Result};
 use eta_memsim::DataCategory;
-use eta_tensor::{CompressionStats, Matrix, ParallelConfig};
+use eta_tensor::{CompressionStats, Matrix, ParallelConfig, Precision};
 
 /// How the layer stores per-cell state during the forward pass.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,11 +51,16 @@ pub enum TapeEntry {
     /// magnitude larger than the other variants).
     Compressed(Box<P1Packet>),
     /// Skipped BP cell; `s` is retained only when the next cell is kept
-    /// and will need `s_{t−1}` for its dense backward.
+    /// and will need `s_{t−1}` for its dense backward — or, under MS3,
+    /// when the cell sits at a checkpoint position and carries the
+    /// segment-seed state.
     Skipped {
         /// Boundary cell state for the successor's backward pass.
         s: Option<Matrix>,
     },
+    /// MS3-dropped cell: nothing stored; backward recomputes the record
+    /// from the enclosing segment's checkpoint seeds.
+    Dropped,
 }
 
 /// Forward tape of one layer over one sequence.
@@ -55,6 +70,17 @@ pub struct LayerTape {
     pub entries: Vec<TapeEntry>,
     /// Layer outputs `h_t` per timestep (activation storage).
     pub hs: Vec<Matrix>,
+    /// MS3 × MS1 out-of-band checkpoint states: a kept cell in
+    /// [`StorageMode::Compressed`] stores only its P1 packet (no `s`),
+    /// so when MS3 needs that cell as a segment seed its state is
+    /// retained here. `Some` only at checkpoint positions under
+    /// MS3 + MS1 with `k > 1`; empty otherwise.
+    pub ckpt_s: Vec<Option<Matrix>>,
+    /// MS1 pruning threshold the tape was stored with (`None` in
+    /// [`StorageMode::Dense`]): MS3's backward prunes recomputed P1
+    /// products at the same threshold, so a recomputed cell matches
+    /// what compress→decode would have produced bit-for-bit.
+    pub ms1_threshold: Option<f32>,
 }
 
 /// Instrumentation hooks shared across the model (footprint, traffic,
@@ -213,7 +239,8 @@ impl LstmLayer {
         instruments: &Instruments,
     ) -> Result<(Vec<Matrix>, LayerTape)> {
         let mut ws = Workspace::new();
-        let tape = self.forward_sequence_ws(xs, mode, keep, kernel, instruments, None, &mut ws)?;
+        let tape =
+            self.forward_sequence_ws(xs, mode, keep, None, kernel, instruments, None, &mut ws)?;
         Ok((tape.hs.clone(), tape))
     }
 
@@ -224,6 +251,14 @@ impl LstmLayer {
     /// of cloning them. When `panels` is `None` the layer packs its
     /// weights once locally (amortized over the sequence).
     /// Bit-identical to the reference cell pipeline.
+    ///
+    /// With an MS3 config, cells off the checkpoint grid store
+    /// [`TapeEntry::Dropped`] (backward recomputes them), and — under a
+    /// narrow precision — every stored tensor is rounded through the
+    /// storage format before the recurrence carries it forward, with the
+    /// instrumented byte accounting scaled to the narrow width. MS3 at
+    /// `k = 1` with f32 storage produces a tape byte-identical to no MS3
+    /// at all.
     ///
     /// # Errors
     ///
@@ -238,6 +273,7 @@ impl LstmLayer {
         xs: &[Matrix],
         mode: StorageMode,
         keep: &[bool],
+        ms3: Option<&Ms3Config>,
         kernel: &ParallelConfig,
         instruments: &Instruments,
         panels: Option<&LayerPanels>,
@@ -258,18 +294,26 @@ impl LstmLayer {
                 &local_panels
             }
         };
+        // MS3 split: `ms3_drops` governs the tape layout (k > 1),
+        // `precision` governs storage rounding and byte accounting.
+        let ms3_drops = ms3.is_some_and(|c| c.interval() > 1);
+        let precision = ms3.map_or(Precision::F32, |c| c.precision);
+        // MS1 kept cells store no `s`; when MS3 needs their state as a
+        // segment seed it goes to the out-of-band `ckpt_s` lane.
+        let uses_ckpt_s = ms3_drops && matches!(mode, StorageMode::Compressed(_));
         let batch = xs[0].rows();
         let h = self.hidden();
         let mut h_prev = Matrix::zeros(batch, h);
         let mut s_prev = Matrix::zeros(batch, h);
         let mut entries = Vec::with_capacity(xs.len());
         let mut hs = Vec::with_capacity(xs.len());
+        let mut ckpt_s: Vec<Option<Matrix>> = Vec::new();
 
         for (t, x) in xs.iter().enumerate() {
             // Every cell loads the layer weights.
             instruments.load(DataCategory::Weights, self.params.size_bytes());
             let cell_scope = instruments.scope("fw_cell");
-            let fw = cell::forward_ws(
+            let mut fw = cell::forward_ws(
                 &self.params,
                 panels,
                 x,
@@ -280,31 +324,75 @@ impl LstmLayer {
                 instruments,
             )?;
             drop(cell_scope);
+            // Narrow-storage emulation: round the record through the
+            // storage precision *before* anything is stored or carried —
+            // the recurrence and any later recompute both see exactly
+            // the stored values.
+            ms3::quantize_cell(precision, &mut fw, &mut ws.ms3_conv);
             let kept = keep.is_empty() || keep[t];
+            let ms3_keeps = !ms3_drops || ms3.is_some_and(|c| c.keeps_cell(t));
             if !kept {
-                // Inference-style cell: store s only if the successor is
-                // a kept cell running a dense backward.
-                let successor_kept = t + 1 < xs.len() && (keep.is_empty() || keep[t + 1]);
-                let needs_s = successor_kept && matches!(mode, StorageMode::Dense);
+                // Inference-style cell: store s only if a later backward
+                // needs it — as the dense successor's s_{t−1}, or as an
+                // MS3 segment seed at a checkpoint position.
+                let needs_s = if ms3_drops {
+                    ms3_keeps
+                } else {
+                    let successor_kept = t + 1 < xs.len() && (keep.is_empty() || keep[t + 1]);
+                    successor_kept && matches!(mode, StorageMode::Dense)
+                };
                 let s = if needs_s {
-                    instruments.store(DataCategory::Intermediates, fw.s.size_bytes());
+                    instruments.store(
+                        DataCategory::Intermediates,
+                        scaled_bytes(fw.s.size_bytes(), precision),
+                    );
                     Some(fw.s.clone())
                 } else {
                     None
                 };
                 entries.push(TapeEntry::Skipped { s });
-                instruments.store(DataCategory::Activations, fw.h.size_bytes());
+                if uses_ckpt_s {
+                    ckpt_s.push(None);
+                }
+                instruments.store(
+                    DataCategory::Activations,
+                    scaled_bytes(fw.h.size_bytes(), precision),
+                );
+                hs.push(fw.h.clone());
+                h_prev = fw.h;
+                s_prev = fw.s;
+            } else if !ms3_keeps {
+                // MS3-dropped cell: only the activation survives; the
+                // record is recomputed from the segment seeds in
+                // backward.
+                entries.push(TapeEntry::Dropped);
+                if uses_ckpt_s {
+                    ckpt_s.push(None);
+                }
+                instruments.store(
+                    DataCategory::Activations,
+                    scaled_bytes(fw.h.size_bytes(), precision),
+                );
                 hs.push(fw.h.clone());
                 h_prev = fw.h;
                 s_prev = fw.s;
             } else {
                 match mode {
                     StorageMode::Dense => {
-                        instruments.store(DataCategory::Intermediates, fw.stored_bytes());
-                        instruments.store(DataCategory::Activations, fw.h.size_bytes());
+                        instruments.store(
+                            DataCategory::Intermediates,
+                            scaled_bytes(fw.stored_bytes(), precision),
+                        );
+                        instruments.store(
+                            DataCategory::Activations,
+                            scaled_bytes(fw.h.size_bytes(), precision),
+                        );
                         hs.push(fw.h.clone());
                         h_prev = fw.h.clone();
                         s_prev = fw.s.clone();
+                        if uses_ckpt_s {
+                            ckpt_s.push(None);
+                        }
                         // The tape takes ownership — no per-field clones.
                         entries.push(TapeEntry::Dense(Box::new(fw)));
                     }
@@ -320,9 +408,24 @@ impl LstmLayer {
                             ],
                             cfg.threshold,
                         );
-                        instruments.store(DataCategory::Intermediates, packet.compressed_bytes());
+                        instruments.store(
+                            DataCategory::Intermediates,
+                            scaled_bytes(packet.compressed_bytes(), precision),
+                        );
                         entries.push(TapeEntry::Compressed(Box::new(packet)));
-                        instruments.store(DataCategory::Activations, fw.h.size_bytes());
+                        if uses_ckpt_s {
+                            // Out-of-band segment seed (the packet holds
+                            // no state).
+                            instruments.store(
+                                DataCategory::Intermediates,
+                                scaled_bytes(fw.s.size_bytes(), precision),
+                            );
+                            ckpt_s.push(Some(fw.s.clone()));
+                        }
+                        instruments.store(
+                            DataCategory::Activations,
+                            scaled_bytes(fw.h.size_bytes(), precision),
+                        );
                         hs.push(fw.h.clone());
                         h_prev = fw.h;
                         s_prev = fw.s;
@@ -330,7 +433,15 @@ impl LstmLayer {
                 }
             }
         }
-        Ok(LayerTape { entries, hs })
+        Ok(LayerTape {
+            entries,
+            hs,
+            ckpt_s,
+            ms1_threshold: match mode {
+                StorageMode::Dense => None,
+                StorageMode::Compressed(cfg) => Some(cfg.threshold),
+            },
+        })
     }
 
     /// Backward sweep over the tape.
@@ -357,7 +468,17 @@ impl LstmLayer {
         instruments: &Instruments,
     ) -> Result<LayerBackward> {
         let mut ws = Workspace::new();
-        self.backward_sequence_ws(xs, tape, dys, scale, kernel, instruments, None, &mut ws)
+        self.backward_sequence_ws(
+            xs,
+            tape,
+            dys,
+            scale,
+            None,
+            kernel,
+            instruments,
+            None,
+            &mut ws,
+        )
     }
 
     /// [`LstmLayer::backward_sequence`] against a reusable [`Workspace`]
@@ -367,6 +488,15 @@ impl LstmLayer {
     /// and the BP GEMMs consume cached packed panels. When `panels` is
     /// `None` the layer packs its weights once locally. Bit-identical
     /// to the reference cell pipeline.
+    ///
+    /// With an MS3 config whose interval exceeds 1, [`TapeEntry::Dropped`]
+    /// cells are recomputed lazily, one segment at a time, into the
+    /// workspace's reused segment cache: the segment replays forward
+    /// from the preceding checkpoint's `s` and the always-kept `h`
+    /// sequence through the same `forward_ws` kernels (and the same
+    /// storage rounding), so an f32 recompute reproduces the dropped
+    /// records bit-for-bit. Recomputed cells are counted into
+    /// `ws.ms3_recompute_cells`.
     ///
     /// # Errors
     ///
@@ -382,6 +512,7 @@ impl LstmLayer {
         tape: &LayerTape,
         dys: &[Matrix],
         scale: f32,
+        ms3: Option<&Ms3Config>,
         kernel: &ParallelConfig,
         instruments: &Instruments,
         panels: Option<&LayerPanels>,
@@ -404,6 +535,9 @@ impl LstmLayer {
                 &local_panels
             }
         };
+        let ms3_drops = ms3.is_some_and(|c| c.interval() > 1);
+        let precision = ms3.map_or(Precision::F32, |c| c.precision);
+        let ms1_threshold = tape.ms1_threshold;
 
         let mut grads = CellGrads::zeros_like(&self.params);
         let mut magnitudes = vec![0.0f64; t_len];
@@ -414,45 +548,136 @@ impl LstmLayer {
         let mut dh_next = zero_h.clone();
         let mut ds_next = zero_h.clone();
 
-        // Disjoint workspace fields: P1 buffers, BP-EW-P2 buffers and
-        // the summed context gradient are borrowed independently.
-        let Workspace {
-            p1: p1_buf,
-            bwd,
-            dh_total,
-            ..
-        } = ws;
+        // Segment cache state: `ws.ms3_segment[i]` holds the recomputed
+        // record of cell `base + i`. Backward walks t downward, so each
+        // segment is recomputed at most once — at its first (highest)
+        // non-skipped dropped-or-seeding use.
+        let mut cache_base: Option<usize> = None;
 
         for t in (0..t_len).rev() {
             let entry = &tape.entries[t];
+            if matches!(entry, TapeEntry::Skipped { .. }) {
+                // Insignificant BP cell: no computation, gradient
+                // chain truncated at the skip boundary.
+                dh_next = zero_h.clone();
+                ds_next = zero_h.clone();
+                continue;
+            }
+
+            // Make sure the segment cache covers everything this cell
+            // needs: its own record if dropped, and (under MS3) the
+            // in-segment predecessor state feeding its P1 products.
+            if ms3_drops {
+                let cfg = ms3.expect("ms3_drops implies a config");
+                let needed = match entry {
+                    TapeEntry::Dropped => Some(t),
+                    TapeEntry::Dense(_) if t > 0 && !cfg.keeps_cell(t - 1) => Some(t - 1),
+                    _ => None,
+                };
+                if let Some(upto) = needed {
+                    let base = cfg.segment_start(upto);
+                    if cache_base != Some(base) {
+                        self.recompute_segment(
+                            xs,
+                            tape,
+                            panels,
+                            kernel,
+                            instruments,
+                            cfg,
+                            base,
+                            upto,
+                            &zero_h,
+                            ws,
+                        )?;
+                        cache_base = Some(base);
+                    }
+                }
+            }
+
             let decoded: P1Dense;
             let p1 = match entry {
-                TapeEntry::Skipped { .. } => {
-                    // Insignificant BP cell: no computation, gradient
-                    // chain truncated at the skip boundary.
-                    dh_next = zero_h.clone();
-                    ds_next = zero_h.clone();
-                    continue;
-                }
+                TapeEntry::Skipped { .. } => unreachable!("handled above"),
                 TapeEntry::Dense(fw) => {
-                    instruments.load(DataCategory::Intermediates, fw.stored_bytes());
-                    instruments.release(DataCategory::Intermediates, fw.stored_bytes());
-                    let s_prev = Self::stored_s_ref(tape, t, &zero_h);
-                    cell::compute_p1_into(p1_buf, fw, s_prev)?;
+                    let bytes = scaled_bytes(fw.stored_bytes(), precision);
+                    instruments.load(DataCategory::Intermediates, bytes);
+                    instruments.release(DataCategory::Intermediates, bytes);
+                    let prev_dropped =
+                        ms3_drops && t > 0 && ms3.is_some_and(|c| !c.keeps_cell(t - 1));
+                    let s_prev = if prev_dropped {
+                        let base = cache_base.expect("cache primed for dense cell");
+                        &ws.ms3_segment[t - 1 - base].s
+                    } else {
+                        Self::stored_s_ref(tape, t, &zero_h)
+                    };
+                    cell::compute_p1_into(&mut ws.p1, fw, s_prev)?;
                     P1Ref {
-                        p_i: &p1_buf.p_i,
-                        p_f: &p1_buf.p_f,
-                        p_c: &p1_buf.p_c,
-                        p_o: &p1_buf.p_o,
-                        p_h: &p1_buf.p_h,
+                        p_i: &ws.p1.p_i,
+                        p_f: &ws.p1.p_f,
+                        p_c: &ws.p1.p_c,
+                        p_o: &ws.p1.p_o,
+                        p_h: &ws.p1.p_h,
                         p_s: &fw.f,
                     }
                 }
                 TapeEntry::Compressed(packet) => {
-                    instruments.load(DataCategory::Intermediates, packet.compressed_bytes());
-                    instruments.release(DataCategory::Intermediates, packet.compressed_bytes());
+                    let bytes = scaled_bytes(packet.compressed_bytes(), precision);
+                    instruments.load(DataCategory::Intermediates, bytes);
+                    instruments.release(DataCategory::Intermediates, bytes);
                     decoded = packet.decode();
                     decoded.as_ref()
+                }
+                TapeEntry::Dropped => {
+                    let base = cache_base.expect("cache primed for dropped cell");
+                    // P1 from the recomputed record; the state seed
+                    // chains through the cache (or the checkpoint at the
+                    // segment boundary).
+                    {
+                        let fw = &ws.ms3_segment[t - base];
+                        let s_prev = if t == base {
+                            checkpoint_s_ref(tape, t, &zero_h)
+                        } else {
+                            &ws.ms3_segment[t - 1 - base].s
+                        };
+                        cell::compute_p1_into(&mut ws.p1, fw, s_prev)?;
+                    }
+                    let fw = &ws.ms3_segment[t - base];
+                    if let Some(thr) = ms1_threshold {
+                        // MS1×MS3: a recomputed record was never stored
+                        // compressed, so prune its P1 products exactly
+                        // as compress→decode would have (zero below the
+                        // threshold). `p_s` aliases the forget gate,
+                        // which the tape must not see pruned — copy it
+                        // into the dedicated buffer first.
+                        for m in [
+                            &mut ws.p1.p_i,
+                            &mut ws.p1.p_f,
+                            &mut ws.p1.p_c,
+                            &mut ws.p1.p_o,
+                            &mut ws.p1.p_h,
+                        ] {
+                            prune_in_place(m, thr);
+                        }
+                        ensure_shape(&mut ws.ms3_p_s, batch, h);
+                        ws.ms3_p_s.as_mut_slice().copy_from_slice(fw.f.as_slice());
+                        prune_in_place(&mut ws.ms3_p_s, thr);
+                        P1Ref {
+                            p_i: &ws.p1.p_i,
+                            p_f: &ws.p1.p_f,
+                            p_c: &ws.p1.p_c,
+                            p_o: &ws.p1.p_o,
+                            p_h: &ws.p1.p_h,
+                            p_s: &ws.ms3_p_s,
+                        }
+                    } else {
+                        P1Ref {
+                            p_i: &ws.p1.p_i,
+                            p_f: &ws.p1.p_f,
+                            p_c: &ws.p1.p_c,
+                            p_o: &ws.p1.p_o,
+                            p_h: &ws.p1.p_h,
+                            p_s: &fw.f,
+                        }
+                    }
                 }
             };
             // dh_total = dys[t] + dh_next, fused into the reused buffer
@@ -466,8 +691,9 @@ impl LstmLayer {
                     ),
                 });
             }
-            ensure_shape(dh_total, batch, h);
-            for ((dst, &dy), &dh) in dh_total
+            ensure_shape(&mut ws.dh_total, batch, h);
+            for ((dst, &dy), &dh) in ws
+                .dh_total
                 .as_mut_slice()
                 .iter_mut()
                 .zip(dys[t].as_slice())
@@ -481,7 +707,7 @@ impl LstmLayer {
             instruments.load(DataCategory::Weights, self.params.size_bytes());
             instruments.load(
                 DataCategory::Activations,
-                xs[t].size_bytes() + h_prev.size_bytes(),
+                scaled_bytes(xs[t].size_bytes() + h_prev.size_bytes(), precision),
             );
 
             let mut cell_grads = CellGrads::zeros_like(&self.params);
@@ -491,11 +717,11 @@ impl LstmLayer {
                 &p1,
                 &xs[t],
                 h_prev,
-                dh_total,
+                &ws.dh_total,
                 &ds_next,
                 &mut cell_grads,
                 kernel,
-                bwd,
+                &mut ws.bwd,
                 instruments,
             )?;
             drop(cell_scope);
@@ -509,7 +735,10 @@ impl LstmLayer {
         // Activations released after the layer finishes BP.
         for (x, hm) in xs.iter().zip(tape.hs.iter()) {
             let _ = x;
-            instruments.release(DataCategory::Activations, hm.size_bytes());
+            instruments.release(
+                DataCategory::Activations,
+                scaled_bytes(hm.size_bytes(), precision),
+            );
         }
         // Weight gradients written back once per layer.
         instruments
@@ -522,6 +751,65 @@ impl LstmLayer {
             grads,
             magnitudes,
         })
+    }
+
+    /// Recomputes tape segment `[base, upto]` into the workspace's
+    /// segment cache, chaining `s` through the cache and reading `h`
+    /// seeds from the always-kept `hs` lane. Applies the same storage
+    /// rounding as the forward pass, so the cache holds exactly the
+    /// records the tape dropped.
+    #[allow(clippy::too_many_arguments)]
+    fn recompute_segment(
+        &self,
+        xs: &[Matrix],
+        tape: &LayerTape,
+        panels: &LayerPanels,
+        kernel: &ParallelConfig,
+        instruments: &Instruments,
+        cfg: &Ms3Config,
+        base: usize,
+        upto: usize,
+        zero_h: &Matrix,
+        ws: &mut Workspace,
+    ) -> Result<()> {
+        let _seg_span = instruments.span("ms3_recompute");
+        let slots = upto - base + 1;
+        while ws.ms3_segment.len() < slots {
+            ws.ms3_segment.push(CellForward::empty());
+        }
+        for u in base..=upto {
+            let h_prev = if u == 0 { zero_h } else { &tape.hs[u - 1] };
+            // Recompute genuinely re-reads what forward read: weights
+            // plus the (narrow-stored) input and context activations.
+            instruments.load(DataCategory::Weights, self.params.size_bytes());
+            instruments.load(
+                DataCategory::Activations,
+                scaled_bytes(xs[u].size_bytes() + h_prev.size_bytes(), cfg.precision),
+            );
+            let (done, rest) = ws.ms3_segment.split_at_mut(u - base);
+            let out = &mut rest[0];
+            let s_prev = if u == base {
+                checkpoint_s_ref(tape, u, zero_h)
+            } else {
+                &done[u - 1 - base].s
+            };
+            let cell_scope = instruments.scope("fw_cell");
+            cell::forward_into_with_preact(
+                &self.params,
+                panels,
+                &xs[u],
+                h_prev,
+                s_prev,
+                kernel,
+                &mut ws.preact,
+                instruments,
+                out,
+            )?;
+            drop(cell_scope);
+            ms3::quantize_cell(cfg.precision, out, &mut ws.ms3_conv);
+            ws.ms3_recompute_cells += 1;
+        }
+        Ok(())
     }
 
     /// Aggregate P1 compression statistics across a tape (zero when the
@@ -546,14 +834,61 @@ impl LstmLayer {
         match &tape.entries[t - 1] {
             TapeEntry::Dense(fw) => &fw.s,
             TapeEntry::Skipped { s: Some(s) } => s,
-            TapeEntry::Compressed(_) | TapeEntry::Skipped { s: None } => {
+            TapeEntry::Compressed(_) | TapeEntry::Skipped { s: None } | TapeEntry::Dropped => {
                 // A compressed predecessor cannot feed a dense successor:
                 // modes are uniform within a layer, so this indicates a
-                // plan bug. Degrade to zeros rather than crash; the
-                // mixed-mode tests assert this never fires.
+                // plan bug. Likewise a dropped predecessor's state must
+                // come from the recompute cache, never from here. Degrade
+                // to zeros rather than crash; the mixed-mode tests assert
+                // this never fires.
                 debug_assert!(false, "dense cell after a stateless predecessor");
                 zero
             }
+        }
+    }
+}
+
+/// Stored bytes under the MS3 storage precision: the software emulation
+/// keeps f32 buffers but rounds their contents through the narrow
+/// format, so the *accounted* footprint and traffic scale by the
+/// narrow element width (2/4 for bf16 and f16, identity for f32).
+fn scaled_bytes(bytes: u64, precision: Precision) -> u64 {
+    bytes * precision.bytes_per_element() / 4
+}
+
+/// Zeroes elements with `|v| < threshold` in place — exactly the
+/// positions [`eta_tensor::SparseVec`] would have pruned, so a
+/// recomputed P1 stream matches a stored compress→decode round trip
+/// bit-for-bit.
+fn prune_in_place(m: &mut Matrix, threshold: f32) {
+    for v in m.as_mut_slice() {
+        if v.abs() < threshold {
+            *v = 0.0;
+        }
+    }
+}
+
+/// The MS3 segment seed `s_{base−1}` for a segment starting at `base`:
+/// zeros at the sequence start, otherwise the checkpoint state of the
+/// preceding kept cell — stored inline for dense and MS2-boundary
+/// entries, or in the tape's out-of-band `ckpt_s` lane under MS1.
+fn checkpoint_s_ref<'a>(tape: &'a LayerTape, base: usize, zero: &'a Matrix) -> &'a Matrix {
+    if base == 0 {
+        return zero;
+    }
+    match &tape.entries[base - 1] {
+        TapeEntry::Dense(fw) => &fw.s,
+        TapeEntry::Skipped { s: Some(s) } => s,
+        TapeEntry::Compressed(_) => match tape.ckpt_s.get(base - 1) {
+            Some(Some(s)) => s,
+            _ => {
+                debug_assert!(false, "compressed checkpoint without a ckpt_s seed");
+                zero
+            }
+        },
+        TapeEntry::Skipped { s: None } | TapeEntry::Dropped => {
+            debug_assert!(false, "segment seeded by a stateless predecessor");
+            zero
         }
     }
 }
@@ -800,6 +1135,7 @@ mod tests {
                     &xs,
                     StorageMode::Dense,
                     &[],
+                    None,
                     &kernel,
                     &inst,
                     Some(&panels),
@@ -847,6 +1183,7 @@ mod tests {
                 &tape,
                 &dys,
                 1.0,
+                None,
                 &kernel,
                 &inst,
                 Some(&panels),

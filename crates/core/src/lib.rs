@@ -42,7 +42,6 @@
 //! ```
 
 pub mod cell;
-pub mod checkpoint;
 pub mod config;
 pub mod gradcheck;
 pub mod inference;
@@ -51,11 +50,20 @@ pub mod loss;
 pub mod model;
 pub mod ms1;
 pub mod ms2;
+pub mod ms3;
 pub mod optimizer;
 pub mod parallel;
+pub mod persist;
 pub mod strategy;
 pub mod trainer;
 pub mod workspace;
+
+/// Deprecated alias for [`persist`]: "checkpoint" now refers to MS3's
+/// recompute checkpointing ([`ms3`]), so model serialization lives under
+/// the unambiguous name. This shim keeps old imports compiling.
+pub mod checkpoint {
+    pub use crate::persist::{from_json, to_json};
+}
 
 mod error;
 
@@ -63,6 +71,7 @@ pub use config::{LstmConfig, LstmConfigBuilder};
 pub use error::LstmError;
 pub use loss::{LossKind, Targets};
 pub use model::LstmModel;
+pub use ms3::{LossScaler, Ms3Config};
 pub use parallel::Parallelism;
 pub use strategy::TrainingStrategy;
 pub use trainer::{Batch, EpochReport, Task, Trainer, TrainingReport};

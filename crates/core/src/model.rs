@@ -9,9 +9,10 @@ use crate::layer::{Instruments, LayerTape, LstmLayer, StorageMode};
 use crate::loss::{self, Head, HeadGrads, LossKind, Targets};
 use crate::ms1::Ms1Config;
 use crate::ms2::SkipPlan;
+use crate::ms3::{self, Ms3Config};
 use crate::workspace::{ModelPanels, Workspace};
 use crate::{LstmError, Result};
-use eta_tensor::{CompressionStats, Matrix, ParallelConfig};
+use eta_tensor::{lowp, CompressionStats, ConvStats, Matrix, ParallelConfig, Precision};
 
 /// Storage/skip decisions for one training step.
 #[derive(Debug, Clone)]
@@ -20,6 +21,15 @@ pub struct StepPlan {
     pub ms1: Option<Ms1Config>,
     /// MS2 skip plan (None = run every BP cell).
     pub skip: Option<SkipPlan>,
+    /// MS3 recompute checkpointing + storage precision (None = keep
+    /// every cell record in f32).
+    pub ms3: Option<Ms3Config>,
+    /// Dynamic loss scale applied to the head gradient before backward
+    /// and divided back out of the returned gradients — a power of two
+    /// (exactly invertible), so `1.0` is a strict no-op. The trainer's
+    /// [`crate::ms3::LossScaler`] drives this under a narrow MS3
+    /// precision.
+    pub loss_scale: f32,
     /// GEMM-level parallelism inside the step's cells. Bit-identical
     /// results at any setting; kept serial when the microbatch engine
     /// shards the batch (shard workers own the threads then).
@@ -32,6 +42,8 @@ impl StepPlan {
         StepPlan {
             ms1: None,
             skip: None,
+            ms3: None,
+            loss_scale: 1.0,
             kernel: ParallelConfig::serial(),
         }
     }
@@ -73,6 +85,15 @@ pub struct StepResult {
     /// Wall-clock seconds spent in the gradient tree reduction
     /// (0 for an unsharded step).
     pub reduce_seconds: f64,
+    /// MS3: the (unscaled) gradients contain a non-finite value — the
+    /// loss-scaled backward overflowed and the optimizer step must be
+    /// skipped (the trainer's scaler backs off).
+    pub ms3_overflow: bool,
+    /// MS3: cells recomputed from checkpoints during backward.
+    pub ms3_recompute_cells: u64,
+    /// MS3: storage-rounding range events (overflows to ±inf, flushes
+    /// to zero) across the step.
+    pub ms3_conv: ConvStats,
 }
 
 /// A stacked LSTM with a projection head.
@@ -248,6 +269,13 @@ impl LstmModel {
             None => StorageMode::Dense,
         };
         let empty_keep: Vec<bool> = Vec::new();
+        // MS3 step state: per-step recompute/rounding counters, the
+        // storage precision for inter-layer gradient rounding, and the
+        // (power-of-two) loss scale. `loss_scale == 1.0` keeps every
+        // scaling site a strict bitwise no-op.
+        ws.reset_ms3_stats();
+        let precision = plan.ms3.map_or(Precision::F32, |c| c.precision);
+        let loss_scale = plan.loss_scale;
 
         // ---- Forward through the stack, keeping each layer's tape.
         // Layer l > 0 reads its input straight out of the previous
@@ -265,6 +293,7 @@ impl LstmModel {
                 input,
                 mode,
                 keep,
+                plan.ms3.as_ref(),
                 &plan.kernel,
                 instruments,
                 panels.and_then(|p| p.layer(l)),
@@ -280,7 +309,10 @@ impl LstmModel {
         let loss = match targets {
             Targets::Classes(classes) => {
                 let logits = self.head.forward(&top_hs[seq_len - 1])?;
-                let (loss, dlogits) = loss::softmax_xent(&logits, classes)?;
+                let (loss, mut dlogits) = loss::softmax_xent(&logits, classes)?;
+                if loss_scale != 1.0 {
+                    dlogits.scale(loss_scale);
+                }
                 dys[seq_len - 1] =
                     self.head
                         .backward(&top_hs[seq_len - 1], &dlogits, &mut head_grads)?;
@@ -288,7 +320,10 @@ impl LstmModel {
             }
             Targets::Regression(target) => {
                 let pred = self.head.forward(&top_hs[seq_len - 1])?;
-                let (loss, dpred) = loss::mse(&pred, target)?;
+                let (loss, mut dpred) = loss::mse(&pred, target)?;
+                if loss_scale != 1.0 {
+                    dpred.scale(loss_scale);
+                }
                 dys[seq_len - 1] =
                     self.head
                         .backward(&top_hs[seq_len - 1], &dpred, &mut head_grads)?;
@@ -308,7 +343,7 @@ impl LstmModel {
                     let logits = self.head.forward(&top_hs[t])?;
                     let (l, mut dlogits) = loss::softmax_xent(&logits, classes)?;
                     total += l;
-                    dlogits.scale(1.0 / seq_len as f32);
+                    dlogits.scale(loss_scale * (1.0 / seq_len as f32));
                     dys[t] = self.head.backward(&top_hs[t], &dlogits, &mut head_grads)?;
                 }
                 total / seq_len as f64
@@ -327,7 +362,7 @@ impl LstmModel {
                     let pred = self.head.forward(&top_hs[t])?;
                     let (l, mut dpred) = loss::mse(&pred, target)?;
                     total += l;
-                    dpred.scale(1.0 / seq_len as f32);
+                    dpred.scale(loss_scale * (1.0 / seq_len as f32));
                     dys[t] = self.head.backward(&top_hs[t], &dpred, &mut head_grads)?;
                 }
                 total / seq_len as f64
@@ -344,12 +379,21 @@ impl LstmModel {
                 Some(p) => p.scale[l],
                 None => 1.0,
             };
+            // Gradient-storage emulation: the per-timestep gradients
+            // handed between layers round through the MS3 storage
+            // format (no-op in f32).
+            if !precision.is_f32() {
+                for dy in &mut dys_current {
+                    lowp::quantize_matrix(precision, dy, &mut ws.ms3_conv);
+                }
+            }
             let input: &[Matrix] = if l == 0 { xs } else { &tapes[l - 1].hs };
             let back = self.layers[l].backward_sequence_ws(
                 input,
                 &tapes[l],
                 &dys_current,
                 scale,
+                plan.ms3.as_ref(),
                 &plan.kernel,
                 instruments,
                 panels.and_then(|p| p.layer(l)),
@@ -368,22 +412,44 @@ impl LstmModel {
             .map(|p| (p.skip_fraction() * cells_total as f64).round() as usize)
             .unwrap_or(0);
 
+        // Divide the loss scale back out before anyone consumes the
+        // gradients: the scale is a power of two, so the inverse is
+        // exact and the scaled-then-unscaled values only differ from an
+        // unscaled run where the scaled backward over/underflowed.
+        let mut grads = ModelGrads {
+            cells: cell_grads
+                .into_iter()
+                .map(|g| g.expect("every layer ran backward"))
+                .collect(),
+            head: head_grads,
+        };
+        if loss_scale != 1.0 {
+            let inv = 1.0 / loss_scale;
+            for g in &mut grads.cells {
+                g.scale(inv);
+            }
+            grads.head.scale(inv);
+            for layer_mags in &mut magnitudes {
+                for m in layer_mags.iter_mut() {
+                    *m *= f64::from(inv);
+                }
+            }
+        }
+        let ms3_overflow = plan.ms3.is_some() && !ms3::grads_are_finite(&grads);
+
         ws.note_high_water();
         Ok(StepResult {
             loss,
-            grads: ModelGrads {
-                cells: cell_grads
-                    .into_iter()
-                    .map(|g| g.expect("every layer ran backward"))
-                    .collect(),
-                head: head_grads,
-            },
+            grads,
             magnitudes,
             p1_stats,
             cells_skipped,
             cells_total,
             shards: 1,
             reduce_seconds: 0.0,
+            ms3_overflow,
+            ms3_recompute_cells: ws.ms3_recompute_cells,
+            ms3_conv: ws.ms3_conv,
         })
     }
 

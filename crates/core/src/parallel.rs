@@ -171,6 +171,9 @@ fn merge_step_results(left: &mut StepResult, right: &StepResult) -> Result<()> {
         }
     }
     left.p1_stats.merge(&right.p1_stats);
+    left.ms3_overflow |= right.ms3_overflow;
+    left.ms3_recompute_cells += right.ms3_recompute_cells;
+    left.ms3_conv.merge(&right.ms3_conv);
     Ok(())
 }
 

@@ -1,6 +1,10 @@
-//! Model checkpointing: serialize a trained [`LstmModel`] to JSON and
+//! Model persistence: serialize a trained [`LstmModel`] to JSON and
 //! back, so long experiments (and downstream users) can persist
 //! parameters.
+//!
+//! Formerly `checkpoint.rs` — renamed because "checkpointing" now means
+//! MS3's recompute checkpointing ([`crate::ms3`]); a `crate::checkpoint`
+//! re-export shim keeps old paths alive.
 //!
 //! JSON keeps checkpoints debuggable and dependency-light; the tensors
 //! serialize as flat arrays. For multi-gigabyte production models a

@@ -1,13 +1,15 @@
-//! Training strategy selection — the paper's comparison axes.
+//! Training strategy selection — the paper's comparison axes, extended
+//! with this repo's MS3 (recompute checkpointing + narrow storage).
 
 use crate::ms1::Ms1Config;
 use crate::ms2::Ms2Config;
+use crate::ms3::Ms3Config;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which of the η-LSTM software optimizations a training run uses
 /// (the paper's Baseline / MS1 / MS2 / Combine-MS comparison cases,
-/// Sec. VI-A).
+/// Sec. VI-A — plus MS3 and the full three-way composition).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TrainingStrategy {
     /// Store all dense intermediates; run every BP cell.
@@ -18,10 +20,15 @@ pub enum TrainingStrategy {
     Ms2,
     /// MS1 + MS2 (the paper's "Combine-MS").
     CombinedMs,
+    /// MS3 only: recompute checkpointing + narrow activation/gradient
+    /// storage with dynamic loss scaling.
+    Ms3,
+    /// MS1 + MS2 + MS3 — everything on.
+    CombinedAll,
 }
 
 impl TrainingStrategy {
-    /// All strategies in the paper's presentation order.
+    /// The paper's four comparison cases, in its presentation order.
     pub const ALL: [TrainingStrategy; 4] = [
         TrainingStrategy::Baseline,
         TrainingStrategy::Ms1,
@@ -29,14 +36,37 @@ impl TrainingStrategy {
         TrainingStrategy::CombinedMs,
     ];
 
+    /// Every strategy including the MS3 extensions: the paper's four
+    /// cases followed by MS3-only and the full composition.
+    pub const ALL_WITH_MS3: [TrainingStrategy; 6] = [
+        TrainingStrategy::Baseline,
+        TrainingStrategy::Ms1,
+        TrainingStrategy::Ms2,
+        TrainingStrategy::CombinedMs,
+        TrainingStrategy::Ms3,
+        TrainingStrategy::CombinedAll,
+    ];
+
     /// Whether the strategy compresses intermediates (MS1).
     pub fn uses_ms1(self) -> bool {
-        matches!(self, TrainingStrategy::Ms1 | TrainingStrategy::CombinedMs)
+        matches!(
+            self,
+            TrainingStrategy::Ms1 | TrainingStrategy::CombinedMs | TrainingStrategy::CombinedAll
+        )
     }
 
     /// Whether the strategy skips insignificant BP cells (MS2).
     pub fn uses_ms2(self) -> bool {
-        matches!(self, TrainingStrategy::Ms2 | TrainingStrategy::CombinedMs)
+        matches!(
+            self,
+            TrainingStrategy::Ms2 | TrainingStrategy::CombinedMs | TrainingStrategy::CombinedAll
+        )
+    }
+
+    /// Whether the strategy checkpoints + recomputes the tape and
+    /// stores in a narrow precision (MS3).
+    pub fn uses_ms3(self) -> bool {
+        matches!(self, TrainingStrategy::Ms3 | TrainingStrategy::CombinedAll)
     }
 }
 
@@ -47,6 +77,8 @@ impl fmt::Display for TrainingStrategy {
             TrainingStrategy::Ms1 => "MS1",
             TrainingStrategy::Ms2 => "MS2",
             TrainingStrategy::CombinedMs => "Combine-MS",
+            TrainingStrategy::Ms3 => "MS3",
+            TrainingStrategy::CombinedAll => "Combine-All",
         };
         f.write_str(s)
     }
@@ -59,6 +91,8 @@ pub struct StrategyParams {
     pub ms1: Ms1Config,
     /// MS2 skip configuration.
     pub ms2: Ms2Config,
+    /// MS3 checkpointing/precision configuration.
+    pub ms3: Ms3Config,
 }
 
 #[cfg(test)]
@@ -69,18 +103,30 @@ mod tests {
     fn flags_match_variants() {
         assert!(!TrainingStrategy::Baseline.uses_ms1());
         assert!(!TrainingStrategy::Baseline.uses_ms2());
+        assert!(!TrainingStrategy::Baseline.uses_ms3());
         assert!(TrainingStrategy::Ms1.uses_ms1());
         assert!(!TrainingStrategy::Ms1.uses_ms2());
         assert!(!TrainingStrategy::Ms2.uses_ms1());
         assert!(TrainingStrategy::Ms2.uses_ms2());
         assert!(TrainingStrategy::CombinedMs.uses_ms1());
         assert!(TrainingStrategy::CombinedMs.uses_ms2());
+        assert!(!TrainingStrategy::CombinedMs.uses_ms3());
+        assert!(TrainingStrategy::Ms3.uses_ms3());
+        assert!(!TrainingStrategy::Ms3.uses_ms1());
+        assert!(!TrainingStrategy::Ms3.uses_ms2());
+        assert!(TrainingStrategy::CombinedAll.uses_ms1());
+        assert!(TrainingStrategy::CombinedAll.uses_ms2());
+        assert!(TrainingStrategy::CombinedAll.uses_ms3());
     }
 
     #[test]
     fn display_matches_paper_labels() {
         assert_eq!(TrainingStrategy::CombinedMs.to_string(), "Combine-MS");
+        assert_eq!(TrainingStrategy::Ms3.to_string(), "MS3");
+        assert_eq!(TrainingStrategy::CombinedAll.to_string(), "Combine-All");
         assert_eq!(TrainingStrategy::ALL.len(), 4);
+        assert_eq!(TrainingStrategy::ALL_WITH_MS3.len(), 6);
+        assert_eq!(&TrainingStrategy::ALL_WITH_MS3[..4], &TrainingStrategy::ALL);
     }
 
     #[test]
@@ -88,5 +134,7 @@ mod tests {
         let p = StrategyParams::default();
         assert_eq!(p.ms1.threshold, 0.1);
         assert_eq!(p.ms2.skip_threshold, 0.1);
+        assert_eq!(p.ms3.k, 4);
+        assert!(!p.ms3.precision.is_f32());
     }
 }

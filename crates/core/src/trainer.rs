@@ -15,6 +15,7 @@ use crate::layer::Instruments;
 use crate::loss::{LossKind, Targets};
 use crate::model::{LstmModel, StepPlan};
 use crate::ms2::{self, GradPredictor, LossHistory};
+use crate::ms3::LossScaler;
 use crate::optimizer::{Optimizer, Sgd};
 use crate::parallel::{self, Parallelism};
 use crate::strategy::{StrategyParams, TrainingStrategy};
@@ -63,6 +64,14 @@ pub struct EpochReport {
     /// DRAM traffic of the epoch, per category (bytes):
     /// `[weights, activations, intermediates]`.
     pub traffic: [u64; 3],
+    /// MS3: cells recomputed from checkpoints during the epoch's
+    /// backward passes (0 without MS3).
+    pub ms3_recompute_cells: u64,
+    /// MS3: optimizer steps skipped this epoch because the loss-scaled
+    /// backward overflowed.
+    pub ms3_overflow_skips: u64,
+    /// MS3: the dynamic loss scale after the epoch (1.0 without MS3).
+    pub ms3_loss_scale: f32,
 }
 
 /// Aggregated training run result.
@@ -132,6 +141,7 @@ pub struct Trainer {
     optimizer: Optimizer,
     history: LossHistory,
     predictor: Option<GradPredictor>,
+    loss_scaler: LossScaler,
     parallelism: Parallelism,
     panel_cache: PanelCache,
     ws_pool: WorkspacePool,
@@ -147,10 +157,12 @@ impl Trainer {
     /// Currently infallible for a valid [`LstmConfig`]; returns
     /// `Result` for forward compatibility with configurable optimizers.
     pub fn new(config: LstmConfig, strategy: TrainingStrategy, seed: u64) -> Result<Self> {
+        let params = StrategyParams::default();
         Ok(Trainer {
             model: LstmModel::new(&config, seed),
             strategy,
-            params: StrategyParams::default(),
+            loss_scaler: LossScaler::new(&params.ms3),
+            params,
             optimizer: Optimizer::sgd(Sgd::default()),
             history: LossHistory::new(),
             predictor: None,
@@ -171,8 +183,10 @@ impl Trainer {
         self
     }
 
-    /// Overrides the strategy knobs (thresholds).
+    /// Overrides the strategy knobs (thresholds), resetting the MS3
+    /// loss scaler to the new configuration.
     pub fn with_params(mut self, params: StrategyParams) -> Self {
+        self.loss_scaler = LossScaler::new(&params.ms3);
         self.params = params;
         self
     }
@@ -235,7 +249,15 @@ impl Trainer {
         } else {
             self.parallelism.kernel
         };
-        StepPlan { ms1, skip, kernel }
+        let ms3 = self.strategy.uses_ms3().then_some(self.params.ms3);
+        StepPlan {
+            ms1,
+            skip,
+            ms3,
+            // The per-batch loop refreshes this from the live scaler.
+            loss_scale: 1.0,
+            kernel,
+        }
     }
 
     /// Fresh per-epoch instruments, mirrored into telemetry when a
@@ -281,6 +303,10 @@ impl Trainer {
             let mut magnitude_acc: Vec<Vec<f64>> = Vec::new();
             let mut shards_used = 1usize;
             let mut reduce_seconds = 0.0f64;
+            let ms3_active = self.strategy.uses_ms3();
+            let mut ms3_recompute_cells = 0u64;
+            let mut ms3_overflow_skips = 0u64;
+            let mut ms3_conv = eta_tensor::ConvStats::default();
 
             for b in 0..task.batches_per_epoch() {
                 #[cfg(feature = "telemetry")]
@@ -295,11 +321,17 @@ impl Trainer {
                 let pack_span = instruments.span("pack_panels");
                 let panels = self.panel_cache.checkout(&self.model);
                 drop(pack_span);
+                // Under MS3 the loss scale tracks the live scaler (it
+                // moves on overflow, mid-epoch).
+                let mut step_plan = plan.clone();
+                if ms3_active {
+                    step_plan.loss_scale = self.loss_scaler.scale();
+                }
                 let result = parallel::train_step_sharded_ws(
                     &self.model,
                     &batch.inputs,
                     &batch.targets,
-                    &plan,
+                    &step_plan,
                     &instruments,
                     &self.parallelism,
                     Some(panels),
@@ -324,11 +356,27 @@ impl Trainer {
                         }
                     }
                 }
-                let apply_span = instruments.span("apply");
-                self.model.apply(&mut self.optimizer, &result.grads)?;
-                drop(apply_span);
-                // The weights just changed; the packed panels are stale.
-                self.panel_cache.invalidate();
+                ms3_recompute_cells += result.ms3_recompute_cells;
+                ms3_conv.merge(&result.ms3_conv);
+                // MS3 dynamic loss scaling: an overflowed step applies
+                // nothing (the weights — and the packed panels — stay
+                // as they were) and the scaler backs off.
+                let apply = if ms3_active {
+                    let ok = self.loss_scaler.on_step(result.ms3_overflow);
+                    if !ok {
+                        ms3_overflow_skips += 1;
+                    }
+                    ok
+                } else {
+                    true
+                };
+                if apply {
+                    let apply_span = instruments.span("apply");
+                    self.model.apply(&mut self.optimizer, &result.grads)?;
+                    drop(apply_span);
+                    // The weights just changed; the packed panels are stale.
+                    self.panel_cache.invalidate();
+                }
                 // The simulated DRAM frees everything between iterations.
                 let snap = instruments.mem.snapshot();
                 instruments
@@ -377,6 +425,13 @@ impl Trainer {
                     traffic.total(DataCategory::Activations),
                     traffic.total(DataCategory::Intermediates),
                 ],
+                ms3_recompute_cells,
+                ms3_overflow_skips,
+                ms3_loss_scale: if ms3_active {
+                    self.loss_scaler.scale()
+                } else {
+                    1.0
+                },
             });
 
             #[cfg(feature = "telemetry")]
@@ -414,10 +469,24 @@ impl Trainer {
                 t.incr(keys::KERNEL_GEMM_FLOPS_TOTAL, kdelta.flops);
                 t.incr(keys::KERNEL_GEMM_BYTES_TOTAL, kdelta.bytes);
                 t.incr(keys::KERNEL_GEMM_CALLS_TOTAL, kdelta.calls);
+                // MS3 counters advance even when zero so the key set is
+                // strategy-independent.
+                t.incr(keys::MS3_RECOMPUTE_CELLS_TOTAL, ms3_recompute_cells);
+                t.incr(keys::MS3_OVERFLOW_SKIPS_TOTAL, ms3_overflow_skips);
+                t.incr(keys::MS3_CONV_OVERFLOWS_TOTAL, ms3_conv.overflows);
+                t.incr(keys::MS3_CONV_UNDERFLOWS_TOTAL, ms3_conv.underflows);
+                t.gauge(
+                    keys::MS3_LOSS_SCALE,
+                    f64::from(if ms3_active {
+                        self.loss_scaler.scale()
+                    } else {
+                        1.0
+                    }),
+                );
             }
             #[cfg(not(feature = "telemetry"))]
             {
-                let _ = (shards_used, reduce_seconds);
+                let _ = (shards_used, reduce_seconds, ms3_conv);
             }
         }
 

@@ -26,9 +26,9 @@
 //! GEMMs compute. The `tests/kernel_equivalence.rs` suite asserts the
 //! resulting loss trajectories are bit-identical to the reference path.
 
-use crate::cell::CellParams;
+use crate::cell::{CellForward, CellParams};
 use crate::model::LstmModel;
-use eta_tensor::{Matrix, PackedB};
+use eta_tensor::{ConvStats, Matrix, PackedB};
 
 /// Reallocates `slot` only when its shape differs from `[rows, cols]`.
 /// Contents after a call are unspecified (zeros on reallocation, stale
@@ -118,6 +118,20 @@ pub struct Workspace {
     pub p1: P1Buffers,
     /// BP-EW-P2 buffers.
     pub bwd: BwdBuffers,
+    /// MS3 recompute scratch: one reused forward record per in-segment
+    /// cell, grown to at most `k − 1` slots on first use.
+    pub(crate) ms3_segment: Vec<CellForward>,
+    /// Pruned `p_s` buffer for the MS1×MS3 recompute path: `p_s`
+    /// normally aliases the tape-owned forget gate, but a recomputed
+    /// cell's gate must be threshold-pruned into a separate buffer to
+    /// match the compress→decode semantics of stored cells.
+    pub(crate) ms3_p_s: Matrix,
+    /// Cells recomputed by the MS3 backward since the last
+    /// [`Workspace::reset_ms3_stats`].
+    pub ms3_recompute_cells: u64,
+    /// Low-precision storage range events (overflow/underflow counts)
+    /// since the last [`Workspace::reset_ms3_stats`].
+    pub ms3_conv: ConvStats,
     high_water_bytes: u64,
 }
 
@@ -134,7 +148,33 @@ impl Workspace {
 
     /// Current bytes held across all buffers.
     pub fn bytes(&self) -> u64 {
-        self.preact.size_bytes() + self.dh_total.size_bytes() + self.p1.bytes() + self.bwd.bytes()
+        let seg: u64 = self
+            .ms3_segment
+            .iter()
+            .map(|c| {
+                c.i.size_bytes()
+                    + c.f.size_bytes()
+                    + c.c.size_bytes()
+                    + c.o.size_bytes()
+                    + c.s.size_bytes()
+                    + c.tanh_s.size_bytes()
+                    + c.h.size_bytes()
+            })
+            .sum();
+        self.preact.size_bytes()
+            + self.dh_total.size_bytes()
+            + self.p1.bytes()
+            + self.bwd.bytes()
+            + seg
+            + self.ms3_p_s.size_bytes()
+    }
+
+    /// Zeroes the MS3 per-step counters (recomputed cells, conversion
+    /// range events). Called at the top of every training step so the
+    /// step result reports exactly that step's activity.
+    pub fn reset_ms3_stats(&mut self) {
+        self.ms3_recompute_cells = 0;
+        self.ms3_conv = ConvStats::default();
     }
 
     /// Records the current buffer footprint into the high-water mark.

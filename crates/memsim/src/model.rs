@@ -264,6 +264,14 @@ pub struct OptEffects {
     /// Fraction of BP cells skipped by the Eq. 4 predictor, in `[0, 1]`.
     /// Ignored unless `ms2`.
     pub skip_fraction: f64,
+    /// Whether MS3 (recompute checkpointing + narrow storage) is active.
+    pub ms3: bool,
+    /// MS3 checkpoint interval `k`: only every k-th cell's record stays
+    /// in the tape; the rest are recomputed in BP. Ignored unless `ms3`.
+    pub ms3_k: usize,
+    /// Bytes per stored element under the MS3 storage precision
+    /// (4 = f32, 2 = bf16/f16). Ignored unless `ms3`.
+    pub ms3_bytes_per_element: u64,
 }
 
 impl OptEffects {
@@ -274,6 +282,9 @@ impl OptEffects {
             ms2: false,
             p1_density: 1.0,
             skip_fraction: 0.0,
+            ms3: false,
+            ms3_k: 1,
+            ms3_bytes_per_element: BYTES_F32,
         }
     }
 
@@ -281,30 +292,45 @@ impl OptEffects {
     pub fn ms1(p1_density: f64) -> Self {
         OptEffects {
             ms1: true,
-            ms2: false,
             p1_density,
-            skip_fraction: 0.0,
+            ..Self::baseline()
         }
     }
 
     /// MS2 only, with a measured skip fraction.
     pub fn ms2(skip_fraction: f64) -> Self {
         OptEffects {
-            ms1: false,
             ms2: true,
-            p1_density: 1.0,
             skip_fraction,
+            ..Self::baseline()
         }
     }
 
-    /// Both optimizations (the paper's "Combine-MS").
+    /// Both paper optimizations (the paper's "Combine-MS").
     pub fn combined(p1_density: f64, skip_fraction: f64) -> Self {
         OptEffects {
             ms1: true,
             ms2: true,
             p1_density,
             skip_fraction,
+            ..Self::baseline()
         }
+    }
+
+    /// MS3 only: checkpoint interval `k`, storing
+    /// `bytes_per_element`-wide elements (4 = f32, 2 = bf16/f16).
+    pub fn ms3(k: usize, bytes_per_element: u64) -> Self {
+        Self::baseline().with_ms3(k, bytes_per_element)
+    }
+
+    /// Composes MS3 onto any existing effect set (e.g.
+    /// `OptEffects::combined(d, s).with_ms3(4, 2)` for the full
+    /// three-way composition).
+    pub fn with_ms3(mut self, k: usize, bytes_per_element: u64) -> Self {
+        self.ms3 = true;
+        self.ms3_k = k.max(1);
+        self.ms3_bytes_per_element = bytes_per_element;
+        self
     }
 
     /// Per-element byte ratio of MS1's compressed intermediates relative
@@ -332,6 +358,32 @@ impl OptEffects {
             1.0
         }
     }
+
+    /// Per-element byte ratio of the MS3 storage precision relative to
+    /// f32 (`1.0` when MS3 is off, `0.5` for bf16/f16).
+    pub fn ms3_storage_ratio(&self) -> f64 {
+        if self.ms3 {
+            self.ms3_bytes_per_element as f64 / BYTES_F32 as f64
+        } else {
+            1.0
+        }
+    }
+
+    /// Fraction of cell records the MS3 tape keeps (`1/k`; `1.0` when
+    /// MS3 is off).
+    pub fn ms3_tape_fraction(&self) -> f64 {
+        if self.ms3 {
+            1.0 / self.ms3_k.max(1) as f64
+        } else {
+            1.0
+        }
+    }
+
+    /// Fraction of cells BP must recompute under MS3 (`1 − 1/k`; `0.0`
+    /// when MS3 is off).
+    pub fn ms3_recompute_fraction(&self) -> f64 {
+        1.0 - self.ms3_tape_fraction()
+    }
 }
 
 /// Footprint of one training iteration under the given optimizations.
@@ -340,15 +392,20 @@ impl OptEffects {
 /// into per-layer transient buffers that are folded into the update and
 /// do not contribute to the high-water mark the paper's Fig. 5 reports.
 /// MS1 replaces the dense intermediates with compressed P1 streams;
-/// MS2 removes stored state for skipped cells.
+/// MS2 removes stored state for skipped cells. MS3 narrows every stored
+/// activation/intermediate element to the storage precision and keeps
+/// only every k-th cell record in the tape (hidden states stay resident
+/// — they seed recompute — so activations shrink by the precision ratio
+/// only, while intermediates additionally shrink by `1/k`).
 pub fn footprint(shape: &LstmShape, eff: &OptEffects) -> FootprintBreakdown {
     let act_keep = 1.0 - (1.0 - eff.kept_fraction()) * MS2_ACT_SKIP_SHARE;
+    let narrow = eff.ms3_storage_ratio();
     FootprintBreakdown {
         weights: shape.weight_bytes(),
-        activations: scale(shape.activation_bytes(), act_keep),
+        activations: scale(shape.activation_bytes(), act_keep * narrow),
         intermediates: scale(
             shape.intermediate_bytes(),
-            eff.ms1_intermediate_ratio() * eff.kept_fraction(),
+            eff.ms1_intermediate_ratio() * eff.kept_fraction() * eff.ms3_tape_fraction() * narrow,
         ),
     }
 }
@@ -364,6 +421,11 @@ pub fn footprint(shape: &LstmShape, eff: &OptEffects) -> FootprintBreakdown {
 ///   [`MS2_ACT_SKIP_SHARE`] of a skipped cell's volume.
 /// - **Intermediates**: [`INT_TRAFFIC_FACTOR`] touches per element;
 ///   MS1 swaps in the compressed streams, MS2 removes skipped cells.
+/// - **MS3**: stored elements narrow to the storage precision and only
+///   `1/k` of cell records hit the tape; in exchange, BP re-streams the
+///   FW weight fetch and re-reads the seed activations for the `1−1/k`
+///   recomputed cells. Recomputed intermediates live in the workspace
+///   (cache-resident) and add no DRAM traffic.
 pub fn traffic(shape: &LstmShape, eff: &OptEffects) -> TrafficBreakdown {
     // Weights: streaming refetch (FW + BP halves) + gradient write-back.
     let mut stream = 0.0f64;
@@ -376,21 +438,29 @@ pub fn traffic(shape: &LstmShape, eff: &OptEffects) -> TrafficBreakdown {
     let grad = shape.weight_bytes() as f64;
     // BP-half scaling from MS1 sparsity and MS2 skipping.
     let bp_scale = if eff.ms1 { eff.p1_density } else { 1.0 } * eff.kept_fraction();
-    let weight_traffic = stream * (0.5 + 0.5 * bp_scale) + grad * (0.5 + 0.5 * bp_scale);
+    let recompute = eff.ms3_recompute_fraction();
+    // MS3 recompute replays the FW weight stream for dropped cells.
+    let weight_traffic =
+        stream * (0.5 + 0.5 * bp_scale) + grad * (0.5 + 0.5 * bp_scale) + stream * 0.5 * recompute;
 
     let act_keep = 1.0 - (1.0 - eff.kept_fraction()) * MS2_ACT_SKIP_SHARE;
-    let act_traffic = shape.activation_bytes() as f64 * ACT_TRAFFIC_FACTOR * act_keep;
+    let narrow = eff.ms3_storage_ratio();
+    // Store + BP load of narrowed activations, plus one extra seed read
+    // per recomputed cell.
+    let act_traffic =
+        shape.activation_bytes() as f64 * (ACT_TRAFFIC_FACTOR + recompute) * act_keep * narrow;
 
     let int_base = shape.intermediate_bytes() as f64;
+    let ms3_int = eff.ms3_tape_fraction() * narrow;
     let int_traffic = if eff.ms1 {
         // Compressed P1 streams: one store + one load each, plus the
         // residual dense echo of the sparse gate gradients flowing into
         // BP-MatMul (scales with density).
         let compressed = int_base * eff.ms1_intermediate_ratio() * 2.0;
         let echo = int_base * 0.3 * eff.p1_density;
-        (compressed + echo) * eff.kept_fraction()
+        (compressed + echo) * eff.kept_fraction() * ms3_int
     } else {
-        int_base * INT_TRAFFIC_FACTOR * eff.kept_fraction()
+        int_base * INT_TRAFFIC_FACTOR * eff.kept_fraction() * ms3_int
     };
 
     TrafficBreakdown {
@@ -536,6 +606,61 @@ mod tests {
         assert!(c.ms1 && c.ms2);
         assert!((OptEffects::baseline().ms1_intermediate_ratio() - 1.0).abs() < 1e-12);
         assert!((OptEffects::ms2(0.4).kept_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ms3_tape_scales_inverse_k_and_precision() {
+        let base = footprint(&h1024(), &OptEffects::baseline());
+        // f32 storage, k=4: intermediates shrink to exactly 1/4.
+        let ckpt = footprint(&h1024(), &OptEffects::ms3(4, 4));
+        assert_eq!(ckpt.intermediates, base.intermediates / 4);
+        assert_eq!(ckpt.activations, base.activations);
+        // bf16 storage, k=4: a further halving everywhere that stores.
+        let narrow = footprint(&h1024(), &OptEffects::ms3(4, 2));
+        assert_eq!(narrow.intermediates, base.intermediates / 8);
+        assert_eq!(narrow.activations, base.activations / 2);
+        assert_eq!(narrow.weights, base.weights);
+    }
+
+    #[test]
+    fn ms3_f32_k1_is_footprint_and_traffic_noop() {
+        let eff = OptEffects::ms3(1, 4);
+        assert_eq!(
+            footprint(&h1024(), &eff),
+            footprint(&h1024(), &OptEffects::baseline())
+        );
+        assert_eq!(
+            traffic(&h1024(), &eff),
+            traffic(&h1024(), &OptEffects::baseline())
+        );
+    }
+
+    #[test]
+    fn ms3_recompute_costs_weight_traffic() {
+        let base = traffic(&h1024(), &OptEffects::baseline());
+        let ms3 = traffic(&h1024(), &OptEffects::ms3(4, 2));
+        // Replayed FW weight stream makes weight traffic strictly worse…
+        assert!(ms3.weights > base.weights);
+        // …in exchange for large intermediate/activation savings.
+        assert!(ms3.intermediates < base.intermediates / 4);
+        assert!(ms3.total() < base.total());
+    }
+
+    #[test]
+    fn ms3_composes_with_combined_ms() {
+        let shape = h1024();
+        let parts = [
+            footprint(&shape, &OptEffects::combined(0.35, 0.49)),
+            footprint(&shape, &OptEffects::ms3(4, 2)),
+        ];
+        let all = footprint(&shape, &OptEffects::combined(0.35, 0.49).with_ms3(4, 2));
+        // The three-way composition never exceeds any single component's
+        // footprint: the savings multiply per category.
+        for p in &parts {
+            assert!(all.total() <= p.total());
+            assert!(all.intermediates <= p.intermediates);
+            assert!(all.activations <= p.activations);
+        }
     }
 
     #[test]

@@ -27,6 +27,18 @@ pub const MS2_SKIP_FRACTION: &str = "ms2_skip_fraction";
 pub const TRAIN_PEAK_FOOTPRINT_BYTES: &str = "train_peak_footprint_bytes";
 /// Gauge: peak footprint of the intermediates category alone, bytes.
 pub const TRAIN_PEAK_INTERMEDIATES_BYTES: &str = "train_peak_intermediates_bytes";
+/// Counter: cells recomputed from MS3 checkpoints during backward.
+pub const MS3_RECOMPUTE_CELLS_TOTAL: &str = "ms3_recompute_cells_total";
+/// Gauge: current MS3 dynamic loss scale.
+pub const MS3_LOSS_SCALE: &str = "ms3_loss_scale";
+/// Counter: optimizer steps skipped after a loss-scaled overflow.
+pub const MS3_OVERFLOW_SKIPS_TOTAL: &str = "ms3_overflow_skips_total";
+/// Counter: finite values that overflowed to ±∞ when narrowed to the
+/// MS3 storage precision.
+pub const MS3_CONV_OVERFLOWS_TOTAL: &str = "ms3_conv_overflows_total";
+/// Counter: nonzero values flushed to zero when narrowed to the MS3
+/// storage precision.
+pub const MS3_CONV_UNDERFLOWS_TOTAL: &str = "ms3_conv_underflows_total";
 
 // -- deterministic data-parallel engine (eta-lstm-core) --------------------
 
@@ -124,6 +136,11 @@ pub const ALL: &[&str] = &[
     MS2_SKIP_FRACTION,
     TRAIN_PEAK_FOOTPRINT_BYTES,
     TRAIN_PEAK_INTERMEDIATES_BYTES,
+    MS3_RECOMPUTE_CELLS_TOTAL,
+    MS3_LOSS_SCALE,
+    MS3_OVERFLOW_SKIPS_TOTAL,
+    MS3_CONV_OVERFLOWS_TOTAL,
+    MS3_CONV_UNDERFLOWS_TOTAL,
     PARALLEL_SHARDS,
     PARALLEL_THREADS,
     PARALLEL_REDUCE_SECONDS,
@@ -198,7 +215,11 @@ mod tests {
                         || key.contains("batches")
                         || key.contains("flops")
                         || key.contains("calls")
-                        || key.contains("spans"),
+                        || key.contains("spans")
+                        || key.contains("cells")
+                        || key.contains("skips")
+                        || key.contains("overflows")
+                        || key.contains("underflows"),
                     "`{key}` ends in _total but names no countable quantity"
                 );
             }

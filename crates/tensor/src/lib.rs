@@ -28,6 +28,7 @@
 pub mod activation;
 pub mod init;
 pub mod kernels;
+pub mod lowp;
 pub mod matrix;
 pub mod pack;
 pub mod parallel;
@@ -38,6 +39,7 @@ mod error;
 
 pub use error::TensorError;
 pub use kernels::Store;
+pub use lowp::{ConvStats, Precision};
 pub use matrix::{Matrix, PACK_MIN_FLOPS};
 pub use pack::PackedB;
 pub use parallel::ParallelConfig;
