@@ -124,11 +124,11 @@ impl ChannelCellEngine {
         stats.merge(&s1);
         let (uh, s2) = self.channel.matvec(&weights.u, h_prev);
         stats.merge(&s2);
-        let (mut preact, s3) = self.channel.ew_add(&wx, &uh);
+        let (wxuh, s3) = self.channel.ew_add(&wx, &uh);
         stats.merge(&s3);
-        let (withb, s4) = self.channel.ew_add(&preact, &weights.b);
+        let (preact, s4) = self.channel.ew_add(&wxuh, &weights.b);
         stats.merge(&s4);
-        preact = withb;
+        debug_assert_eq!(preact.len(), 4 * h);
 
         // Gate activations through the channel's LUT units.
         let (i, si) = self.channel.sigmoid(&preact[..h]);

@@ -532,6 +532,7 @@ pub fn forward_ws(
     {
         let _g = instruments.scope("gemm_epilogue");
         h_prev.matmul_nt_packed_epilogue(&panels.u_fwd, &mut ws.preact, kernel, |j, v| {
+            debug_assert!(j < b.len());
             let z = v + b[j];
             if tanh_cols.contains(&j) {
                 activation::tanh(z)
@@ -647,6 +648,7 @@ pub(crate) fn forward_into_with_preact(
     {
         let _g = instruments.scope("gemm_epilogue");
         h_prev.matmul_nt_packed_epilogue(&panels.u_fwd, preact, kernel, |j, v| {
+            debug_assert!(j < b.len());
             let z = v + b[j];
             if tanh_cols.contains(&j) {
                 activation::tanh(z)
@@ -672,6 +674,7 @@ pub(crate) fn forward_into_with_preact(
     // preactivation buffer (exact, like `col_slice`).
     for r in 0..batch {
         let row = preact.row(r);
+        debug_assert_eq!(row.len(), 4 * h);
         out.i.row_mut(r).copy_from_slice(&row[0..h]);
         out.f.row_mut(r).copy_from_slice(&row[h..2 * h]);
         out.c.row_mut(r).copy_from_slice(&row[2 * h..3 * h]);
@@ -765,15 +768,25 @@ pub fn backward_ws(
         p1.p_c.as_slice(),
         p1.p_o.as_slice(),
     );
-    for (r, row) in dgates.as_mut_slice().chunks_exact_mut(4 * h).enumerate() {
-        let span = r * h..(r + 1) * h;
-        let (dsr, dhr) = (&dsa[span.clone()], &dht[span.clone()]);
-        let (pir, pfr, pcr, por) = (
-            &pi[span.clone()],
-            &pf[span.clone()],
-            &pc[span.clone()],
-            &po[span],
-        );
+    let dg = dgates.as_mut_slice();
+    debug_assert_eq!(dg.len(), batch * (4 * h));
+    debug_assert_eq!(dsa.len(), batch * h);
+    debug_assert_eq!(dht.len(), batch * h);
+    debug_assert_eq!(pi.len(), batch * h);
+    debug_assert_eq!(pf.len(), batch * h);
+    debug_assert_eq!(pc.len(), batch * h);
+    debug_assert_eq!(po.len(), batch * h);
+    for r in 0..batch {
+        let lo = r * h;
+        let hi = lo + h;
+        let dsr = &dsa[lo..hi];
+        let dhr = &dht[lo..hi];
+        let pir = &pi[lo..hi];
+        let pfr = &pf[lo..hi];
+        let pcr = &pc[lo..hi];
+        debug_assert!(hi <= po.len());
+        let por = &po[lo..hi];
+        let row = &mut dg[r * (4 * h)..(r + 1) * (4 * h)];
         let (di, rest) = row.split_at_mut(h);
         let (df, rest) = rest.split_at_mut(h);
         let (dc, do_) = rest.split_at_mut(h);

@@ -94,6 +94,8 @@ pub fn check_step_with(
         let (analytic, numeric) = if pick < 2 * layers {
             let l = pick / 2;
             let in_w = pick % 2 == 0;
+            debug_assert!(l < layers);
+            debug_assert_eq!(result.grads.cells.len(), layers);
             let (rows, cols) = {
                 let p = &model.layers()[l].params;
                 if in_w {
@@ -111,6 +113,8 @@ pub fn check_step_with(
             };
             let mut plus = model.clone();
             let mut minus = model.clone();
+            debug_assert_eq!(plus.layers_mut().len(), layers);
+            debug_assert_eq!(minus.layers_mut().len(), layers);
             {
                 let p = &mut plus.layers_mut()[l].params;
                 let m = if in_w { &mut p.w } else { &mut p.u };

@@ -41,6 +41,7 @@ impl StreamingState {
     ///
     /// Panics if `l` is out of range.
     pub fn hidden(&self, l: usize) -> &Matrix {
+        assert!(l < self.h.len(), "layer index out of range");
         &self.h[l]
     }
 
@@ -99,6 +100,8 @@ impl<'a> StreamingSession<'a> {
             });
         }
         let mut current = x.clone();
+        debug_assert_eq!(self.state.h.len(), self.model.layers().len());
+        debug_assert_eq!(self.state.s.len(), self.model.layers().len());
         for (l, layer) in self.model.layers().iter().enumerate() {
             let fw = cell::forward(&layer.params, &current, &self.state.h[l], &self.state.s[l])?;
             current = fw.h.clone();

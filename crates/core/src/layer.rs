@@ -25,7 +25,7 @@
 //!   rounded through bf16/f16 ([`eta_tensor::lowp`]), and the
 //!   instrumented byte accounting scales to the narrow width.
 
-use crate::cell::{self, CellForward, CellGrads, CellParams, P1Dense, P1Ref};
+use crate::cell::{self, CellForward, CellGrads, CellParams, P1Ref};
 use crate::ms1::{Ms1Config, P1Packet};
 use crate::ms3::{self, Ms3Config};
 use crate::workspace::{ensure_shape, LayerPanels, Workspace};
@@ -594,7 +594,6 @@ impl LstmLayer {
                 }
             }
 
-            let decoded: P1Dense;
             let p1 = match entry {
                 TapeEntry::Skipped { .. } => unreachable!("handled above"),
                 TapeEntry::Dense(fw) => {
@@ -623,8 +622,18 @@ impl LstmLayer {
                     let bytes = scaled_bytes(packet.compressed_bytes(), precision);
                     instruments.load(DataCategory::Intermediates, bytes);
                     instruments.release(DataCategory::Intermediates, bytes);
-                    decoded = packet.decode();
-                    decoded.as_ref()
+                    // Zero-alloc decode into the reused P1 buffers
+                    // (the sixth, pruned-forget-gate stream lands in
+                    // the dedicated `ms3_p_s` slot).
+                    packet.decode_into(&mut ws.p1, &mut ws.ms3_p_s);
+                    P1Ref {
+                        p_i: &ws.p1.p_i,
+                        p_f: &ws.p1.p_f,
+                        p_c: &ws.p1.p_c,
+                        p_o: &ws.p1.p_o,
+                        p_h: &ws.p1.p_h,
+                        p_s: &ws.ms3_p_s,
+                    }
                 }
                 TapeEntry::Dropped => {
                     let base = cache_base.expect("cache primed for dropped cell");
@@ -1154,7 +1163,7 @@ mod tests {
         let mut ds_next = zero_h.clone();
         let mut ref_dxs = Vec::new();
         for t in (0..seq).rev() {
-            let p1 = P1Dense::compute(&ref_fws[t], &s_prevs[t]).unwrap();
+            let p1 = cell::P1Dense::compute(&ref_fws[t], &s_prevs[t]).unwrap();
             let mut dh_total = dys[t].clone();
             dh_total.add_assign(&dh_next).unwrap();
             let h_prev_t = if t == 0 { &zero_h } else { &ref_fws[t - 1].h };

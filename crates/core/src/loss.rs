@@ -174,6 +174,7 @@ pub fn softmax_xent(logits: &Matrix, classes: &[usize]) -> Result<(f64, Matrix)>
             });
         }
         let probs = activation::softmax(logits.row(r));
+        debug_assert_eq!(probs.len(), logits.cols());
         loss -= (probs[cls].max(1e-12) as f64).ln();
         for (c, &p) in probs.iter().enumerate() {
             let grad = if c == cls { p - 1.0 } else { p };
@@ -215,7 +216,7 @@ pub fn accuracy(logits: &Matrix, classes: &[usize]) -> f64 {
         let argmax = row
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
         if argmax == cls {

@@ -20,7 +20,7 @@
 
 use crate::cell::P1Dense;
 use crate::Result;
-use eta_tensor::{CompressionStats, SparseVec};
+use eta_tensor::{CompressionStats, Matrix, SparseVec};
 use serde::{Deserialize, Serialize};
 
 /// Default near-zero pruning threshold: the paper reports that pruning
@@ -74,14 +74,35 @@ impl P1Packet {
     /// Decodes back to dense P1 products with pruned positions zeroed —
     /// the form [`crate::cell::backward`] consumes.
     pub fn decode(&self) -> P1Dense {
-        let d = |i: usize| self.streams[i].decode_matrix(self.batch, self.hidden);
+        let [si, sf, sc, so, sh, ss] = &self.streams;
+        let d = |s: &SparseVec| s.decode_matrix(self.batch, self.hidden);
         P1Dense {
-            p_i: d(0),
-            p_f: d(1),
-            p_c: d(2),
-            p_o: d(3),
-            p_h: d(4),
-            p_s: d(5),
+            p_i: d(si),
+            p_f: d(sf),
+            p_c: d(sc),
+            p_o: d(so),
+            p_h: d(sh),
+            p_s: d(ss),
+        }
+    }
+
+    /// Decodes into reused workspace buffers — the zero-alloc
+    /// counterpart of [`decode`](Self::decode) the per-timestep
+    /// backward path uses. `buf` holds the five computed products and
+    /// `p_s` the sixth (pruned forget-gate) stream; both are resized
+    /// only when the batch/hidden shape changes.
+    pub fn decode_into(&self, buf: &mut crate::workspace::P1Buffers, p_s: &mut Matrix) {
+        buf.ensure(self.batch, self.hidden);
+        crate::workspace::ensure_shape(p_s, self.batch, self.hidden);
+        for (stream, dst) in self.streams.iter().zip([
+            &mut buf.p_i,
+            &mut buf.p_f,
+            &mut buf.p_c,
+            &mut buf.p_o,
+            &mut buf.p_h,
+            p_s,
+        ]) {
+            stream.decode_into(dst.as_mut_slice());
         }
     }
 

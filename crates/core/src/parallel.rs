@@ -127,12 +127,18 @@ pub fn shard_ranges(batch: usize, shards: usize) -> Vec<(usize, usize)> {
 /// The rows `[start, start + len)` of a target set.
 fn slice_targets(targets: &Targets, start: usize, len: usize) -> Targets {
     match targets {
-        Targets::Classes(v) => Targets::Classes(v[start..start + len].to_vec()),
+        Targets::Classes(v) => {
+            debug_assert!(start <= v.len() && len <= v.len() - start);
+            Targets::Classes(v[start..start + len].to_vec())
+        }
         Targets::Regression(m) => Targets::Regression(m.rows_slice(start, len)),
         Targets::StepClasses(steps) => Targets::StepClasses(
             steps
                 .iter()
-                .map(|v| v[start..start + len].to_vec())
+                .map(|v| {
+                    debug_assert!(start <= v.len() && len <= v.len() - start);
+                    v[start..start + len].to_vec()
+                })
                 .collect(),
         ),
         Targets::StepRegression(steps) => {
@@ -232,12 +238,13 @@ pub fn train_step_sharded_ws(
     let _step_span = instruments.span("step");
     // Malformed batches take the serial path so error messages are
     // identical with and without the engine.
+    let first_rows = xs.first().map_or(0, Matrix::rows);
     let uniform =
-        !xs.is_empty() && xs.len() == seq_len && xs.iter().all(|x| x.rows() == xs[0].rows());
+        !xs.is_empty() && xs.len() == seq_len && xs.iter().all(|x| x.rows() == first_rows);
     if !par.is_sharded() || !uniform {
         return model.train_step_ws(xs, targets, plan, instruments, panels, pool.slot(0));
     }
-    let batch = xs[0].rows();
+    let batch = first_rows;
     if !targets_cover_batch(targets, batch, seq_len) {
         return model.train_step_ws(xs, targets, plan, instruments, panels, pool.slot(0));
     }
@@ -262,6 +269,7 @@ pub fn train_step_sharded_ws(
         // or inline on the caller (under `epoch/batch/step`) — trace
         // structure must be thread-count invariant, like the numerics.
         let _shard_span = instruments.span_root("shard");
+        debug_assert!(i < shard_inputs.len() && i < shard_targets.len());
         model.train_step_ws(
             &shard_inputs[i],
             &shard_targets[i],
@@ -304,7 +312,14 @@ pub fn train_step_sharded_ws(
     // Errors propagate in shard order so failures are deterministic too.
     let mut results = Vec::with_capacity(ranges.len());
     for slot in slots {
-        results.push(slot.expect("every shard slot filled")?);
+        match slot {
+            Some(r) => results.push(r?),
+            None => {
+                return Err(crate::LstmError::Config(
+                    "internal: shard slot left unfilled".to_string(),
+                ))
+            }
+        }
     }
 
     let reduce_start = std::time::Instant::now();
@@ -338,7 +353,11 @@ pub fn train_step_sharded_ws(
         }
         results = next;
     }
-    let mut combined = results.pop().expect("non-empty reduction");
+    let Some(mut combined) = results.pop() else {
+        return Err(crate::LstmError::Config(
+            "internal: empty shard reduction".to_string(),
+        ));
+    };
     // Plan-level counters are per-step, not per-shard.
     combined.cells_total = model.config().layers * seq_len;
     combined.cells_skipped = plan

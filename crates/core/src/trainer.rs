@@ -406,7 +406,7 @@ impl Trainer {
 
             let mem: MemoryTracker = instruments.mem.snapshot();
             let traffic: TrafficCounter = instruments.traffic.snapshot();
-            reports.push(EpochReport {
+            let report = EpochReport {
                 mean_loss,
                 p1_density: if density_acc.is_empty() {
                     1.0
@@ -432,12 +432,11 @@ impl Trainer {
                 } else {
                     1.0
                 },
-            });
+            };
 
             #[cfg(feature = "telemetry")]
             if let Some(t) = &self.telemetry {
                 use eta_telemetry::keys;
-                let report = reports.last().expect("epoch report just pushed");
                 t.incr(keys::TRAIN_EPOCHS_TOTAL, 1);
                 t.incr(keys::TRAIN_BATCHES_TOTAL, task.batches_per_epoch() as u64);
                 t.gauge(keys::TRAIN_LOSS_MEAN, report.mean_loss);
@@ -488,6 +487,7 @@ impl Trainer {
             {
                 let _ = (shards_used, reduce_seconds, ms3_conv);
             }
+            reports.push(report);
         }
 
         Ok(TrainingReport {

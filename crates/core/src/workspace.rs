@@ -205,6 +205,7 @@ impl WorkspacePool {
         while self.slots.len() <= idx {
             self.slots.push(Workspace::new());
         }
+        debug_assert!(idx < self.slots.len());
         &mut self.slots[idx]
     }
 
@@ -215,6 +216,7 @@ impl WorkspacePool {
         while self.slots.len() < n {
             self.slots.push(Workspace::new());
         }
+        debug_assert!(n <= self.slots.len());
         &mut self.slots[..n]
     }
 

@@ -22,7 +22,9 @@ pub struct AllowEntry {
     pub defined_at: u32,
 }
 
-const KNOWN_RULES: &[&str] = &["D1", "D2", "D3", "A1", "T1", "S1", "S2", "S3"];
+const KNOWN_RULES: &[&str] = &[
+    "D1", "D2", "D3", "A1", "T1", "S1", "S2", "S3", "H1", "A2", "DS1", "R1",
+];
 
 /// Parses allowlist text. `root` anchors the existence check for
 /// `file` fields; a missing file is a hard error so stale entries

@@ -11,6 +11,15 @@
 //!    cross-crate call graph ([`model`]), and checked for S1
 //!    panic-reachability, S2 nondeterminism taint, and S3 telemetry
 //!    key liveness.
+//! 3. **CFG + dataflow rules** ([`semantic::cfg`],
+//!    [`semantic::dataflow`]) — per-function control-flow graphs and
+//!    worklist analyses drive H1 (hot-path allocation discipline),
+//!    A2 (SIMD intrinsic hygiene), and DS1 (dead stores); the S1
+//!    bounds prover gains a 2-D linear-arithmetic engine
+//!    ([`semantic::linear`]) that discharges `data[r * cols + c]`
+//!    indexing from constructor invariants. R1 additionally rejects
+//!    stray `.proptest-regressions` seed files anywhere in the tree
+//!    (the in-tree proptest shim never replays them).
 //!
 //! Justified exceptions live in `lint.toml` ([`allowlist`]);
 //! `tests/lint_clean.rs` at the workspace root gates `cargo test` on a
@@ -163,11 +172,30 @@ pub fn lint_workspace_with(root: &Path, allow_text: &str) -> Result<Report, Lint
         sources.push((rel, src));
     }
 
-    // Semantic layer: parse everything once, run S1/S2/S3 over the
-    // workspace model. Error findings join the allowlist matching
-    // below; S3 liveness results stay advisory.
+    // Semantic layer: parse everything once, run S1/S2/H1/A2/DS1 and
+    // S3 over the workspace model. Error findings join the allowlist
+    // matching below; S3 liveness results stay advisory.
     let sem = semantic::analyze_sources(&sources, Some(root));
     all.extend(sem.findings);
+
+    // R1: stray proptest seed files. The in-tree proptest shim never
+    // replays `.proptest-regressions`, so a committed seed file is
+    // dead weight that silently suggests replay coverage that does
+    // not exist.
+    let mut strays = Vec::new();
+    collect_stray_regressions(root, root, &mut strays)
+        .map_err(|e| LintError(format!("walking {}: {e}", root.display())))?;
+    strays.sort();
+    for rel in strays {
+        all.push(Finding {
+            rule: "R1".into(),
+            file: rel,
+            line: 1,
+            message: "stray `.proptest-regressions` seed file: the in-tree proptest shim \
+                      never replays these; delete it"
+                .into(),
+        });
+    }
     all.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
 
     let mut used = vec![false; entries.len()];
@@ -220,6 +248,30 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::
             }
             collect_rs_files(root, &path, out)?;
         } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(path_to_rel_string(rel));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn collect_stray_regressions(
+    root: &Path,
+    dir: &Path,
+    out: &mut Vec<String>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_stray_regressions(root, &path, out)?;
+        } else if name.ends_with(".proptest-regressions") {
             if let Ok(rel) = path.strip_prefix(root) {
                 out.push(path_to_rel_string(rel));
             }

@@ -61,6 +61,10 @@ fn parse_args() -> Result<Args, String> {
                      from public numeric APIs (diagnostic shows the call chain); S2 clock/\n\
                      entropy/hash-order taint reaching numerics or telemetry; S3 registered\n\
                      telemetry keys never emitted (warning only).\n\
+                     Dataflow rules (CFG + worklist): H1 allocations reachable on the\n\
+                     per-timestep hot path; A2 std::arch intrinsic hygiene (target_feature,\n\
+                     runtime detect + scalar fallback, // SAFETY:); DS1 dead stores to\n\
+                     local numeric state; R1 stray .proptest-regressions seed files.\n\
                      Exceptions: lint.toml at the workspace root (rule/file/[line]/reason)."
                 );
                 std::process::exit(0);

@@ -21,6 +21,9 @@ pub struct SourceFile {
     pub crate_key: String,
     pub kind: ScopeKind,
     pub ast: ast::File,
+    /// Raw source text, kept for rules that must see comments (the
+    /// parser strips them): A2's `// SAFETY:` requirement.
+    pub src: String,
 }
 
 /// A function (free fn, method, or associated fn) in the workspace.
@@ -39,6 +42,8 @@ pub struct FnInfo {
     pub has_self: bool,
     pub params: Vec<ast::Param>,
     pub ret_text: String,
+    /// Raw interior text of each `#[…]` attribute on the fn item.
+    pub attrs: Vec<String>,
     pub body: Option<Block>,
     /// Raw calls found in the body, in source order.
     pub calls: Vec<CallRef>,
@@ -90,6 +95,7 @@ impl Workspace {
                 crate_key: scope.crate_name,
                 kind: scope.kind,
                 ast: parser::parse(src),
+                src: src.clone(),
             });
         }
 
@@ -293,6 +299,7 @@ fn collect_fns(file: &SourceFile, out: &mut Vec<FnInfo>) {
                         has_self: def.has_self,
                         params: def.params.clone(),
                         ret_text: def.ret_text.clone(),
+                        attrs: item.attrs.clone(),
                         body: def.body.clone(),
                         calls,
                     });

@@ -33,6 +33,22 @@ const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
     ),
     ("S2", "nondeterministic value reaches numerics or telemetry"),
     ("S3", "registered telemetry key never emitted outside tests"),
+    (
+        "H1",
+        "allocation reachable on the per-timestep training hot path",
+    ),
+    (
+        "A2",
+        "std::arch intrinsic without target_feature/runtime-detect/SAFETY hygiene",
+    ),
+    (
+        "DS1",
+        "dead store: computed value overwritten or dropped before any read",
+    ),
+    (
+        "R1",
+        "stray .proptest-regressions seed file (never replayed by the in-tree shim)",
+    ),
 ];
 
 fn map(entries: Vec<(&str, Value)>) -> Value {

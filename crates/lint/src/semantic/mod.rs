@@ -13,8 +13,29 @@
 //!   buffers, or telemetry values.
 //! * **S3** ([`s3`]) — telemetry key liveness: registered keys that
 //!   no non-test code ever emits (warnings, not errors).
+//!
+//! Layer 3 builds per-function control-flow graphs ([`cfg`]) and runs
+//! worklist dataflow ([`dataflow`]) on top of the same model:
+//!
+//! * **H1** ([`h1`]) — hot-path allocation discipline: allocating
+//!   calls reachable from the per-timestep workspace entry points.
+//! * **A2** ([`a2`]) — SIMD readiness: `std::arch` intrinsics need
+//!   `#[target_feature]`, a runtime-detect guard with scalar
+//!   fallback, and a `// SAFETY:` comment.
+//! * **DS1** ([`ds1`]) — dead stores: computed values overwritten or
+//!   dropped before any read (liveness over the CFG).
+//!
+//! The S1 bounds prover additionally consults the 2-D linear engine
+//! ([`linear`]), which discharges `data[r * cols + c]` indexing from
+//! constructor invariants and local guards.
 
+pub mod a2;
 pub mod bounds;
+pub mod cfg;
+pub mod dataflow;
+pub mod ds1;
+pub mod h1;
+pub mod linear;
 pub mod s1;
 pub mod s2;
 pub mod s3;
@@ -36,6 +57,9 @@ pub fn analyze_sources(sources: &[(String, String)], root: Option<&Path>) -> Sem
     let ws = Workspace::build(sources, root);
     let mut findings = s1::run(&ws);
     findings.extend(s2::run(&ws));
+    findings.extend(h1::run(&ws));
+    findings.extend(a2::run(&ws));
+    findings.extend(ds1::run(&ws));
     findings.sort_by(|a, b| {
         (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
     });

@@ -12,7 +12,7 @@
 //! public can reach (internal test helpers, dead branches behind
 //! private constructors) no longer need allowlist entries.
 
-use super::bounds;
+use super::{bounds, linear};
 use crate::ast::{expr_text, peel, ExprKind};
 use crate::model::{walk_block_exprs, FnInfo, Workspace};
 use crate::rules::{Finding, ScopeKind, NUMERIC_CRATES};
@@ -97,6 +97,7 @@ fn chain_to(ws: &Workspace, parent: &[Option<usize>], mut v: usize) -> Vec<Strin
 
 fn collect_dangers(ws: &Workspace) -> Vec<Danger> {
     let mut out = Vec::new();
+    let env = linear::Env::build(ws);
     for f in &ws.fns {
         if f.in_test || f.kind != ScopeKind::Lib || !NUMERIC_CRATES.contains(&f.crate_key.as_str())
         {
@@ -104,6 +105,7 @@ fn collect_dangers(ws: &Workspace) -> Vec<Danger> {
         }
         let Some(body) = &f.body else { continue };
         let facts = bounds::gather(body);
+        let lfacts = linear::gather(f, &env);
         walk_block_exprs(body, &mut |e| match &e.kind {
             ExprKind::MethodCall { recv, method, .. }
                 if method == "unwrap" || method == "expect" =>
@@ -126,7 +128,10 @@ fn collect_dangers(ws: &Workspace) -> Vec<Danger> {
                     desc: format!("`{}!`", path.last().unwrap()),
                 });
             }
-            ExprKind::Index { recv, index } if !bounds::discharged(recv, index, &facts) => {
+            ExprKind::Index { recv, index }
+                if !bounds::discharged(recv, index, &facts)
+                    && !linear::discharged(recv, index, &lfacts) =>
+            {
                 out.push(Danger {
                     fn_id: f.id,
                     line: e.line,

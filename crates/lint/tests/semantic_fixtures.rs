@@ -292,3 +292,238 @@ fn s3_literal_emission_counts_but_test_only_emission_does_not() {
     assert_eq!(s3.len(), 1, "{warnings:#?}");
     assert!(s3[0].message.contains("metric_b"), "{}", s3[0].message);
 }
+
+// --- H1: hot-path allocation discipline ------------------------------------
+
+#[test]
+fn h1_reports_allocation_with_call_chain_from_hot_root() {
+    let src = "pub fn forward_ws(n: usize) -> f32 {\n\
+               \x20   helper(n)\n\
+               }\n\
+               \n\
+               fn helper(n: usize) -> f32 {\n\
+               \x20   let buf = vec![0.0f32; n];\n\
+               \x20   buf.iter().sum()\n\
+               }\n";
+    let (findings, _) = analyze(&[(CORE, src)]);
+    let h1 = rule(&findings, "H1");
+    assert_eq!(h1.len(), 1, "{findings:#?}");
+    assert_eq!(h1[0].file, CORE);
+    assert_eq!(h1[0].line, 6);
+    assert_eq!(
+        h1[0].message,
+        "`vec![…]` allocates in the per-timestep hot path, \
+         reached via core::forward_ws -> core::helper"
+    );
+}
+
+#[test]
+fn h1_setup_regions_and_error_paths_stay_silent() {
+    // `pack` is a setup stop (panel caching allocates by design), and
+    // `Err(format!…)` is a cold path: neither may produce a finding.
+    let src = "pub fn forward_ws(n: usize) -> Result<f32, String> {\n\
+               \x20   let w = pack(n);\n\
+               \x20   if n == 0 {\n\
+               \x20       return Err(format!(\"empty batch: {n}\"));\n\
+               \x20   }\n\
+               \x20   Ok(w)\n\
+               }\n\
+               \n\
+               fn pack(n: usize) -> f32 {\n\
+               \x20   let buf = vec![0.0f32; n];\n\
+               \x20   buf.iter().sum()\n\
+               }\n";
+    let (findings, _) = analyze(&[(CORE, src)]);
+    assert!(rule(&findings, "H1").is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn h1_is_scoped_to_the_hot_call_graph() {
+    // The same allocating helper is fine when only cold code calls it.
+    let src = "pub fn report(n: usize) -> f32 {\n\
+               \x20   helper(n)\n\
+               }\n\
+               \n\
+               fn helper(n: usize) -> f32 {\n\
+               \x20   let buf = vec![0.0f32; n];\n\
+               \x20   buf.iter().sum()\n\
+               }\n";
+    let (findings, _) = analyze(&[(CORE, src)]);
+    assert!(rule(&findings, "H1").is_empty(), "{findings:#?}");
+}
+
+// --- A2: SIMD readiness ----------------------------------------------------
+
+#[test]
+fn a2_flags_naked_intrinsic_use() {
+    let src = "pub fn dot8(n: usize) -> f32 {\n\
+               \x20   let acc = unsafe { _mm256_setzero_ps() };\n\
+               \x20   0.0\n\
+               }\n";
+    let (findings, _) = analyze(&[(CORE, src)]);
+    let a2 = rule(&findings, "A2");
+    assert_eq!(a2.len(), 2, "{findings:#?}");
+    assert_eq!(a2[0].file, CORE);
+    assert_eq!(a2[0].line, 2);
+    assert_eq!(
+        a2[0].message,
+        "intrinsic `_mm256_setzero_ps` lacks a `// SAFETY:` comment within 3 lines above"
+    );
+    assert_eq!(a2[1].line, 2);
+    assert_eq!(
+        a2[1].message,
+        "intrinsic `_mm256_setzero_ps` used outside a #[target_feature] function"
+    );
+}
+
+#[test]
+fn a2_flags_unguarded_call_into_target_feature_fn() {
+    let src = "#[target_feature(enable = \"avx2\")]\n\
+               unsafe fn sum8(n: usize) -> f32 {\n\
+               \x20   // SAFETY: caller verified avx2 support.\n\
+               \x20   let acc = _mm256_setzero_ps();\n\
+               \x20   0.0\n\
+               }\n\
+               \n\
+               pub fn sum(n: usize) -> f32 {\n\
+               \x20   unsafe { sum8(n) }\n\
+               }\n";
+    let (findings, _) = analyze(&[(CORE, src)]);
+    let a2 = rule(&findings, "A2");
+    assert_eq!(a2.len(), 1, "{findings:#?}");
+    assert_eq!(a2[0].line, 9);
+    assert_eq!(
+        a2[0].message,
+        "call to #[target_feature] fn `sum8` without an \
+         is_x86_feature_detected! guard and scalar fallback"
+    );
+}
+
+#[test]
+fn a2_detect_guarded_dispatch_with_fallback_stays_clean() {
+    let src = "#[target_feature(enable = \"avx2\")]\n\
+               unsafe fn sum8(n: usize) -> f32 {\n\
+               \x20   // SAFETY: caller verified avx2 support.\n\
+               \x20   let acc = _mm256_setzero_ps();\n\
+               \x20   0.0\n\
+               }\n\
+               \n\
+               pub fn sum(n: usize) -> f32 {\n\
+               \x20   if is_x86_feature_detected!(\"avx2\") {\n\
+               \x20       unsafe { sum8(n) }\n\
+               \x20   } else {\n\
+               \x20       n as f32\n\
+               \x20   }\n\
+               }\n";
+    let (findings, _) = analyze(&[(CORE, src)]);
+    assert!(rule(&findings, "A2").is_empty(), "{findings:#?}");
+}
+
+// --- DS1: dead stores ------------------------------------------------------
+
+#[test]
+fn ds1_flags_computed_store_overwritten_before_read() {
+    let src = "pub fn stats(xs: &[f32]) -> f32 {\n\
+               \x20   let mut acc = 0.0;\n\
+               \x20   acc = xs.iter().sum();\n\
+               \x20   acc = 0.0;\n\
+               \x20   acc\n\
+               }\n";
+    let (findings, _) = analyze(&[(CORE, src)]);
+    let ds1 = rule(&findings, "DS1");
+    assert_eq!(ds1.len(), 1, "{findings:#?}");
+    assert_eq!(ds1[0].file, CORE);
+    assert_eq!(ds1[0].line, 3);
+    assert_eq!(
+        ds1[0].message,
+        "dead store to `acc`: the computed value is overwritten or dropped before any read"
+    );
+}
+
+#[test]
+fn ds1_read_before_overwrite_and_element_stores_stay_clean() {
+    // First store is read by `scaled`; the zero re-init is a trivial
+    // rhs; element stores never kill the whole buffer.
+    let src = "pub fn stats(xs: &[f32], buf: &mut [f32]) -> f32 {\n\
+               \x20   let mut acc = 0.0;\n\
+               \x20   acc = xs.iter().sum();\n\
+               \x20   let scaled = acc * 0.5;\n\
+               \x20   acc = 0.0;\n\
+               \x20   let mut tmp = vec![0.0; xs.len()];\n\
+               \x20   for i in 0..xs.len() {\n\
+               \x20       tmp[i] = xs[i] * 2.0;\n\
+               \x20   }\n\
+               \x20   scaled + acc + tmp.iter().sum::<f32>()\n\
+               }\n";
+    let (findings, _) = analyze(&[(CORE, src)]);
+    assert!(rule(&findings, "DS1").is_empty(), "{findings:#?}");
+}
+
+// --- S1 2-D prover: flattened indexing from constructor invariants ---------
+
+#[test]
+fn s1_two_d_prover_discharges_flattened_index_from_ctor_invariant() {
+    // `zeros` establishes `data.len() == rows * cols`; the prover must
+    // discharge `data[r * cols + c]` under the loop bounds with no
+    // allowlist entry and no assert.
+    let src = "pub struct Grid {\n\
+               \x20   data: Vec<f32>,\n\
+               \x20   rows: usize,\n\
+               \x20   cols: usize,\n\
+               }\n\
+               \n\
+               impl Grid {\n\
+               \x20   pub fn zeros(rows: usize, cols: usize) -> Grid {\n\
+               \x20       Grid { data: vec![0.0; rows * cols], rows, cols }\n\
+               \x20   }\n\
+               \n\
+               \x20   pub fn sum(&self) -> f32 {\n\
+               \x20       let mut acc = 0.0;\n\
+               \x20       for r in 0..self.rows {\n\
+               \x20           for c in 0..self.cols {\n\
+               \x20               acc += self.data[r * self.cols + c];\n\
+               \x20           }\n\
+               \x20       }\n\
+               \x20       acc\n\
+               \x20   }\n\
+               }\n";
+    let (findings, _) = analyze(&[(TENSOR, src)]);
+    assert!(rule(&findings, "S1").is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn s1_two_d_prover_still_flags_unverifiable_buffer() {
+    // Same indexing, but the constructor takes the buffer from the
+    // caller, so no length invariant is established and the index
+    // obligation cannot be discharged.
+    let src = "pub struct Grid {\n\
+               \x20   data: Vec<f32>,\n\
+               \x20   rows: usize,\n\
+               \x20   cols: usize,\n\
+               }\n\
+               \n\
+               impl Grid {\n\
+               \x20   pub fn wrap(data: Vec<f32>, rows: usize, cols: usize) -> Grid {\n\
+               \x20       Grid { data, rows, cols }\n\
+               \x20   }\n\
+               \n\
+               \x20   pub fn sum(&self) -> f32 {\n\
+               \x20       let mut acc = 0.0;\n\
+               \x20       for r in 0..self.rows {\n\
+               \x20           for c in 0..self.cols {\n\
+               \x20               acc += self.data[r * self.cols + c];\n\
+               \x20           }\n\
+               \x20       }\n\
+               \x20       acc\n\
+               \x20   }\n\
+               }\n";
+    let (findings, _) = analyze(&[(TENSOR, src)]);
+    let s1 = rule(&findings, "S1");
+    assert_eq!(s1.len(), 1, "{findings:#?}");
+    assert_eq!(s1[0].line, 16);
+    assert_eq!(
+        s1[0].message,
+        "unchecked index `self.data[r*self.cols+c]` reachable from \
+         public API via tensor::Grid::sum"
+    );
+}

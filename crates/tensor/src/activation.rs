@@ -127,7 +127,7 @@ impl ActivationLut {
             return self.table[n - 1];
         }
         let pos = (x + self.range) / (2.0 * self.range) * ((n - 1) as f32);
-        let lo = pos.floor() as usize;
+        let lo = (pos.floor() as usize).min(n - 1);
         let hi = (lo + 1).min(n - 1);
         let frac = pos - lo as f32;
         self.table[lo] * (1.0 - frac) + self.table[hi] * frac

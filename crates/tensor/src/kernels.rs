@@ -129,6 +129,8 @@ fn store_tile<const R: usize>(
     width: usize,
     store: Store,
 ) {
+    debug_assert_eq!(acc.len(), R);
+    debug_assert!(j0 + width <= n && (i0 + R) * n <= out.len());
     for (ii, lanes) in acc.iter().enumerate() {
         let base = (i0 + ii) * n + j0;
         let row = &mut out[base..base + width];
@@ -159,6 +161,8 @@ fn store_tile_epilogue<const R: usize, F: Fn(usize, f32) -> f32>(
     width: usize,
     f: &F,
 ) {
+    debug_assert_eq!(acc.len(), R);
+    debug_assert!(j0 + width <= n && (i0 + R) * n <= out.len());
     for (ii, lanes) in acc.iter().enumerate() {
         let base = (i0 + ii) * n + j0;
         let row = &mut out[base..base + width];
@@ -307,18 +311,21 @@ pub fn gemm_tn_rows(
 ) {
     debug_assert_eq!(pb.k(), k);
     debug_assert_eq!(a.len(), k * m);
+    debug_assert!(i0_out + rows <= m);
     let n = pb.n();
     debug_assert_eq!(out_rows.len(), rows * n);
     crate::stats::record_gemm(rows, k, n);
     for panel_idx in 0..pb.panels() {
         let panel = pb.panel(panel_idx);
+        debug_assert_eq!(panel.len(), k * NR);
         let j0 = panel_idx * NR;
         let width = NR.min(n - j0);
         let mut i0 = 0;
         while i0 + MR <= rows {
             let col = i0_out + i0;
             let mut acc = [[0.0f32; NR]; MR];
-            for (p, b) in panel.chunks_exact(NR).enumerate() {
+            for p in 0..k {
+                let b = &panel[p * NR..(p + 1) * NR];
                 let av = &a[p * m + col..p * m + col + MR];
                 for (ii, &a_v) in av.iter().enumerate() {
                     if a_v != 0.0 {
@@ -334,7 +341,8 @@ pub fn gemm_tn_rows(
         while i0 < rows {
             let col = i0_out + i0;
             let mut acc = [[0.0f32; NR]; 1];
-            for (p, b) in panel.chunks_exact(NR).enumerate() {
+            for p in 0..k {
+                let b = &panel[p * NR..(p + 1) * NR];
                 let a_v = a[p * m + col];
                 if a_v != 0.0 {
                     for jj in 0..NR {

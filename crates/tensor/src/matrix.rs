@@ -30,6 +30,7 @@ pub const PACK_MIN_FLOPS: usize = 32 * 32 * 32;
 /// bit-identical to the serial sweep.
 #[inline]
 fn nn_row(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+    debug_assert_eq!(b.len(), a_row.len() * n);
     for (p, &a) in a_row.iter().enumerate() {
         if a == 0.0 {
             continue;
@@ -45,6 +46,7 @@ fn nn_row(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
 /// `out_row[j] = a_row · b_row_j`.
 #[inline]
 fn nt_row(a_row: &[f32], b: &[f32], k: usize, out_row: &mut [f32]) {
+    debug_assert_eq!(b.len(), out_row.len() * k);
     for (j, o) in out_row.iter_mut().enumerate() {
         let b_row = &b[j * k..(j + 1) * k];
         let mut acc = 0.0f32;
@@ -379,6 +381,7 @@ impl Matrix {
         }
         let a = &self.data;
         Self::par_row_blocks(&mut out.data, m, n, cfg.threads, |row0, rows, chunk| {
+            debug_assert!((row0 + rows) * k <= a.len());
             kernels::gemm_nt_rows(&a[row0 * k..(row0 + rows) * k], rows, k, pb, chunk, store);
         });
         Ok(())
@@ -416,6 +419,7 @@ impl Matrix {
         let a = &self.data;
         let f = &f;
         Self::par_row_blocks(&mut out.data, m, n, cfg.threads, |row0, rows, chunk| {
+            debug_assert!((row0 + rows) * k <= a.len());
             kernels::gemm_nt_rows_epilogue(&a[row0 * k..(row0 + rows) * k], rows, k, pb, chunk, f);
         });
         Ok(())
@@ -617,6 +621,7 @@ impl Matrix {
         let a = &self.data;
         let mut out = Matrix::zeros(m, n);
         Self::par_row_blocks(&mut out.data, m, n, cfg.threads, |row0, rows, chunk| {
+            debug_assert!((row0 + rows) * k <= a.len());
             kernels::gemm_nn_rows(
                 &a[row0 * k..(row0 + rows) * k],
                 rows,
@@ -674,6 +679,7 @@ impl Matrix {
         let a = &self.data;
         let mut out = Matrix::zeros(m, n);
         Self::par_row_blocks(&mut out.data, m, n, cfg.threads, |row0, rows, chunk| {
+            debug_assert!((row0 + rows) * k <= a.len());
             kernels::gemm_nt_rows(
                 &a[row0 * k..(row0 + rows) * k],
                 rows,
@@ -908,8 +914,9 @@ impl Matrix {
         }
         let mut out = Matrix::zeros(self.rows, self.cols + rhs.cols);
         for r in 0..self.rows {
-            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
-            out.row_mut(r)[self.cols..].copy_from_slice(rhs.row(r));
+            let (left, right) = out.row_mut(r).split_at_mut(self.cols);
+            left.copy_from_slice(self.row(r));
+            right.copy_from_slice(rhs.row(r));
         }
         Ok(out)
     }
@@ -923,7 +930,10 @@ impl Matrix {
     ///
     /// Panics if `start + count > rows`.
     pub fn rows_slice(&self, start: usize, count: usize) -> Matrix {
-        assert!(start + count <= self.rows, "row slice out of bounds");
+        assert!(
+            start <= self.rows && count <= self.rows - start,
+            "row slice out of bounds"
+        );
         Matrix {
             rows: count,
             cols: self.cols,
@@ -937,11 +947,15 @@ impl Matrix {
     ///
     /// Panics if `start + width > cols`.
     pub fn col_slice(&self, start: usize, width: usize) -> Matrix {
-        assert!(start + width <= self.cols, "column slice out of bounds");
+        assert!(
+            start <= self.cols && width <= self.cols - start,
+            "column slice out of bounds"
+        );
         let mut out = Matrix::zeros(self.rows, width);
         for r in 0..self.rows {
-            out.row_mut(r)
-                .copy_from_slice(&self.row(r)[start..start + width]);
+            let row = self.row(r);
+            debug_assert_eq!(row.len(), self.cols);
+            out.row_mut(r).copy_from_slice(&row[start..start + width]);
         }
         out
     }

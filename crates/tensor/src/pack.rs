@@ -48,7 +48,7 @@ impl PackedB {
         let mut data = vec![0.0f32; panels * k * NR];
         if k > 0 {
             let src = b.as_slice();
-            for (panel, chunk) in data.chunks_mut(k * NR).enumerate() {
+            for (panel, chunk) in data.chunks_exact_mut(k * NR).enumerate() {
                 let j0 = panel * NR;
                 let width = NR.min(n - j0);
                 for p in 0..k {
@@ -68,7 +68,7 @@ impl PackedB {
         let mut data = vec![0.0f32; panels * k * NR];
         if k > 0 {
             let src = b.as_slice();
-            for (panel, chunk) in data.chunks_mut(k * NR).enumerate() {
+            for (panel, chunk) in data.chunks_exact_mut(k * NR).enumerate() {
                 let j0 = panel * NR;
                 let width = NR.min(n - j0);
                 for jj in 0..width {
@@ -104,7 +104,9 @@ impl PackedB {
     /// Panics if `idx >= self.panels()`.
     #[inline]
     pub fn panel(&self, idx: usize) -> &[f32] {
+        assert!(idx < self.panels(), "panel index out of bounds");
         let stride = self.k * NR;
+        debug_assert_eq!(self.data.len(), self.panels() * stride);
         &self.data[idx * stride..(idx + 1) * stride]
     }
 

@@ -163,10 +163,23 @@ impl SparseVec {
     /// Decodes back to a dense vector with pruned positions set to zero.
     pub fn decode(&self) -> Vec<f32> {
         let mut out = vec![0.0; self.dense_len];
+        self.decode_into(&mut out);
+        out
+    }
+
+    /// Decodes into a caller-owned buffer, zeroing pruned positions —
+    /// the zero-alloc counterpart of [`decode`] the per-timestep
+    /// backward path uses with reused workspace storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != dense_len`.
+    pub fn decode_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dense_len, "decode_into length mismatch");
+        out.fill(0.0);
         for (&i, &v) in self.indices.iter().zip(self.values.iter()) {
             out[i as usize] = v;
         }
-        out
     }
 
     /// Decodes into a matrix of the given shape.
