@@ -329,7 +329,7 @@ impl LstmLayer {
             // the recurrence and any later recompute both see exactly
             // the stored values.
             ms3::quantize_cell(precision, &mut fw, &mut ws.ms3_conv);
-            let kept = keep.is_empty() || keep[t];
+            let kept = keep.get(t).copied().unwrap_or(true);
             let ms3_keeps = !ms3_drops || ms3.is_some_and(|c| c.keeps_cell(t));
             if !kept {
                 // Inference-style cell: store s only if a later backward
@@ -338,7 +338,8 @@ impl LstmLayer {
                 let needs_s = if ms3_drops {
                     ms3_keeps
                 } else {
-                    let successor_kept = t + 1 < xs.len() && (keep.is_empty() || keep[t + 1]);
+                    let successor_kept =
+                        t + 1 < xs.len() && keep.get(t + 1).copied().unwrap_or(true);
                     successor_kept && matches!(mode, StorageMode::Dense)
                 };
                 let s = if needs_s {
@@ -568,7 +569,9 @@ impl LstmLayer {
             // needs: its own record if dropped, and (under MS3) the
             // in-segment predecessor state feeding its P1 products.
             if ms3_drops {
-                let cfg = ms3.expect("ms3_drops implies a config");
+                let Some(cfg) = ms3 else {
+                    unreachable!("ms3_drops implies a config")
+                };
                 let needed = match entry {
                     TapeEntry::Dropped => Some(t),
                     TapeEntry::Dense(_) if t > 0 && !cfg.keeps_cell(t - 1) => Some(t - 1),
@@ -603,8 +606,13 @@ impl LstmLayer {
                     let prev_dropped =
                         ms3_drops && t > 0 && ms3.is_some_and(|c| !c.keeps_cell(t - 1));
                     let s_prev = if prev_dropped {
-                        let base = cache_base.expect("cache primed for dense cell");
-                        &ws.ms3_segment[t - 1 - base].s
+                        let Some(base) = cache_base else {
+                            unreachable!("cache primed for dense cell")
+                        };
+                        match ws.ms3_segment.get(t - 1 - base) {
+                            Some(fw) => &fw.s,
+                            None => unreachable!("segment cache covers the predecessor"),
+                        }
                     } else {
                         Self::stored_s_ref(tape, t, &zero_h)
                     };
@@ -636,20 +644,29 @@ impl LstmLayer {
                     }
                 }
                 TapeEntry::Dropped => {
-                    let base = cache_base.expect("cache primed for dropped cell");
+                    let Some(base) = cache_base else {
+                        unreachable!("cache primed for dropped cell")
+                    };
                     // P1 from the recomputed record; the state seed
                     // chains through the cache (or the checkpoint at the
                     // segment boundary).
                     {
-                        let fw = &ws.ms3_segment[t - base];
+                        let Some(fw) = ws.ms3_segment.get(t - base) else {
+                            unreachable!("segment cache covers this cell")
+                        };
                         let s_prev = if t == base {
                             checkpoint_s_ref(tape, t, &zero_h)
                         } else {
-                            &ws.ms3_segment[t - 1 - base].s
+                            match ws.ms3_segment.get(t - 1 - base) {
+                                Some(prev) => &prev.s,
+                                None => unreachable!("segment cache covers the predecessor"),
+                            }
                         };
                         cell::compute_p1_into(&mut ws.p1, fw, s_prev)?;
                     }
-                    let fw = &ws.ms3_segment[t - base];
+                    let Some(fw) = ws.ms3_segment.get(t - base) else {
+                        unreachable!("segment cache covers this cell")
+                    };
                     if let Some(thr) = ms1_threshold {
                         // MS1×MS3: a recomputed record was never stored
                         // compressed, so prune its P1 products exactly
@@ -711,7 +728,10 @@ impl LstmLayer {
                 *dst = dy + dh;
             }
 
-            let h_prev = if t == 0 { &zero_h } else { &tape.hs[t - 1] };
+            let h_prev = match t.checked_sub(1).and_then(|i| tape.hs.get(i)) {
+                Some(h) => h,
+                None => &zero_h,
+            };
             // BP reloads the cell's weights and activations.
             instruments.load(DataCategory::Weights, self.params.size_bytes());
             instruments.load(
@@ -787,26 +807,37 @@ impl LstmLayer {
             ws.ms3_segment.push(CellForward::empty());
         }
         for u in base..=upto {
-            let h_prev = if u == 0 { zero_h } else { &tape.hs[u - 1] };
+            let h_prev = match u.checked_sub(1).and_then(|i| tape.hs.get(i)) {
+                Some(h) => h,
+                None => zero_h,
+            };
+            let Some(x_u) = xs.get(u) else {
+                unreachable!("segment range lies within the sequence")
+            };
             // Recompute genuinely re-reads what forward read: weights
             // plus the (narrow-stored) input and context activations.
             instruments.load(DataCategory::Weights, self.params.size_bytes());
             instruments.load(
                 DataCategory::Activations,
-                scaled_bytes(xs[u].size_bytes() + h_prev.size_bytes(), cfg.precision),
+                scaled_bytes(x_u.size_bytes() + h_prev.size_bytes(), cfg.precision),
             );
             let (done, rest) = ws.ms3_segment.split_at_mut(u - base);
-            let out = &mut rest[0];
+            let Some(out) = rest.first_mut() else {
+                unreachable!("segment cache sized for the whole segment")
+            };
             let s_prev = if u == base {
                 checkpoint_s_ref(tape, u, zero_h)
             } else {
-                &done[u - 1 - base].s
+                match done.get(u - 1 - base) {
+                    Some(prev) => &prev.s,
+                    None => unreachable!("segment cache covers the predecessor"),
+                }
             };
             let cell_scope = instruments.scope("fw_cell");
             cell::forward_into_with_preact(
                 &self.params,
                 panels,
-                &xs[u],
+                x_u,
                 h_prev,
                 s_prev,
                 kernel,
@@ -882,10 +913,10 @@ fn prune_in_place(m: &mut Matrix, threshold: f32) {
 /// preceding kept cell — stored inline for dense and MS2-boundary
 /// entries, or in the tape's out-of-band `ckpt_s` lane under MS1.
 fn checkpoint_s_ref<'a>(tape: &'a LayerTape, base: usize, zero: &'a Matrix) -> &'a Matrix {
-    if base == 0 {
+    let Some(entry) = base.checked_sub(1).and_then(|i| tape.entries.get(i)) else {
         return zero;
-    }
-    match &tape.entries[base - 1] {
+    };
+    match entry {
         TapeEntry::Dense(fw) => &fw.s,
         TapeEntry::Skipped { s: Some(s) } => s,
         TapeEntry::Compressed(_) => match tape.ckpt_s.get(base - 1) {

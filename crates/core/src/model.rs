@@ -261,7 +261,7 @@ impl LstmModel {
     ) -> Result<StepResult> {
         self.check_inputs(xs)?;
         let seq_len = self.config.seq_len;
-        let batch = xs[0].rows();
+        let batch = xs.first().map_or(0, Matrix::rows);
         let hidden = self.config.hidden_size;
 
         let mode = match plan.ms1 {
@@ -285,10 +285,13 @@ impl LstmModel {
         let mut tapes: Vec<LayerTape> = Vec::with_capacity(self.layers.len());
         for (l, layer) in self.layers.iter().enumerate() {
             let keep: &[bool] = match &plan.skip {
-                Some(p) => &p.keep[l],
+                Some(p) => p.keep.get(l).map_or(&empty_keep[..], Vec::as_slice),
                 None => &empty_keep,
             };
-            let input: &[Matrix] = if l == 0 { xs } else { &tapes[l - 1].hs };
+            let input: &[Matrix] = match tapes.last() {
+                Some(prev) => &prev.hs,
+                None => xs,
+            };
             let tape = layer.forward_sequence_ws(
                 input,
                 mode,
@@ -301,32 +304,31 @@ impl LstmModel {
             )?;
             tapes.push(tape);
         }
-        let top_hs: &[Matrix] = &tapes[self.layers.len() - 1].hs;
+        let top_hs: &[Matrix] = tapes.last().map_or(&[][..], |t| &t.hs[..]);
+        let last_h = top_hs.last().ok_or_else(|| LstmError::BatchShape {
+            detail: "empty model: no top-layer activations".into(),
+        })?;
 
         // ---- Loss + head gradients.
         let mut head_grads = self.head.zero_grads();
         let mut dys: Vec<Matrix> = (0..seq_len).map(|_| Matrix::zeros(batch, hidden)).collect();
         let loss = match targets {
             Targets::Classes(classes) => {
-                let logits = self.head.forward(&top_hs[seq_len - 1])?;
+                let logits = self.head.forward(last_h)?;
                 let (loss, mut dlogits) = loss::softmax_xent(&logits, classes)?;
                 if loss_scale != 1.0 {
                     dlogits.scale(loss_scale);
                 }
-                dys[seq_len - 1] =
-                    self.head
-                        .backward(&top_hs[seq_len - 1], &dlogits, &mut head_grads)?;
+                dys[seq_len - 1] = self.head.backward(last_h, &dlogits, &mut head_grads)?;
                 loss
             }
             Targets::Regression(target) => {
-                let pred = self.head.forward(&top_hs[seq_len - 1])?;
+                let pred = self.head.forward(last_h)?;
                 let (loss, mut dpred) = loss::mse(&pred, target)?;
                 if loss_scale != 1.0 {
                     dpred.scale(loss_scale);
                 }
-                dys[seq_len - 1] =
-                    self.head
-                        .backward(&top_hs[seq_len - 1], &dpred, &mut head_grads)?;
+                dys[seq_len - 1] = self.head.backward(last_h, &dpred, &mut head_grads)?;
                 loss
             }
             Targets::StepClasses(step_classes) => {
@@ -339,12 +341,12 @@ impl LstmModel {
                     });
                 }
                 let mut total = 0.0;
-                for (t, classes) in step_classes.iter().enumerate() {
-                    let logits = self.head.forward(&top_hs[t])?;
+                for (t, (classes, h_t)) in step_classes.iter().zip(top_hs).enumerate() {
+                    let logits = self.head.forward(h_t)?;
                     let (l, mut dlogits) = loss::softmax_xent(&logits, classes)?;
                     total += l;
                     dlogits.scale(loss_scale * (1.0 / seq_len as f32));
-                    dys[t] = self.head.backward(&top_hs[t], &dlogits, &mut head_grads)?;
+                    dys[t] = self.head.backward(h_t, &dlogits, &mut head_grads)?;
                 }
                 total / seq_len as f64
             }
@@ -358,12 +360,12 @@ impl LstmModel {
                     });
                 }
                 let mut total = 0.0;
-                for (t, target) in step_targets.iter().enumerate() {
-                    let pred = self.head.forward(&top_hs[t])?;
+                for (t, (target, h_t)) in step_targets.iter().zip(top_hs).enumerate() {
+                    let pred = self.head.forward(h_t)?;
                     let (l, mut dpred) = loss::mse(&pred, target)?;
                     total += l;
                     dpred.scale(loss_scale * (1.0 / seq_len as f32));
-                    dys[t] = self.head.backward(&top_hs[t], &dpred, &mut head_grads)?;
+                    dys[t] = self.head.backward(h_t, &dpred, &mut head_grads)?;
                 }
                 total / seq_len as f64
             }
@@ -375,8 +377,11 @@ impl LstmModel {
         let mut p1_stats = CompressionStats::default();
         let mut dys_current = dys;
         for l in (0..self.layers.len()).rev() {
+            let Some(tape) = tapes.get(l) else {
+                unreachable!("one tape per layer")
+            };
             let scale = match &plan.skip {
-                Some(p) => p.scale[l],
+                Some(p) => p.scale.get(l).copied().unwrap_or(1.0),
                 None => 1.0,
             };
             // Gradient-storage emulation: the per-timestep gradients
@@ -387,10 +392,13 @@ impl LstmModel {
                     lowp::quantize_matrix(precision, dy, &mut ws.ms3_conv);
                 }
             }
-            let input: &[Matrix] = if l == 0 { xs } else { &tapes[l - 1].hs };
+            let input: &[Matrix] = match l.checked_sub(1).and_then(|i| tapes.get(i)) {
+                Some(prev) => &prev.hs,
+                None => xs,
+            };
             let back = self.layers[l].backward_sequence_ws(
                 input,
-                &tapes[l],
+                tape,
                 &dys_current,
                 scale,
                 plan.ms3.as_ref(),
@@ -399,7 +407,7 @@ impl LstmModel {
                 panels.and_then(|p| p.layer(l)),
                 ws,
             )?;
-            p1_stats.merge(&LstmLayer::tape_compression_stats(&tapes[l]));
+            p1_stats.merge(&LstmLayer::tape_compression_stats(tape));
             magnitudes[l] = back.magnitudes;
             cell_grads[l] = Some(back.grads);
             dys_current = back.dxs;
@@ -419,7 +427,10 @@ impl LstmModel {
         let mut grads = ModelGrads {
             cells: cell_grads
                 .into_iter()
-                .map(|g| g.expect("every layer ran backward"))
+                .map(|g| match g {
+                    Some(g) => g,
+                    None => unreachable!("every layer ran backward"),
+                })
                 .collect(),
             head: head_grads,
         };
@@ -478,30 +489,43 @@ impl LstmModel {
         self.check_inputs(xs)?;
         let logits = self.forward_inference(xs)?;
         let seq_len = self.config.seq_len;
+        let last_logits = logits.last().ok_or_else(|| LstmError::BatchShape {
+            detail: "empty model: no output logits".into(),
+        })?;
+        let check_steps = |n: usize| -> Result<()> {
+            if n != seq_len {
+                return Err(LstmError::BatchShape {
+                    detail: format!("{n} target steps for sequence length {seq_len}"),
+                });
+            }
+            Ok(())
+        };
         match targets {
             Targets::Classes(classes) => {
-                let (l, _) = loss::softmax_xent(&logits[seq_len - 1], classes)?;
-                Ok((l, Some(loss::accuracy(&logits[seq_len - 1], classes))))
+                let (l, _) = loss::softmax_xent(last_logits, classes)?;
+                Ok((l, Some(loss::accuracy(last_logits, classes))))
             }
             Targets::Regression(target) => {
-                let (l, _) = loss::mse(&logits[seq_len - 1], target)?;
+                let (l, _) = loss::mse(last_logits, target)?;
                 Ok((l, None))
             }
             Targets::StepClasses(step_classes) => {
+                check_steps(step_classes.len())?;
                 let mut total = 0.0;
                 let mut acc = 0.0;
-                for (t, classes) in step_classes.iter().enumerate() {
-                    let (l, _) = loss::softmax_xent(&logits[t], classes)?;
+                for (classes, step) in step_classes.iter().zip(&logits) {
+                    let (l, _) = loss::softmax_xent(step, classes)?;
                     total += l;
-                    acc += loss::accuracy(&logits[t], classes);
+                    acc += loss::accuracy(step, classes);
                 }
                 let n = step_classes.len() as f64;
                 Ok((total / n, Some(acc / n)))
             }
             Targets::StepRegression(step_targets) => {
+                check_steps(step_targets.len())?;
                 let mut total = 0.0;
-                for (t, target) in step_targets.iter().enumerate() {
-                    let (l, _) = loss::mse(&logits[t], target)?;
+                for (target, step) in step_targets.iter().zip(&logits) {
+                    let (l, _) = loss::mse(step, target)?;
                     total += l;
                 }
                 Ok((total / step_targets.len() as f64, None))

@@ -281,7 +281,15 @@ pub fn train_step_sharded_ws(
     };
 
     let mut slots: Vec<Option<Result<StepResult>>> = (0..ranges.len()).map(|_| None).collect();
-    let workers = par.threads.min(ranges.len());
+    // Worker count is a pure latency knob: the shard split and merge
+    // order are fixed above, so clamping to the machine (the shim
+    // backs every spawn with an OS thread) cannot change results.
+    let workers = par
+        .threads
+        .min(ranges.len())
+        .min(rayon::current_num_threads())
+        .max(1);
+    debug_assert!(workers <= rayon::current_num_threads());
     if workers <= 1 {
         let ws = pool.slot(0);
         for (i, slot) in slots.iter_mut().enumerate() {

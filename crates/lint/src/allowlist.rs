@@ -23,7 +23,7 @@ pub struct AllowEntry {
 }
 
 const KNOWN_RULES: &[&str] = &[
-    "D1", "D2", "D3", "A1", "T1", "S1", "S2", "S3", "H1", "A2", "DS1", "R1",
+    "D1", "D2", "A1", "T1", "S1", "S2", "S3", "H1", "A2", "DS1", "R1", "C1", "C2", "C3",
 ];
 
 /// Parses allowlist text. `root` anchors the existence check for

@@ -93,6 +93,9 @@ impl Item {
 pub struct FnDef {
     pub params: Vec<Param>,
     pub has_self: bool,
+    /// The receiver is an exclusive use: `&mut self`, `mut self`, or
+    /// consuming `self` (everything except `&self`).
+    pub self_mut: bool,
     /// Raw token text of the return type (`""` for unit).
     pub ret_text: String,
     /// `None` for trait-method declarations and extern fns.
@@ -198,6 +201,9 @@ pub enum ExprKind {
     },
     Ref {
         expr: Box<Expr>,
+        /// `&mut x` vs `&x` — the escape analysis needs the
+        /// distinction to classify captured-place mutability.
+        is_mut: bool,
     },
     Deref {
         expr: Box<Expr>,
@@ -250,6 +256,10 @@ pub enum ExprKind {
     },
     Closure {
         params: Vec<String>,
+        /// Raw type text per comma-separated parameter (`""` when the
+        /// parameter is unannotated). Lets the concurrency analysis
+        /// see `|i: usize, ws: &mut Workspace|` mutability.
+        param_tys: Vec<String>,
         body: Box<Expr>,
     },
     Return(Option<Box<Expr>>),
@@ -320,7 +330,7 @@ impl Expr {
             }
             ExprKind::Unary { expr, .. }
             | ExprKind::Cast { expr, .. }
-            | ExprKind::Ref { expr }
+            | ExprKind::Ref { expr, .. }
             | ExprKind::Deref { expr }
             | ExprKind::Try(expr) => expr.walk(f),
             ExprKind::Range { lo, hi, .. } => {
@@ -472,7 +482,7 @@ pub fn expr_text(e: &Expr) -> String {
             if *inclusive { "..=" } else { ".." },
             hi.as_deref().map(expr_text).unwrap_or_default()
         ),
-        ExprKind::Ref { expr } => expr_text(expr),
+        ExprKind::Ref { expr, .. } => expr_text(expr),
         ExprKind::Deref { expr } => format!("*{}", expr_text(expr)),
         ExprKind::Try(expr) => format!("{}?", expr_text(expr)),
         ExprKind::MacroCall { path, raw, .. } => format!("{}!({raw})", path.join("::")),
@@ -496,7 +506,7 @@ pub fn expr_text(e: &Expr) -> String {
 /// Strips leading `&`/`*`/parens-like wrappers for receiver matching.
 pub fn peel(e: &Expr) -> &Expr {
     match &e.kind {
-        ExprKind::Ref { expr } | ExprKind::Deref { expr } => peel(expr),
+        ExprKind::Ref { expr, .. } | ExprKind::Deref { expr } => peel(expr),
         _ => e,
     }
 }

@@ -1,10 +1,10 @@
 //! eta-lint: workspace static analysis enforcing the determinism,
 //! numeric-safety, and telemetry contracts.
 //!
-//! Two layers run over every `.rs` file under the workspace root (a
+//! Four layers run over every `.rs` file under the workspace root (a
 //! registry-less environment rules out `syn`; see [`lexer`]):
 //!
-//! 1. **Token rules** ([`rules`]) — D1/D2/D3/A1/T1 pattern checks on
+//! 1. **Token rules** ([`rules`]) — D1/D2/A1/T1 pattern checks on
 //!    the lexed stream.
 //! 2. **Semantic rules** ([`semantic`]) — every file is parsed to an
 //!    AST ([`parser`]), assembled into a workspace model with a
@@ -20,6 +20,15 @@
 //!    indexing from constructor invariants. R1 additionally rejects
 //!    stray `.proptest-regressions` seed files anywhere in the tree
 //!    (the in-tree proptest shim never replays them).
+//! 4. **Concurrency rules** ([`semantic::conc`]) — scoped-thread
+//!    regions (`rayon::scope`/`join`) get an escape/alias pass over
+//!    each spawned closure's captures; C1 proves pairwise-disjoint
+//!    mutable footprints with the symbolic slice-region engine
+//!    ([`semantic::disjoint`]) on top of the linear prover, C2 pins
+//!    cross-thread results to the post-join sequential merge
+//!    (subsuming the retired token rule D3), and C3 bans
+//!    locks/atomics in numeric crates outside `// SYNC:`-justified
+//!    telemetry plumbing.
 //!
 //! Justified exceptions live in `lint.toml` ([`allowlist`]);
 //! `tests/lint_clean.rs` at the workspace root gates `cargo test` on a

@@ -55,8 +55,8 @@ fn parse_args() -> Result<Args, String> {
                     "eta-lint — workspace static analysis for the eta-LSTM contracts\n\n\
                      USAGE: eta-lint [--root DIR] [--format text|json|sarif] [--output FILE]\n\n\
                      Token rules: D1 hash-ordered collections in numeric crates; D2 entropy\n\
-                     sources outside telemetry+bench+prof; D3 unordered float reductions;\n\
-                     A1 unsafe needs // SAFETY:; T1 telemetry keys from eta_telemetry::keys.\n\
+                     sources outside telemetry+bench+prof; A1 unsafe needs // SAFETY:;\n\
+                     T1 telemetry keys from eta_telemetry::keys.\n\
                      Semantic rules (AST + call graph): S1 panic-capable sites reachable\n\
                      from public numeric APIs (diagnostic shows the call chain); S2 clock/\n\
                      entropy/hash-order taint reaching numerics or telemetry; S3 registered\n\
@@ -65,6 +65,10 @@ fn parse_args() -> Result<Args, String> {
                      per-timestep hot path; A2 std::arch intrinsic hygiene (target_feature,\n\
                      runtime detect + scalar fallback, // SAFETY:); DS1 dead stores to\n\
                      local numeric state; R1 stray .proptest-regressions seed files.\n\
+                     Concurrency rules (escape/alias + slice-region prover): C1 data-race\n\
+                     freedom of scoped spawns; C2 deterministic merge order (retired D3's\n\
+                     unordered reductions, plus channels and atomic float accumulation);\n\
+                     C3 locks/atomics in numeric crates need a // SYNC: justification.\n\
                      Exceptions: lint.toml at the workspace root (rule/file/[line]/reason)."
                 );
                 std::process::exit(0);

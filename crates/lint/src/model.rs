@@ -40,6 +40,8 @@ pub struct FnInfo {
     /// Inside `#[cfg(test)]` / `#[test]` / a tests directory.
     pub in_test: bool,
     pub has_self: bool,
+    /// Receiver is an exclusive use (`&mut self`, `mut self`, `self`).
+    pub self_mut: bool,
     pub params: Vec<ast::Param>,
     pub ret_text: String,
     /// Raw interior text of each `#[…]` attribute on the fn item.
@@ -143,6 +145,32 @@ impl Workspace {
             .get(crate_key)
             .cloned()
             .unwrap_or_else(|| std::iter::once(crate_key.to_string()).collect())
+    }
+
+    /// Resolves a call *expression* from inside `caller`'s body — the
+    /// concurrency escape analysis uses this to chase captured places
+    /// through workspace calls. `Call` and `MethodCall` expressions
+    /// resolve exactly like the call-graph edges; everything else is a
+    /// std/shim call and resolves to nothing.
+    pub(crate) fn resolve_call_expr(&self, caller: &FnInfo, expr: &Expr) -> Vec<usize> {
+        let call = match &expr.kind {
+            ExprKind::Call { callee, .. } => match &callee.kind {
+                ExprKind::Path(segs) => CallRef::Path(segs.clone()),
+                _ => return Vec::new(),
+            },
+            ExprKind::MethodCall { recv, method, .. } => {
+                let on_self = matches!(
+                    &ast::peel(recv).kind,
+                    ExprKind::Path(segs) if segs.len() == 1 && segs[0] == "self"
+                );
+                CallRef::Method {
+                    name: method.clone(),
+                    on_self,
+                }
+            }
+            _ => return Vec::new(),
+        };
+        self.resolve_call(caller, &call)
     }
 
     fn resolve_call(&self, caller: &FnInfo, call: &CallRef) -> Vec<usize> {
@@ -297,6 +325,7 @@ fn collect_fns(file: &SourceFile, out: &mut Vec<FnInfo>) {
                         is_pub: item.is_pub,
                         in_test: item_test || file.kind == ScopeKind::Test,
                         has_self: def.has_self,
+                        self_mut: def.self_mut,
                         params: def.params.clone(),
                         ret_text: def.ret_text.clone(),
                         attrs: item.attrs.clone(),

@@ -4,22 +4,25 @@
 //! |------|-----------------------------------------------------------------|
 //! | D1   | no hash-ordered collections in numeric crates                   |
 //! | D2   | no entropy-seeded RNG construction outside telemetry/bench/prof |
-//! | D3   | no unordered float reductions (parallel / hash-fed `sum`/`fold`)|
 //! | A1   | every `unsafe` carries a nearby `// SAFETY:` comment            |
 //! | T1   | telemetry key literals must come from the central registry      |
 //!
-//! D1–D3 mechanically encode the DESIGN.md §8 determinism contract:
+//! D1–D2 mechanically encode the DESIGN.md §8 determinism contract:
 //! bit-identical losses at any thread count require that no numeric
-//! path observes hash iteration order, entropy, or a reduction order
-//! other than the fixed-order tree reduction.
+//! path observes hash iteration order or entropy.
 //!
-//! Two former token rules graduated to semantic analyses over the AST
-//! and call graph (see [`crate::semantic`]): the P1 panic audit became
-//! S1 panic-reachability (only sites a public numeric API can actually
-//! reach are reported, with the call chain), and D2's wall-clock half
-//! became S2 nondeterminism taint (a clock read is fine until its
-//! value flows into a tensor buffer — telemetry timing stays legal
-//! without a blanket exemption).
+//! Three former token rules graduated to semantic analyses over the
+//! AST and call graph (see [`crate::semantic`]): the P1 panic audit
+//! became S1 panic-reachability (only sites a public numeric API can
+//! actually reach are reported, with the call chain), D2's wall-clock
+//! half became S2 nondeterminism taint (a clock read is fine until
+//! its value flows into a tensor buffer — telemetry timing stays
+//! legal without a blanket exemption), and D3's unordered-reduction
+//! scan became part of C2 deterministic-merge-order (the semantic
+//! version peels real receiver chains instead of back-scanning 80
+//! tokens, resolves hash-typed bases through param and `let` types,
+//! and also catches channels, atomic float accumulation, and
+//! cross-closure write/read overlap).
 
 use crate::lexer::{Tok, TokKind};
 use std::collections::BTreeSet;
@@ -53,8 +56,8 @@ pub struct FileScope {
     pub kind: ScopeKind,
 }
 
-/// Crates whose arithmetic feeds training numerics; D1/D3 and the
-/// semantic S1/S2 sink rules apply.
+/// Crates whose arithmetic feeds training numerics; D1, the semantic
+/// S1/S2 sink rules, and the concurrency C2/C3 discipline apply.
 pub const NUMERIC_CRATES: &[&str] = &["tensor", "core", "accel", "memsim"];
 /// Crates allowed to read wall clocks and construct entropy RNGs.
 pub const D2_EXEMPT_CRATES: &[&str] = &["telemetry", "bench", "prof"];
@@ -135,7 +138,6 @@ pub fn lint_source(rel_path: &str, src: &str, registry: &BTreeSet<String>) -> Ve
         let numeric = NUMERIC_CRATES.contains(&scope.crate_name.as_str());
         if numeric {
             rule_d1(rel_path, &code, &test_mask, &mut findings);
-            rule_d3(rel_path, &code, &test_mask, &mut findings);
         }
         if !D2_EXEMPT_CRATES.contains(&scope.crate_name.as_str()) {
             rule_d2(rel_path, &code, &test_mask, &mut findings);
@@ -150,7 +152,7 @@ pub fn lint_source(rel_path: &str, src: &str, registry: &BTreeSet<String>) -> Ve
 /// always `mod tests { … }`). The attribute's tokens, any stacked
 /// attributes after it, and the item body through its matching brace
 /// (or terminating `;`) are all masked.
-fn cfg_test_mask(code: &[&Tok]) -> Vec<bool> {
+pub(crate) fn cfg_test_mask(code: &[&Tok]) -> Vec<bool> {
     let mut mask = vec![false; code.len()];
     let mut i = 0;
     while i < code.len() {
@@ -294,61 +296,6 @@ fn rule_d2(file: &str, code: &[&Tok], mask: &[bool], out: &mut Vec<Finding>) {
                      (seeded `StdRng::seed_from_u64` is fine)"
                 ),
             });
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// D3 — unordered float reductions
-// ---------------------------------------------------------------------------
-
-/// Reduction methods whose result depends on operand order for floats.
-const D3_REDUCERS: &[&str] = &["sum", "fold", "reduce", "product"];
-/// Markers that the iterator being reduced is parallel or hash-ordered.
-const D3_UNORDERED: &[&str] = &[
-    "par_iter",
-    "into_par_iter",
-    "par_iter_mut",
-    "par_chunks",
-    "par_chunks_mut",
-    "par_bridge",
-    "HashMap",
-    "HashSet",
-];
-
-fn rule_d3(file: &str, code: &[&Tok], mask: &[bool], out: &mut Vec<Finding>) {
-    for (i, t) in code.iter().enumerate() {
-        if masked(mask, i) {
-            continue;
-        }
-        let is_reducer = D3_REDUCERS.contains(&t.text.as_str())
-            && t.kind == TokKind::Ident
-            && matches!(before(code, i, 1), Some(p) if p.is_punct('.'));
-        if !is_reducer {
-            continue;
-        }
-        // Back-scan the statement (bounded, stopping at `;`) for an
-        // unordered source feeding this reduction.
-        let lo = i.saturating_sub(80);
-        for j in (lo..i).rev() {
-            let Some(cj) = code.get(j) else { break };
-            if cj.is_punct(';') {
-                break;
-            }
-            if cj.kind == TokKind::Ident && D3_UNORDERED.contains(&cj.text.as_str()) {
-                out.push(Finding {
-                    rule: "D3".into(),
-                    file: file.into(),
-                    line: t.line,
-                    message: format!(
-                        ".{}() over a {} source: float reduction order would vary across \
-                         runs/thread counts; route through the fixed-order \
-                         parallel::tree_reduce helpers instead",
-                        t.text, cj.text
-                    ),
-                });
-                break;
-            }
         }
     }
 }

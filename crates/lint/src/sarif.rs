@@ -24,7 +24,6 @@ const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
         "D2",
         "entropy-seeded RNG constructed outside telemetry/bench/prof",
     ),
-    ("D3", "unordered floating-point reduction"),
     ("A1", "unsafe block without a SAFETY comment"),
     ("T1", "telemetry emit with an unregistered key"),
     (
@@ -44,6 +43,18 @@ const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
     (
         "DS1",
         "dead store: computed value overwritten or dropped before any read",
+    ),
+    (
+        "C1",
+        "concurrently-live closures without provably disjoint mutable footprints",
+    ),
+    (
+        "C2",
+        "cross-thread results reach float state outside the post-join sequential merge",
+    ),
+    (
+        "C3",
+        "lock or atomic in a numeric crate without a SYNC justification",
     ),
     (
         "R1",

@@ -67,7 +67,7 @@ const SOLVE_BUDGET: usize = 4000;
 const EXPAND_STEPS: usize = 24;
 
 impl LinForm {
-    fn constant(c: i64) -> LinForm {
+    pub fn constant(c: i64) -> LinForm {
         let mut f = LinForm::default();
         if c != 0 {
             f.terms.insert(Vec::new(), c);
@@ -75,7 +75,7 @@ impl LinForm {
         f
     }
 
-    fn atom(a: &str) -> LinForm {
+    pub fn atom(a: &str) -> LinForm {
         let mut f = LinForm::default();
         f.terms.insert(vec![a.to_string()], 1);
         f
@@ -99,7 +99,7 @@ impl LinForm {
         }
     }
 
-    fn add(&self, other: &LinForm) -> LinForm {
+    pub fn add(&self, other: &LinForm) -> LinForm {
         let mut out = self.clone();
         for (m, c) in &other.terms {
             out.add_term(m.clone(), *c);
@@ -107,12 +107,39 @@ impl LinForm {
         out
     }
 
-    fn sub(&self, other: &LinForm) -> LinForm {
+    pub fn sub(&self, other: &LinForm) -> LinForm {
         let mut out = self.clone();
         for (m, c) in &other.terms {
             out.add_term(m.clone(), -*c);
         }
         out
+    }
+
+    /// Every atom mentioned anywhere in the form.
+    pub fn atoms(&self) -> BTreeSet<String> {
+        self.terms.keys().flatten().cloned().collect()
+    }
+
+    /// Substitutes one atom for another in every monomial — the
+    /// disjointness prover uses this to freshen a loop counter into a
+    /// second, distinct instance of itself.
+    pub fn rename_atom(&self, from: &str, to: &str) -> LinForm {
+        let mut out = LinForm::default();
+        for (m, c) in &self.terms {
+            let mut m2: Monomial = m
+                .iter()
+                .map(|a| if a == from { to.to_string() } else { a.clone() })
+                .collect();
+            m2.sort();
+            out.add_term(m2, *c);
+        }
+        out
+    }
+
+    /// Degree- and size-bounded product (`None` when the result would
+    /// blow past the prover's term limits).
+    pub fn mul_checked(&self, other: &LinForm) -> Option<LinForm> {
+        self.mul(other)
     }
 
     fn mul(&self, other: &LinForm) -> Option<LinForm> {
@@ -192,6 +219,10 @@ pub struct Env {
     /// Names bound to conflicting values are dropped.
     pub consts: BTreeMap<String, i64>,
     pub types: BTreeMap<String, TypeInfo>,
+    /// Struct-field shape classes from the inter-procedural shape pass
+    /// ([`super::shape`]): type name → pairs of `Vec` fields whose
+    /// lengths a builder method provably keeps equal.
+    pub shapes: BTreeMap<String, Vec<(String, String)>>,
 }
 
 impl Env {
@@ -225,6 +256,7 @@ impl Env {
                 learn_ctor(&mut env, ty, f);
             }
         }
+        super::shape::learn(ws, &mut env);
         env
     }
 }
@@ -426,7 +458,7 @@ fn neq_len_check(e: &Expr, name: &str) -> Option<Expr> {
 }
 
 /// Does this block unconditionally leave the enclosing function/loop?
-fn block_diverges(b: &Block) -> bool {
+pub(crate) fn block_diverges(b: &Block) -> bool {
     b.stmts.iter().any(|s| {
         if let Stmt::Expr { expr, .. } = s {
             matches!(
@@ -511,6 +543,76 @@ impl<'e> Facts<'e> {
         }
         self.defs.entry(atom.to_string()).or_insert(form);
     }
+
+    /// Facts with no function context: only explicitly-injected
+    /// guards. Entry point for callers proving over directly
+    /// constructed forms (the disjointness property tests).
+    pub fn empty(env: &'e Env) -> Facts<'e> {
+        Facts {
+            env,
+            typed: BTreeMap::new(),
+            defs: BTreeMap::new(),
+            guards: Vec::new(),
+            raw_guards: Vec::new(),
+            parent: BTreeMap::new(),
+            elem_len: BTreeMap::new(),
+            assigned: BTreeSet::new(),
+            budget: Cell::new(SOLVE_BUDGET),
+        }
+    }
+
+    /// A copy of these facts extended with branch-context conditions:
+    /// `(cond, true)` assumes the condition holds (then-branch),
+    /// `(cond, false)` its negation (else-branch). S1 retries
+    /// undischarged indexes under the conditions guarding them, which
+    /// is what proves `xs[t - 1]` inside the `else` of `if t == 0`.
+    pub fn assuming(&self, conds: &[(&Expr, bool)]) -> Facts<'e> {
+        let mut out = Facts {
+            env: self.env,
+            typed: self.typed.clone(),
+            defs: self.defs.clone(),
+            guards: self.guards.clone(),
+            raw_guards: Vec::new(),
+            parent: self.parent.clone(),
+            elem_len: self.elem_len.clone(),
+            assigned: self.assigned.clone(),
+            budget: Cell::new(SOLVE_BUDGET),
+        };
+        for (cond, positive) in conds {
+            learn_cond(cond, *positive, &mut out);
+        }
+        let raw = std::mem::take(&mut out.raw_guards);
+        let resolved: Vec<(LinForm, LinForm)> = raw
+            .into_iter()
+            .map(|(l, r)| (resolve(&l, &out), resolve(&r, &out)))
+            .collect();
+        out.guards.extend(resolved);
+        out
+    }
+
+    /// Injects an already-built `l ≤ r` guard (disjointness prover).
+    pub(crate) fn add_guard(&mut self, l: LinForm, r: LinForm) {
+        let l = resolve(&l, self);
+        let r = resolve(&r, self);
+        self.guards.push((l, r));
+    }
+}
+
+/// Normalises a usize-valued expression to a linear form under the
+/// facts, dropping wrap side-conditions (the disjointness prover
+/// treats regions symbolically; wrap soundness is S1's concern).
+pub(crate) fn norm_form(e: &Expr, facts: &Facts) -> Option<LinForm> {
+    norm(e, facts).map(|n| resolve(&n.form, facts))
+}
+
+/// Proves `a ≤ b` under the facts (public face of the solver).
+pub(crate) fn le(a: &LinForm, b: &LinForm, facts: &Facts) -> bool {
+    prove_le(a, b, facts)
+}
+
+/// Proves `a < b` under the facts.
+pub(crate) fn lt(a: &LinForm, b: &LinForm, facts: &Facts) -> bool {
+    prove_lt(a, b, facts)
 }
 
 /// Canonical text for atom naming: like [`expr_text`] but rewrites
@@ -683,6 +785,15 @@ pub fn gather<'e>(f: &FnInfo, env: &'e Env) -> Facts<'e> {
                     .mul(&LinForm::atom(&format!("{v}.{d1}")))
                     .expect("degree-2 product");
                 facts.def(&format!("{v}.{len_field}.len()"), prod);
+            }
+        }
+        // Shape-pass field classes: `tape.entries.len()` and
+        // `tape.hs.len()` become one atom when the builder proved the
+        // fields grow in lockstep.
+        if let Some(pairs) = env.shapes.get(&t) {
+            for (f1, f2) in pairs.clone() {
+                let (a, b) = (format!("{v}.{f1}.len()"), format!("{v}.{f2}.len()"));
+                facts.union(&a, &b);
             }
         }
     }
@@ -905,7 +1016,7 @@ pub(crate) fn collect_children<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
         }
         ExprKind::Unary { expr, .. }
         | ExprKind::Cast { expr, .. }
-        | ExprKind::Ref { expr }
+        | ExprKind::Ref { expr, .. }
         | ExprKind::Deref { expr }
         | ExprKind::Try(expr) => out.push(expr),
         ExprKind::Range { lo, hi, .. } => {
@@ -1198,7 +1309,7 @@ fn learn_eq(a: &Expr, b: &Expr, facts: &mut Facts) {
 /// element lengths — with `zip` chains flattened so each bound name
 /// maps to its source iterator.
 fn learn_for(pat_names: &[String], iter: &Expr, facts: &mut Facts) {
-    let mut iter = peel(iter);
+    let mut iter = peel_rev(iter);
     let mut names: &[String] = pat_names;
 
     // `.enumerate()` at the top: first name is the counter.
@@ -1211,7 +1322,7 @@ fn learn_for(pat_names: &[String], iter: &Expr, facts: &mut Facts) {
                     .push((LinForm::atom(counter).add(&LinForm::constant(1)), base));
             }
             names = &names[1..];
-            iter = peel(recv);
+            iter = peel_rev(recv);
         }
     }
 
@@ -1225,6 +1336,21 @@ fn learn_for(pat_names: &[String], iter: &Expr, facts: &mut Facts) {
     } else if sources.len() == 1 && names.len() == 1 {
         learn_iter_source(&names[0], sources[0], facts);
     }
+}
+
+/// Strips `.rev()` adapters: reversal visits the same elements, so
+/// every bound the underlying iterator implies still holds
+/// (`for t in (0..t_len).rev()` ⇒ `t < t_len`).
+fn peel_rev(e: &Expr) -> &Expr {
+    let mut e = peel(e);
+    while let ExprKind::MethodCall { recv, method, args } = &e.kind {
+        if method == "rev" && args.is_empty() {
+            e = peel(recv);
+        } else {
+            break;
+        }
+    }
+    e
 }
 
 fn flatten_zip<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
@@ -1241,7 +1367,7 @@ fn flatten_zip<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
 
 /// What one flattened iterator source tells us about its bound name.
 fn learn_iter_source(name: &str, src: &Expr, facts: &mut Facts) {
-    let src = peel(src);
+    let src = peel_rev(src);
     match &src.kind {
         ExprKind::Range {
             lo,
@@ -1292,7 +1418,7 @@ fn enum_base(recv: &Expr, facts: &Facts) -> LinForm {
     } = &recv.kind
     {
         match method.as_str() {
-            "iter" | "iter_mut" | "into_iter" | "zip" => return enum_base(inner, facts),
+            "iter" | "iter_mut" | "into_iter" | "zip" | "rev" => return enum_base(inner, facts),
             "chunks_exact" | "chunks_exact_mut" if args.len() == 1 => {
                 // count = base.len() / c ≤ base.len(); too coarse to
                 // help, so keep the counter opaque via its own atom.

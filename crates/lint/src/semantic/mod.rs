@@ -27,18 +27,34 @@
 //!
 //! The S1 bounds prover additionally consults the 2-D linear engine
 //! ([`linear`]), which discharges `data[r * cols + c]` indexing from
-//! constructor invariants and local guards.
+//! constructor invariants and local guards, plus the struct-field
+//! shape pass ([`shape`]) proving equal-length `Vec` field pairs.
+//!
+//! Layer 4 is the concurrency analysis ([`conc`]) with its symbolic
+//! slice-region disjointness engine ([`disjoint`]):
+//!
+//! * **C1** — data-race freedom: concurrently-live spawned closures
+//!   must have provably disjoint mutable footprints.
+//! * **C2** — deterministic merge order: cross-thread results reach
+//!   float state only through the post-join sequential loop (subsumes
+//!   the retired token rule D3).
+//! * **C3** — synchronization discipline: locks and atomics are
+//!   banned in numeric crates outside `// SYNC:`-justified telemetry
+//!   plumbing.
 
 pub mod a2;
 pub mod bounds;
 pub mod cfg;
+pub mod conc;
 pub mod dataflow;
+pub mod disjoint;
 pub mod ds1;
 pub mod h1;
 pub mod linear;
 pub mod s1;
 pub mod s2;
 pub mod s3;
+pub mod shape;
 
 use crate::model::Workspace;
 use crate::rules::Finding;
@@ -60,6 +76,7 @@ pub fn analyze_sources(sources: &[(String, String)], root: Option<&Path>) -> Sem
     findings.extend(h1::run(&ws));
     findings.extend(a2::run(&ws));
     findings.extend(ds1::run(&ws));
+    findings.extend(conc::run(&ws));
     findings.sort_by(|a, b| {
         (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
     });

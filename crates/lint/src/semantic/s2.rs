@@ -330,7 +330,7 @@ fn taint_of(
         }
         ExprKind::Unary { expr, .. }
         | ExprKind::Cast { expr, .. }
-        | ExprKind::Ref { expr }
+        | ExprKind::Ref { expr, .. }
         | ExprKind::Deref { expr }
         | ExprKind::Try(expr) => taint_of(expr, f, ws, summaries, env),
         ExprKind::Range { lo, hi, .. } => {

@@ -1,0 +1,498 @@
+//! Inter-procedural struct-field shape pass (feeds the S1 bounds
+//! provers through [`super::linear::Env::shapes`]).
+//!
+//! Builder methods often assemble a struct from locally-grown vectors
+//! whose lengths are kept equal by construction — `LayerTape` pushes
+//! one `entries` element and one `hs` element on every control path of
+//! its fill loop, so `tape.hs.len() == tape.entries.len()` in every
+//! method that later indexes the tape. This pass proves such pairs
+//! once, at the builder, and publishes them as type-level facts; the
+//! linear prover then unifies `v.f1.len()` and `v.f2.len()` atoms for
+//! every variable of the type.
+//!
+//! # Proof obligation
+//!
+//! A field pair `(f1, f2)` of type `T` holds when **every** non-test
+//! struct literal of `T` in the workspace initialises both fields from
+//! distinct locals `v1`, `v2` such that:
+//!
+//! 1. both locals are declared empty (`Vec::new()`,
+//!    `Vec::with_capacity(_)`, `Vec::default()`, `vec![]`);
+//! 2. the *push delta* of the enclosing body — pushes to `v1` minus
+//!    pushes to `v2` — is provably zero on every control path:
+//!    branches must agree (diverging branches are exempt: they never
+//!    reach the literal), loop bodies must be internally balanced, and
+//!    a loop body that pushes may not `break`/`continue` (which could
+//!    exit between the paired pushes);
+//! 3. neither local is reassigned, `&mut`-borrowed, or hit by any
+//!    other length mutator (including through a closure).
+//!
+//! Literals using struct-update syntax (`..rest`) poison the type:
+//! the source lengths are unknown.
+
+use super::linear::Env;
+use crate::ast::{peel, Block, Expr, ExprKind, Stmt};
+use crate::model::Workspace;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Learns field length-equality pairs for every struct type built in
+/// the workspace and records them in `env.shapes`.
+pub fn learn(ws: &Workspace, env: &mut Env) {
+    // pair → (times proven, times seen) per type, over non-test
+    // literals only; a pair survives when proven at every literal.
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    let mut proven: BTreeMap<String, BTreeMap<(String, String), usize>> = BTreeMap::new();
+    let mut poisoned: BTreeSet<String> = BTreeSet::new();
+
+    for f in &ws.fns {
+        if f.in_test {
+            continue;
+        }
+        let Some(body) = &f.body else { continue };
+        let mut lits: Vec<&Expr> = Vec::new();
+        crate::model::walk_block_exprs(body, &mut |e| {
+            if matches!(&e.kind, ExprKind::StructLit { .. }) {
+                lits.push(e);
+            }
+        });
+        for lit in lits {
+            let ExprKind::StructLit { path, fields, rest } = &lit.kind else {
+                continue;
+            };
+            let ty = match path.last().map(String::as_str) {
+                Some("Self") => match &f.self_ty {
+                    Some(t) => t.clone(),
+                    None => continue,
+                },
+                Some(t) if t.chars().next().is_some_and(char::is_uppercase) => t.to_string(),
+                _ => continue,
+            };
+            *seen.entry(ty.clone()).or_insert(0) += 1;
+            if rest.is_some() {
+                poisoned.insert(ty);
+                continue;
+            }
+            // Fields initialised from a bare local grown from empty.
+            let vec_fields: Vec<(&String, &str)> = fields
+                .iter()
+                .filter_map(|(fname, fexpr)| {
+                    let ExprKind::Path(segs) = &peel(fexpr).kind else {
+                        return None;
+                    };
+                    let name = (segs.len() == 1).then(|| segs[0].as_str())?;
+                    declared_empty(body, name).then_some((fname, name))
+                })
+                .collect();
+            for (i, (f1, v1)) in vec_fields.iter().enumerate() {
+                for (f2, v2) in vec_fields.iter().skip(i + 1) {
+                    if v1 == v2 {
+                        continue;
+                    }
+                    if delta_block(body, v1, v2) == Some(0) {
+                        let key = if f1 < f2 {
+                            ((*f1).clone(), (*f2).clone())
+                        } else {
+                            ((*f2).clone(), (*f1).clone())
+                        };
+                        *proven
+                            .entry(ty.clone())
+                            .or_default()
+                            .entry(key)
+                            .or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    for (ty, pairs) in proven {
+        if poisoned.contains(&ty) {
+            continue;
+        }
+        let total = seen.get(&ty).copied().unwrap_or(0);
+        let held: Vec<(String, String)> = pairs
+            .into_iter()
+            .filter(|(_, n)| *n == total)
+            .map(|(p, _)| p)
+            .collect();
+        if !held.is_empty() {
+            // Register the type so `Facts::gather` treats variables of
+            // it as typed even without accessors or ctor invariants.
+            env.types.entry(ty.clone()).or_default();
+            env.shapes.insert(ty, held);
+        }
+    }
+}
+
+/// Is `name` declared in this body with a provably-empty initialiser?
+fn declared_empty(body: &Block, name: &str) -> bool {
+    let mut found = false;
+    each_stmt(body, &mut |s| {
+        if let Stmt::Let {
+            names,
+            init: Some(init),
+            ..
+        } = s
+        {
+            if names.len() == 1 && names[0] == name && empty_init(init) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+fn empty_init(e: &Expr) -> bool {
+    match &peel(e).kind {
+        ExprKind::Call { callee, .. } => {
+            if let ExprKind::Path(segs) = &callee.kind {
+                segs.len() >= 2
+                    && segs[segs.len() - 2] == "Vec"
+                    && matches!(
+                        segs[segs.len() - 1].as_str(),
+                        "new" | "with_capacity" | "default"
+                    )
+            } else {
+                false
+            }
+        }
+        ExprKind::MacroCall { path, args, .. } => {
+            path.last().is_some_and(|p| p == "vec") && args.is_empty()
+        }
+        _ => false,
+    }
+}
+
+/// Visits every statement in a block and its nested blocks (via the
+/// expression walker, so `let`s inside loop bodies are seen).
+fn each_stmt<'a>(b: &'a Block, f: &mut impl FnMut(&'a Stmt)) {
+    for s in &b.stmts {
+        f(s);
+        let e = match s {
+            Stmt::Let { init: Some(e), .. } => e,
+            Stmt::Expr { expr, .. } => expr,
+            _ => continue,
+        };
+        e.walk(&mut |e| {
+            if let ExprKind::Block(inner)
+            | ExprKind::Unsafe(inner)
+            | ExprKind::Loop { body: inner } = &e.kind
+            {
+                for s in &inner.stmts {
+                    f(s);
+                }
+            }
+            if let ExprKind::If { then, .. }
+            | ExprKind::IfLet { then, .. }
+            | ExprKind::ForLoop { body: then, .. }
+            | ExprKind::While { body: then, .. }
+            | ExprKind::WhileLet { body: then, .. } = &e.kind
+            {
+                for s in &then.stmts {
+                    f(s);
+                }
+            }
+        });
+    }
+}
+
+/// Push delta (pushes to `v1` − pushes to `v2`) of a block, when every
+/// control path agrees; `None` when it cannot be established.
+fn delta_block(b: &Block, v1: &str, v2: &str) -> Option<i64> {
+    let mut d = 0i64;
+    for s in &b.stmts {
+        match s {
+            Stmt::Let { init: Some(e), .. } => d += delta_expr(e, v1, v2)?,
+            Stmt::Expr { expr, .. } => d += delta_expr(expr, v1, v2)?,
+            _ => {}
+        }
+    }
+    Some(d)
+}
+
+fn delta_expr(e: &Expr, v1: &str, v2: &str) -> Option<i64> {
+    match &e.kind {
+        ExprKind::MethodCall { recv, method, args } => {
+            let base = peel(recv).path_last();
+            let on_pair = base == Some(v1) || base == Some(v2);
+            let mut d = 0i64;
+            if on_pair {
+                if method == "push" && args.len() == 1 {
+                    d += if base == Some(v1) { 1 } else { -1 };
+                } else if length_mutator(method) {
+                    return None;
+                }
+            }
+            d += delta_expr(recv, v1, v2)?;
+            for a in args {
+                d += delta_expr(a, v1, v2)?;
+            }
+            Some(d)
+        }
+        ExprKind::If { cond, then, else_ } => {
+            let dc = delta_expr(cond, v1, v2)?;
+            // A diverging branch never reaches the struct literal, so
+            // its delta is irrelevant (its pushes are still vetted by
+            // any enclosing loop's break/continue check).
+            let dt = if super::linear::block_diverges(then) {
+                None
+            } else {
+                Some(delta_block(then, v1, v2)?)
+            };
+            let de = match else_ {
+                Some(e) => Some(delta_expr(e, v1, v2)?),
+                None => Some(0),
+            };
+            match (dt, de) {
+                (None, Some(d)) => Some(dc + d),
+                (Some(a), Some(b)) if a == b => Some(dc + a),
+                _ => None,
+            }
+        }
+        ExprKind::IfLet {
+            scrutinee,
+            then,
+            else_,
+            ..
+        } => {
+            let ds = delta_expr(scrutinee, v1, v2)?;
+            let dt = delta_block(then, v1, v2)?;
+            let de = match else_ {
+                Some(e) => delta_expr(e, v1, v2)?,
+                None => 0,
+            };
+            (dt == de).then_some(ds + dt)
+        }
+        ExprKind::Match { scrutinee, arms } => {
+            let mut d = delta_expr(scrutinee, v1, v2)?;
+            let mut agreed: Option<i64> = None;
+            for arm in arms {
+                if let Some(g) = &arm.guard {
+                    if delta_expr(g, v1, v2)? != 0 {
+                        return None;
+                    }
+                }
+                let da = delta_expr(&arm.body, v1, v2)?;
+                match agreed {
+                    None => agreed = Some(da),
+                    Some(prev) if prev != da => return None,
+                    _ => {}
+                }
+            }
+            d += agreed.unwrap_or(0);
+            Some(d)
+        }
+        ExprKind::ForLoop { iter, body, .. } => {
+            if delta_expr(iter, v1, v2)? != 0 {
+                return None;
+            }
+            loop_body_delta(body, v1, v2)
+        }
+        ExprKind::While { cond, body } => {
+            if delta_expr(cond, v1, v2)? != 0 {
+                return None;
+            }
+            loop_body_delta(body, v1, v2)
+        }
+        ExprKind::WhileLet {
+            scrutinee, body, ..
+        } => {
+            if delta_expr(scrutinee, v1, v2)? != 0 {
+                return None;
+            }
+            loop_body_delta(body, v1, v2)
+        }
+        ExprKind::Loop { body } => loop_body_delta(body, v1, v2),
+        ExprKind::Block(b) | ExprKind::Unsafe(b) => delta_block(b, v1, v2),
+        // A closure body may run any number of times; only a balanced
+        // body preserves equality.
+        ExprKind::Closure { body, .. } => (delta_expr(body, v1, v2)? == 0).then_some(0),
+        ExprKind::Assign { lhs, rhs, .. } => {
+            let tgt = peel(lhs).path_last();
+            if tgt == Some(v1) || tgt == Some(v2) {
+                return None; // whole-name reassignment: length unknown
+            }
+            Some(delta_expr(lhs, v1, v2)? + delta_expr(rhs, v1, v2)?)
+        }
+        ExprKind::Ref { expr, is_mut } => {
+            let inner = peel(expr).path_last();
+            if *is_mut && (inner == Some(v1) || inner == Some(v2)) {
+                return None; // escaped &mut: callee could push
+            }
+            delta_expr(expr, v1, v2)
+        }
+        _ => {
+            let mut subs: Vec<&Expr> = Vec::new();
+            super::linear::collect_children(e, &mut subs);
+            let mut d = 0i64;
+            for s in subs {
+                d += delta_expr(s, v1, v2)?;
+            }
+            Some(d)
+        }
+    }
+}
+
+/// A loop body preserves the pair when it is internally balanced and —
+/// if it pushes at all — cannot exit between the paired pushes.
+fn loop_body_delta(body: &Block, v1: &str, v2: &str) -> Option<i64> {
+    if delta_block(body, v1, v2)? != 0 {
+        return None;
+    }
+    if pushes_pair(body, v1, v2) && has_loop_exit(body) {
+        return None;
+    }
+    Some(0)
+}
+
+fn pushes_pair(body: &Block, v1: &str, v2: &str) -> bool {
+    let mut found = false;
+    crate::model::walk_block_exprs(body, &mut |e| {
+        if let ExprKind::MethodCall { recv, method, .. } = &e.kind {
+            if method == "push" {
+                let base = peel(recv).path_last();
+                if base == Some(v1) || base == Some(v2) {
+                    found = true;
+                }
+            }
+        }
+    });
+    found
+}
+
+fn has_loop_exit(body: &Block) -> bool {
+    let mut found = false;
+    crate::model::walk_block_exprs(body, &mut |e| {
+        if matches!(&e.kind, ExprKind::Break(_) | ExprKind::Continue) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Methods that can change a `Vec`'s length besides `push`.
+fn length_mutator(method: &str) -> bool {
+    matches!(
+        method,
+        "pop"
+            | "insert"
+            | "remove"
+            | "swap_remove"
+            | "truncate"
+            | "clear"
+            | "resize"
+            | "resize_with"
+            | "extend"
+            | "extend_from_slice"
+            | "append"
+            | "drain"
+            | "split_off"
+            | "retain"
+            | "retain_mut"
+            | "dedup"
+            | "dedup_by"
+            | "dedup_by_key"
+            | "set_len"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::linear::Env;
+    use crate::model::Workspace;
+
+    fn shapes_for(src: &str, ty: &str) -> Vec<(String, String)> {
+        let sources = vec![("crates/core/src/fix.rs".to_string(), src.to_string())];
+        let ws = Workspace::build(&sources, None);
+        let env = Env::build(&ws);
+        env.shapes.get(ty).cloned().unwrap_or_default()
+    }
+
+    #[test]
+    fn lockstep_branches_prove_pair() {
+        let pairs = shapes_for(
+            "pub struct Tape { entries: Vec<u32>, hs: Vec<f32> }\n\
+             pub fn build(xs: &[f32]) -> Tape {\n\
+             \x20   let mut entries = Vec::with_capacity(xs.len());\n\
+             \x20   let mut hs = Vec::new();\n\
+             \x20   for (t, x) in xs.iter().enumerate() {\n\
+             \x20       if t % 2 == 0 {\n\
+             \x20           entries.push(t as u32);\n\
+             \x20           hs.push(*x);\n\
+             \x20       } else {\n\
+             \x20           hs.push(*x + 1.0);\n\
+             \x20           entries.push(0);\n\
+             \x20       }\n\
+             \x20   }\n\
+             \x20   Tape { entries, hs }\n\
+             }",
+            "Tape",
+        );
+        assert_eq!(pairs, vec![("entries".to_string(), "hs".to_string())]);
+    }
+
+    #[test]
+    fn one_sided_branch_rejects_pair() {
+        let pairs = shapes_for(
+            "pub struct Tape { entries: Vec<u32>, hs: Vec<f32> }\n\
+             pub fn build(xs: &[f32]) -> Tape {\n\
+             \x20   let mut entries = Vec::new();\n\
+             \x20   let mut hs = Vec::new();\n\
+             \x20   for (t, x) in xs.iter().enumerate() {\n\
+             \x20       entries.push(t as u32);\n\
+             \x20       if t % 2 == 0 {\n\
+             \x20           hs.push(*x);\n\
+             \x20       }\n\
+             \x20   }\n\
+             \x20   Tape { entries, hs }\n\
+             }",
+            "Tape",
+        );
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn continue_between_pushes_rejects_pair() {
+        let pairs = shapes_for(
+            "pub struct Tape { entries: Vec<u32>, hs: Vec<f32> }\n\
+             pub fn build(xs: &[f32]) -> Tape {\n\
+             \x20   let mut entries = Vec::new();\n\
+             \x20   let mut hs = Vec::new();\n\
+             \x20   for (t, x) in xs.iter().enumerate() {\n\
+             \x20       entries.push(t as u32);\n\
+             \x20       if t % 2 == 0 {\n\
+             \x20           continue;\n\
+             \x20       }\n\
+             \x20       hs.push(*x);\n\
+             \x20   }\n\
+             \x20   Tape { entries, hs }\n\
+             }",
+            "Tape",
+        );
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn second_unbalanced_literal_drops_pair() {
+        let pairs = shapes_for(
+            "pub struct Tape { entries: Vec<u32>, hs: Vec<f32> }\n\
+             pub fn build(xs: &[f32]) -> Tape {\n\
+             \x20   let mut entries = Vec::new();\n\
+             \x20   let mut hs = Vec::new();\n\
+             \x20   for (t, x) in xs.iter().enumerate() {\n\
+             \x20       entries.push(t as u32);\n\
+             \x20       hs.push(*x);\n\
+             \x20   }\n\
+             \x20   Tape { entries, hs }\n\
+             }\n\
+             pub fn lopsided() -> Tape {\n\
+             \x20   let mut entries = Vec::new();\n\
+             \x20   let hs = Vec::new();\n\
+             \x20   entries.push(7);\n\
+             \x20   Tape { entries, hs }\n\
+             }",
+            "Tape",
+        );
+        assert!(pairs.is_empty());
+    }
+}

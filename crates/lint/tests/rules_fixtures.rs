@@ -11,7 +11,7 @@ use std::collections::BTreeSet;
 /// Fixture files claim to live in a numeric lib crate so every rule
 /// is in force.
 const NUMERIC_LIB: &str = "crates/core/src/fixture.rs";
-/// A non-numeric lib crate: D1/D3 do not apply, D2/P1/A1/T1 do.
+/// A non-numeric lib crate: D1 does not apply, D2/P1/A1/T1 do.
 const PLAIN_LIB: &str = "crates/workloads/src/fixture.rs";
 /// A test file: only A1 and T1 apply.
 const TEST_FILE: &str = "crates/core/tests/fixture.rs";
@@ -115,32 +115,22 @@ fn d2_allows_seeded_rng_and_wall_clock_reads() {
     );
 }
 
-// --- D3 --------------------------------------------------------------------
+// --- former D3 -------------------------------------------------------------
 
 #[test]
-fn d3_flags_parallel_float_reduction() {
-    let src = "pub fn s(xs: &[f32]) -> f32 {\n\
-                   xs.par_iter().map(|x| x * 2.0).sum()\n\
-               }\n";
-    assert_hits(NUMERIC_LIB, src, "D3", 2);
-}
-
-#[test]
-fn d3_allows_sequential_and_tree_reductions() {
-    assert_clean(
+fn unordered_reductions_are_no_longer_token_findings() {
+    // D3 graduated into the semantic C2 deterministic-merge-order rule
+    // (see tests/semantic_fixtures.rs): the AST version peels real
+    // receiver chains instead of back-scanning tokens.
+    let findings = run(
         NUMERIC_LIB,
-        "pub fn s(xs: &[f32]) -> f32 { xs.iter().sum() }\n\
-         pub fn t(xs: &[f32]) -> f32 { tree_reduce(xs) }\n",
-    );
-    // The bounded back-scan stops at statement boundaries: a par_iter
-    // in an earlier statement must not taint a later sequential sum.
-    assert_clean(
-        NUMERIC_LIB,
-        "pub fn f(xs: &[f32]) -> f32 {\n\
-             xs.par_iter().for_each(|_| {});\n\
-             let y: f32 = xs.iter().sum();\n\
-             y\n\
+        "pub fn s(xs: &[f32]) -> f32 {\n\
+             xs.par_iter().map(|x| x * 2.0).sum()\n\
          }\n",
+    );
+    assert!(
+        !rules_hit(&findings).contains(&"D3"),
+        "D3 is retired at the token layer, got {findings:#?}"
     );
 }
 

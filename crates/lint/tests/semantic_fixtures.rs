@@ -527,3 +527,222 @@ fn s1_two_d_prover_still_flags_unverifiable_buffer() {
          public API via tensor::Grid::sum"
     );
 }
+
+// --- Layer 4: C1 data-race freedom -----------------------------------------
+
+#[test]
+fn c1_flags_shared_mut_capture_with_exact_line_and_chain() {
+    let src = r#"
+pub fn step(out: &mut Vec<f32>) {
+    rayon::scope(|s| {
+        s.spawn(move |_| {
+            out[0] = 1.0;
+        });
+        s.spawn(move |_| {
+            out[0] = 2.0;
+        });
+    });
+}
+"#;
+    let (findings, _) = analyze(&[(CORE, src)]);
+    let c1 = rule(&findings, "C1");
+    assert_eq!(c1.len(), 1, "{findings:#?}");
+    assert_eq!(c1[0].file, CORE);
+    assert_eq!(c1[0].line, 4);
+    // The diagnostic names BOTH capture chains so the overlap is
+    // auditable without re-running the analysis.
+    assert!(
+        c1[0].message.contains("`out` via spawn@4 -> out (line 4)"),
+        "first chain missing: {}",
+        c1[0].message
+    );
+    assert!(
+        c1[0].message.contains("`out` via spawn@7 -> out (line 7)"),
+        "second chain missing: {}",
+        c1[0].message
+    );
+}
+
+#[test]
+fn c1_passes_disjoint_chunks_mut_partition() {
+    let src = r#"
+pub fn par_blocks(out: &mut [f32], n: usize, rows_per: usize) {
+    rayon::scope(|scope| {
+        for (chunk_idx, chunk) in out.chunks_mut(rows_per * n).enumerate() {
+            let row0 = chunk_idx * rows_per;
+            scope.spawn(move |_| {
+                let rows = chunk.len() / n.max(1);
+                for v in chunk.iter_mut() {
+                    *v = (row0 + rows) as f32;
+                }
+            });
+        }
+    });
+}
+"#;
+    let (findings, _) = analyze(&[(TENSOR, src)]);
+    assert!(
+        rule(&findings, "C1").is_empty(),
+        "chunks_mut row blocks must prove disjoint: {findings:#?}"
+    );
+}
+
+#[test]
+fn c1_passes_round_robin_bucket_pattern() {
+    // Miniature of the engine's sharded scope: round-robin buckets of
+    // &mut result slots, one spawn per worker, per-worker workspace
+    // slots, and a let-closure worker body captured by reference.
+    let src = r#"
+pub fn engine(slots: &mut Vec<Option<f32>>, ws_slots: &mut [f32], workers: usize) {
+    let run_shard = |i: usize, ws: &mut f32| {
+        *ws += i as f32;
+        Some(*ws)
+    };
+    let mut buckets: Vec<Vec<(usize, &mut Option<f32>)>> =
+        (0..workers).map(|_| Vec::new()).collect();
+    for (i, slot) in slots.iter_mut().enumerate() {
+        buckets[i % workers].push((i, slot));
+    }
+    let run_shard = &run_shard;
+    rayon::scope(|scope| {
+        for (bucket, ws) in buckets.into_iter().zip(ws_slots.iter_mut()) {
+            scope.spawn(move |_| {
+                for (i, slot) in bucket {
+                    *slot = Some(run_shard(i, ws));
+                }
+            });
+        }
+    });
+}
+"#;
+    let (findings, _) = analyze(&[(CORE, src)]);
+    let conc: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "C1" || f.rule == "C2")
+        .collect();
+    assert!(
+        conc.is_empty(),
+        "bucket pattern must prove clean: {findings:#?}"
+    );
+}
+
+// --- Layer 4: C2 deterministic merge order ---------------------------------
+
+#[test]
+fn c2_flags_completion_order_channel_merge() {
+    let src = r#"
+pub fn reduce_shards(shards: usize) -> f32 {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let mut total = 0.0f32;
+    for _ in 0..shards {
+        if let Ok(v) = rx.recv() {
+            total += v;
+        }
+    }
+    drop(tx);
+    total
+}
+"#;
+    let (findings, _) = analyze(&[(CORE, src)]);
+    let c2 = rule(&findings, "C2");
+    assert!(
+        c2.iter().any(|f| f.file == CORE && f.line == 3),
+        "channel construction at line 3: {findings:#?}"
+    );
+    assert!(
+        c2.iter()
+            .any(|f| f.line == 6 && f.message.contains("completion order")),
+        "recv at line 6: {findings:#?}"
+    );
+}
+
+#[test]
+fn c2_flags_reordered_parallel_reduction_and_passes_sequential_merge() {
+    let src = r#"
+pub fn bad(xs: &[f32]) -> f32 {
+    xs.par_iter().map(|x| x * 2.0).sum()
+}
+
+pub fn good(slots: &[f32]) -> f32 {
+    let mut total = 0.0f32;
+    for v in slots.iter() {
+        total += v;
+    }
+    total
+}
+"#;
+    let (findings, _) = analyze(&[(CORE, src)]);
+    let c2 = rule(&findings, "C2");
+    assert_eq!(c2.len(), 1, "{findings:#?}");
+    assert_eq!(c2[0].line, 3);
+    assert!(
+        c2[0].message.contains("par_iter"),
+        "source named: {}",
+        c2[0].message
+    );
+}
+
+#[test]
+fn c2_flags_cross_closure_write_read() {
+    let src = r#"
+pub fn bad(state: &mut Vec<f32>, out: &mut [f32]) {
+    rayon::scope(|s| {
+        s.spawn(move |_| {
+            state[0] = 1.0;
+        });
+        s.spawn(move |_| {
+            out[0] = state[0];
+        });
+    });
+}
+"#;
+    let (findings, _) = analyze(&[(CORE, src)]);
+    let c2 = rule(&findings, "C2");
+    assert_eq!(c2.len(), 1, "{findings:#?}");
+    assert_eq!(c2[0].line, 4);
+    assert!(
+        c2[0].message.contains("`state` via spawn@4 -> state"),
+        "{}",
+        c2[0].message
+    );
+}
+
+// --- Layer 4: C3 synchronization discipline --------------------------------
+
+#[test]
+fn c3_flags_mutex_in_numeric_crate_and_accepts_sync_justification() {
+    let src = r#"
+use std::sync::Mutex;
+
+pub struct State {
+    inner: Mutex<Vec<f32>>,
+}
+
+pub struct Counters {
+    // SYNC: telemetry mirror; numeric paths never read through it.
+    counts: Mutex<Vec<u64>>,
+}
+"#;
+    let (findings, _) = analyze(&[(CORE, src)]);
+    let c3 = rule(&findings, "C3");
+    assert_eq!(c3.len(), 1, "{findings:#?}");
+    assert_eq!(c3[0].file, CORE);
+    assert_eq!(c3[0].line, 5);
+    assert!(c3[0].message.contains("`Mutex`"), "{}", c3[0].message);
+}
+
+#[test]
+fn c3_does_not_apply_outside_numeric_crates() {
+    let src = r#"
+use std::sync::Mutex;
+
+pub struct Registry {
+    entries: Mutex<Vec<u64>>,
+}
+"#;
+    let (findings, _) = analyze(&[(WORKLOADS, src)]);
+    assert!(
+        rule(&findings, "C3").is_empty(),
+        "C3 binds numeric crates only: {findings:#?}"
+    );
+}

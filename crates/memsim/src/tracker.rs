@@ -142,9 +142,12 @@ struct TrackerMirror {
 /// uncontended add (see the `telemetry_overhead` benchmark guard).
 #[derive(Debug, Clone, Default)]
 pub struct SharedTracker {
+    // SYNC: telemetry plumbing only — allocation accounting feeds
+    // dashboards, never numeric state, so lock acquisition order is
+    // unobservable to the training math.
     tracker: Arc<Mutex<MemoryTracker>>,
     telemetry: Option<Telemetry>,
-    mirror: Arc<Mutex<TrackerMirror>>,
+    mirror: Arc<Mutex<TrackerMirror>>, // SYNC: telemetry mirror (see above)
 }
 
 impl SharedTracker {

@@ -120,9 +120,12 @@ struct TrafficMirror {
 /// [`SharedTraffic::publish`] — which [`SharedTraffic::snapshot`] calls.
 #[derive(Debug, Clone, Default)]
 pub struct SharedTraffic {
+    // SYNC: telemetry plumbing only — byte counters feed dashboards,
+    // never numeric state, so lock acquisition order is unobservable
+    // to the training math.
     counter: Arc<Mutex<TrafficCounter>>,
     telemetry: Option<Telemetry>,
-    mirror: Arc<Mutex<TrafficMirror>>,
+    mirror: Arc<Mutex<TrafficMirror>>, // SYNC: telemetry mirror (see above)
 }
 
 impl SharedTraffic {

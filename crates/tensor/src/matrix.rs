@@ -562,7 +562,13 @@ impl Matrix {
     where
         K: Fn(usize, usize, &mut [f32]) + Sync,
     {
-        let rows_per = m.div_ceil(threads.max(1)).max(1);
+        // One spawn per row block; clamping the block count to the
+        // machine keeps the shim's thread-per-spawn model honest.
+        // Partitioning is latency-only: each block still sees the same
+        // serial kernel sweep, so results are unchanged.
+        let threads = threads.min(rayon::current_num_threads()).max(1);
+        let rows_per = m.div_ceil(threads).max(1);
+        debug_assert!(rows_per.saturating_mul(threads) >= m);
         let kernel = &kernel;
         rayon::scope(|scope| {
             for (chunk_idx, chunk) in out.chunks_mut(rows_per * n).enumerate() {

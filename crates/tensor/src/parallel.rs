@@ -15,6 +15,14 @@
 //! in the same order regardless of `threads`. Parallel results are
 //! therefore **bit-identical** to serial results — `threads` is purely
 //! a latency knob, never a numerics knob.
+//!
+//! The eta-lint layer-4 concurrency rules hold this contract statically
+//! (C1 proves the row panels disjoint; C2 pins any cross-thread value
+//! to the post-join sequential merge), and spawn sites additionally
+//! clamp their worker count to `rayon::current_num_threads()` — the
+//! in-tree rayon shim backs every spawn with an OS thread and debug-
+//! asserts a per-scope spawn cap, so `threads` beyond the machine
+//! must change partitioning (latency) without ever changing results.
 
 use serde::{Deserialize, Serialize};
 
@@ -72,6 +80,11 @@ impl ParallelConfig {
     /// Whether a `[m, k] x [k, n]` product should run in parallel under
     /// this config.
     pub fn should_parallelize(&self, m: usize, k: usize, n: usize, rows: usize) -> bool {
+        // `threads == 0` cannot be built through the constructors
+        // (`with_threads` clamps); the contract the spawn sites rely
+        // on is that a parallel decision implies at least one full
+        // panel per worker.
+        debug_assert!(self.threads >= 1, "ParallelConfig.threads must be >= 1");
         self.threads > 1 && rows >= self.threads && m * k * n >= self.min_kernel_flops
     }
 }

@@ -18,9 +18,12 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+// SYNC: monotonic telemetry counters read only by diffing snapshots;
+// no numeric value is ever derived from them, so their commit order
+// cannot perturb the determinism contract.
 static FLOPS: AtomicU64 = AtomicU64::new(0);
-static BYTES: AtomicU64 = AtomicU64::new(0);
-static CALLS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0); // SYNC: telemetry counter (see above)
+static CALLS: AtomicU64 = AtomicU64::new(0); // SYNC: telemetry counter (see above)
 
 /// Point-in-time reading of the global GEMM counters; diff two of
 /// these to attribute work to a region.

@@ -9,8 +9,24 @@
 //! panels before spawning, which is also what keeps their results
 //! deterministic).
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::thread as std_thread;
+
+/// Debug-build ceiling on spawns per scope. Real rayon multiplexes any
+/// number of tasks onto its fixed pool, but the shim backs every spawn
+/// with an OS thread, so a caller that spawns per *item* instead of per
+/// *worker* degrades quietly — thousands of threads instead of a
+/// handful. The engine's contract is one long-lived task per worker
+/// (`workers <= current_num_threads()`); the cap enforces that shape
+/// with headroom: `current_num_threads().max(SPAWN_CAP_FLOOR)` keeps
+/// small CI machines and the shim's own fan-out tests from tripping
+/// while still catching per-item spawning at real workloads.
+const SPAWN_CAP_FLOOR: usize = 128;
+
+fn spawn_cap() -> usize {
+    current_num_threads().max(SPAWN_CAP_FLOOR)
+}
 
 /// Number of threads the machine can usefully run concurrently
 /// (rayon reports its pool size here; the shim reports the hardware's
@@ -25,18 +41,43 @@ pub fn current_num_threads() -> usize {
 /// closure (rayon passes the scope so children can spawn siblings).
 pub struct Scope<'scope, 'env: 'scope> {
     inner: &'scope std_thread::Scope<'scope, 'env>,
+    /// Spawns issued from this handle (each nested handle counts its
+    /// own children — the cap bounds fan-out per spawning thread,
+    /// which is what turns into simultaneous OS threads here).
+    spawned: Cell<usize>,
 }
 
 impl<'scope, 'env> Scope<'scope, 'env> {
     /// Spawns a task in the scope. Matches rayon's fire-and-forget
     /// signature: no join handle, the task's result is discarded, and
     /// [`scope`] does not return until every spawned task finishes.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics when one handle issues more than
+    /// `current_num_threads().max(128)` spawns — the shim backs every
+    /// spawn with an OS thread, so per-item spawning (instead of the
+    /// engine's one-task-per-worker partitioning) must fail loudly
+    /// rather than silently oversubscribe the machine.
     pub fn spawn<F>(&self, f: F)
     where
         F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
     {
+        let n = self.spawned.get() + 1;
+        self.spawned.set(n);
+        debug_assert!(
+            n <= spawn_cap(),
+            "{n} spawns from one scope handle exceeds the shim cap of {} \
+             (one OS thread per spawn): partition work per worker, not per item",
+            spawn_cap()
+        );
         let inner = self.inner;
-        inner.spawn(move || f(&Scope { inner }));
+        inner.spawn(move || {
+            f(&Scope {
+                inner,
+                spawned: Cell::new(0),
+            })
+        });
     }
 }
 
@@ -49,7 +90,12 @@ where
     F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
     R: Send,
 {
-    std_thread::scope(|s| f(&Scope { inner: s }))
+    std_thread::scope(|s| {
+        f(&Scope {
+            inner: s,
+            spawned: Cell::new(0),
+        })
+    })
 }
 
 /// Runs both closures, potentially in parallel, and returns both
@@ -112,6 +158,21 @@ mod tests {
     #[test]
     fn current_num_threads_is_positive() {
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "exceeds the shim cap")]
+    fn spawn_cap_trips_on_per_item_spawning() {
+        let cap = super::spawn_cap();
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..=cap {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
     }
 
     #[test]
