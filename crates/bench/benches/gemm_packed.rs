@@ -5,9 +5,11 @@
 //!
 //! 1. **Acceptance anchor** — the packed `nt` kernel must stay ≥2×
 //!    faster than naive at 256×256×1024 in release, and both packed
-//!    orientations must stay bit-identical to the naive reference
-//!    (the packed kernels reorder *memory traffic* — panel packing,
-//!    cache blocking, 4×8 register tiles — never the arithmetic).
+//!    orientations must match the naive reference: bit-identical when
+//!    the shape stays on the scalar path, ULP-bounded (the contract
+//!    from `tests/simd_equivalence.rs`) when the AVX2/FMA kernels
+//!    dispatch — FMA rounds once where scalar mul+add rounds twice,
+//!    so bitwise equality is the wrong claim on the SIMD path.
 //! 2. **Machine roofs** — peak compute GFLOP/s from an in-cache packed
 //!    GEMM and memory bandwidth GB/s from a streaming triad, measured
 //!    on the machine the sweep runs on rather than assumed.
@@ -48,14 +50,41 @@ const N: usize = 1024;
 const NAIVE_SAMPLES: usize = 3;
 const PACKED_SAMPLES: usize = 5;
 
-fn assert_bits_equal(lhs: &Matrix, rhs: &Matrix, what: &str) {
-    assert_eq!(lhs.rows(), rhs.rows(), "{what}: row mismatch");
-    assert_eq!(lhs.cols(), rhs.cols(), "{what}: col mismatch");
-    for (i, (a, b)) in lhs.as_slice().iter().zip(rhs.as_slice()).enumerate() {
-        assert_eq!(
-            a.to_bits(),
-            b.to_bits(),
-            "{what}: element {i} diverged: {a} vs {b}"
+/// Maximum ULP distance tolerated on the SIMD dispatch path (mirrors
+/// `tests/simd_equivalence.rs`); scalar-path shapes must be bitwise.
+const ULP_BUDGET: u32 = 8;
+
+/// Pre-flight equivalence gate, dispatch-aware: when the shape stays
+/// on the scalar path the packed result must be bit-identical to
+/// naive; when `simd::use_simd` says the AVX2/FMA kernels engage, each
+/// element must be within [`ULP_BUDGET`] of naive or within the
+/// `2k·ε·|A||B|` condition floor (`absref` is naive over `|A|`,`|B|`).
+fn assert_gemm_matches(naive: &Matrix, packed: &Matrix, absref: &Matrix, k: usize, what: &str) {
+    assert_eq!(naive.rows(), packed.rows(), "{what}: row mismatch");
+    assert_eq!(naive.cols(), packed.cols(), "{what}: col mismatch");
+    let simd = eta_tensor::simd::use_simd(naive.rows(), k, naive.cols());
+    let tol = 2.0 * k as f32 * f32::EPSILON;
+    for (i, ((&r, &g), &ab)) in naive
+        .as_slice()
+        .iter()
+        .zip(packed.as_slice())
+        .zip(absref.as_slice())
+        .enumerate()
+    {
+        if !simd {
+            assert_eq!(
+                r.to_bits(),
+                g.to_bits(),
+                "{what}: element {i} diverged on the scalar path: {r} vs {g}"
+            );
+            continue;
+        }
+        let ulp_ok = g == r
+            || (g.is_sign_positive() == r.is_sign_positive()
+                && g.to_bits().abs_diff(r.to_bits()) <= ULP_BUDGET);
+        assert!(
+            ulp_ok || (g - r).abs() <= tol * ab,
+            "{what}: element {i} beyond the SIMD ULP budget: packed={g:e} naive={r:e}"
         );
     }
 }
@@ -206,16 +235,24 @@ fn bench_gemm_packed_vs_naive(c: &mut Criterion) {
     let pb_nt = PackedB::from_nt(&b_nt);
     let pb_nn = PackedB::from_nn(&b_nn);
 
-    // The whole point of the packed path is that it changes nothing
-    // numerically — re-prove it on the acceptance shape before timing.
-    assert_bits_equal(
+    // Re-prove the numerical contract on the acceptance shape before
+    // timing: bitwise on the scalar path, ULP-bounded under SIMD.
+    assert_gemm_matches(
         &a.matmul_nt_naive(&b_nt).unwrap(),
         &a.matmul_nt_packed(&pb_nt).unwrap(),
+        &a.map(f32::abs)
+            .matmul_nt_naive(&b_nt.map(f32::abs))
+            .unwrap(),
+        K,
         "nt",
     );
-    assert_bits_equal(
+    assert_gemm_matches(
         &a.matmul_nn_naive(&b_nn).unwrap(),
         &a.matmul_nn_packed(&pb_nn).unwrap(),
+        &a.map(f32::abs)
+            .matmul_nn_naive(&b_nn.map(f32::abs))
+            .unwrap(),
+        K,
         "nn",
     );
 
@@ -329,6 +366,23 @@ fn bench_gemm_packed_vs_naive(c: &mut Criterion) {
     assert!(
         speedup >= 2.0,
         "packed nt GEMM below the 2x acceptance target at {M}x{K}x{N}: {speedup:.2}x"
+    );
+
+    // The tn orientation (BPTT weight gradients) used to crawl at 1.3×
+    // over naive because it reused the nn panel scheme against a
+    // column-strided A; the blocked-transpose + SIMD route must hold
+    // ≥3× or the fix has regressed.
+    let tn = cell_kernels
+        .iter()
+        .find(|km| km.orientation == "tn")
+        .expect("cell sweep includes tn");
+    let tn_speedup = tn.naive_seconds / tn.packed_seconds;
+    assert!(
+        tn_speedup >= 3.0,
+        "packed tn GEMM below the 3x target at {}x{}x{}: {tn_speedup:.2}x",
+        tn.m,
+        tn.k,
+        tn.n
     );
 }
 

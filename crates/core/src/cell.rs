@@ -487,6 +487,23 @@ pub fn compute_p1_into(buf: &mut P1Buffers, fw: &CellForward, s_prev: &Matrix) -
     Ok(())
 }
 
+/// Trace label for a GEMM span: the `_simd` variant when the logical
+/// shape will route to the AVX2 microkernels, so a profile shows the
+/// dispatch decision without re-deriving the gate.
+fn gemm_label(
+    simd_name: &'static str,
+    scalar_name: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> &'static str {
+    if eta_tensor::simd::use_simd(m, k, n) {
+        simd_name
+    } else {
+        scalar_name
+    }
+}
+
 /// Zero-alloc forward pass of one cell against pre-packed weight
 /// panels: the preactivation GEMM writes into the workspace buffer,
 /// and the recurrent GEMM's store pass fuses `+ h_prev·Uᵀ + b` and the
@@ -524,13 +541,25 @@ pub fn forward_ws(
     ws.ensure_forward(batch, h);
 
     {
-        let _g = instruments.scope("gemm");
+        let _g = instruments.scope(gemm_label(
+            "gemm_simd",
+            "gemm",
+            batch,
+            x.cols(),
+            panels.w_fwd.n(),
+        ));
         x.matmul_nt_packed_into(&panels.w_fwd, &mut ws.preact, Store::Assign, kernel)?;
     }
     let b = &params.b;
     let tanh_cols = 2 * h..3 * h;
     {
-        let _g = instruments.scope("gemm_epilogue");
+        let _g = instruments.scope(gemm_label(
+            "gemm_epilogue_simd",
+            "gemm_epilogue",
+            batch,
+            h_prev.cols(),
+            panels.u_fwd.n(),
+        ));
         h_prev.matmul_nt_packed_epilogue(&panels.u_fwd, &mut ws.preact, kernel, |j, v| {
             debug_assert!(j < b.len());
             let z = v + b[j];
@@ -640,13 +669,25 @@ pub(crate) fn forward_into_with_preact(
     crate::workspace::ensure_shape(preact, batch, 4 * h);
 
     {
-        let _g = instruments.scope("gemm");
+        let _g = instruments.scope(gemm_label(
+            "gemm_simd",
+            "gemm",
+            batch,
+            x.cols(),
+            panels.w_fwd.n(),
+        ));
         x.matmul_nt_packed_into(&panels.w_fwd, preact, Store::Assign, kernel)?;
     }
     let b = &params.b;
     let tanh_cols = 2 * h..3 * h;
     {
-        let _g = instruments.scope("gemm_epilogue");
+        let _g = instruments.scope(gemm_label(
+            "gemm_epilogue_simd",
+            "gemm_epilogue",
+            batch,
+            h_prev.cols(),
+            panels.u_fwd.n(),
+        ));
         h_prev.matmul_nt_packed_epilogue(&panels.u_fwd, preact, kernel, |j, v| {
             debug_assert!(j < b.len());
             let z = v + b[j];
@@ -801,7 +842,13 @@ pub fn backward_ws(
     let ds_prev = ds_acc.hadamard(p1.p_s)?;
     drop(ew_scope);
 
-    let gemm_scope = instruments.scope("bp_gemm");
+    let gemm_scope = instruments.scope(gemm_label(
+        "bp_gemm_simd",
+        "bp_gemm",
+        dgates.rows(),
+        dgates.cols(),
+        panels.w_bwd.n(),
+    ));
     // BP-MatMul (Eq. 2) over the cached backward panels.
     let dx = dgates.par_matmul_nn_packed(&panels.w_bwd, kernel)?;
     let dh_prev = dgates.par_matmul_nn_packed(&panels.u_bwd, kernel)?;

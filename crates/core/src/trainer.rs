@@ -288,6 +288,8 @@ impl Trainer {
 
         #[cfg(feature = "telemetry")]
         let mut kernel_stats_last = eta_tensor::stats::snapshot();
+        #[cfg(feature = "telemetry")]
+        let mut dispatch_last = eta_tensor::stats::dispatch_snapshot();
         for epoch in 0..epochs {
             let plan = self.plan_for_epoch(epoch);
             let instruments = self.epoch_instruments();
@@ -319,7 +321,7 @@ impl Trainer {
                 // `apply` repacks, every later one in the same update is
                 // a cache hit (only possible with multi-batch updates).
                 let pack_span = instruments.span("pack_panels");
-                let panels = self.panel_cache.checkout(&self.model);
+                let panels = self.panel_cache.checkout_with(&self.model, &plan.kernel);
                 drop(pack_span);
                 // Under MS3 the loss scale tracks the live scaler (it
                 // moves on overflow, mid-epoch).
@@ -468,6 +470,12 @@ impl Trainer {
                 t.incr(keys::KERNEL_GEMM_FLOPS_TOTAL, kdelta.flops);
                 t.incr(keys::KERNEL_GEMM_BYTES_TOTAL, kdelta.bytes);
                 t.incr(keys::KERNEL_GEMM_CALLS_TOTAL, kdelta.calls);
+                let dnow = eta_tensor::stats::dispatch_snapshot();
+                let ddelta = dnow.since(&dispatch_last);
+                dispatch_last = dnow;
+                t.incr(keys::KERNEL_SIMD_DISPATCH_TOTAL, ddelta.simd);
+                t.incr(keys::KERNEL_SCALAR_FALLBACK_TOTAL, ddelta.scalar);
+                t.incr(keys::PANEL_PACK_PARALLEL_TOTAL, ddelta.pack_parallel);
                 // MS3 counters advance even when zero so the key set is
                 // strategy-independent.
                 t.incr(keys::MS3_RECOMPUTE_CELLS_TOTAL, ms3_recompute_cells);

@@ -28,7 +28,7 @@
 
 use crate::cell::{CellForward, CellParams};
 use crate::model::LstmModel;
-use eta_tensor::{ConvStats, Matrix, PackedB};
+use eta_tensor::{ConvStats, Matrix, PackedB, ParallelConfig};
 
 /// Reallocates `slot` only when its shape differs from `[rows, cols]`.
 /// Contents after a call are unspecified (zeros on reallocation, stale
@@ -258,6 +258,19 @@ impl LayerPanels {
         }
     }
 
+    /// [`LayerPanels::pack`] with worker threads filling panels when
+    /// `cfg` warrants it. Packing is bit-identical at any thread count
+    /// (each panel is a pure function of the weights), so this only
+    /// changes pack latency, never training results.
+    pub fn pack_with(params: &CellParams, cfg: &ParallelConfig) -> Self {
+        LayerPanels {
+            w_fwd: PackedB::from_nt_par(&params.w, cfg),
+            u_fwd: PackedB::from_nt_par(&params.u, cfg),
+            w_bwd: PackedB::from_nn_par(&params.w, cfg),
+            u_bwd: PackedB::from_nn_par(&params.u, cfg),
+        }
+    }
+
     /// Total packed bytes.
     pub fn size_bytes(&self) -> u64 {
         self.w_fwd.size_bytes()
@@ -282,6 +295,17 @@ impl ModelPanels {
                 .layers()
                 .iter()
                 .map(|l| LayerPanels::pack(&l.params))
+                .collect(),
+        }
+    }
+
+    /// [`ModelPanels::pack`] with parallel panel filling per layer.
+    pub fn pack_with(model: &LstmModel, cfg: &ParallelConfig) -> Self {
+        ModelPanels {
+            layers: model
+                .layers()
+                .iter()
+                .map(|l| LayerPanels::pack_with(&l.params, cfg))
                 .collect(),
         }
     }
@@ -324,12 +348,21 @@ impl PanelCache {
 
     /// The current panels, packing from `model` if the cache is stale.
     pub fn checkout(&mut self, model: &LstmModel) -> &ModelPanels {
+        self.checkout_with(model, &ParallelConfig::serial())
+    }
+
+    /// [`PanelCache::checkout`] packing with `cfg` on a cache miss —
+    /// the trainer passes its kernel-parallelism config so the
+    /// once-per-update repack uses the same worker budget as the
+    /// kernels themselves.
+    pub fn checkout_with(&mut self, model: &LstmModel, cfg: &ParallelConfig) -> &ModelPanels {
         if self.panels.is_some() {
             self.hit_count += 1;
         } else {
             self.pack_count += 1;
         }
-        self.panels.get_or_insert_with(|| ModelPanels::pack(model))
+        self.panels
+            .get_or_insert_with(|| ModelPanels::pack_with(model, cfg))
     }
 
     /// Whether panels are currently cached.

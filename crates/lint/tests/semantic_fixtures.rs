@@ -419,6 +419,85 @@ fn a2_detect_guarded_dispatch_with_fallback_stays_clean() {
     assert!(rule(&findings, "A2").is_empty(), "{findings:#?}");
 }
 
+#[test]
+fn a2_safe_target_feature_helper_chain_stays_clean() {
+    // The real `simd.rs` shape (target_feature_1.1): *safe* TF
+    // helpers call each other freely — only the non-TF entry needs
+    // the compound avx2+fma detect guard with a scalar else branch.
+    let src = "#[target_feature(enable = \"avx2\", enable = \"fma\")]\n\
+               fn splat8(x: f32) -> f32 {\n\
+               \x20   // SAFETY: register-only intrinsic; caller proved avx2.\n\
+               \x20   let v = _mm256_set1_ps(x);\n\
+               \x20   x\n\
+               }\n\
+               \n\
+               #[target_feature(enable = \"avx2\", enable = \"fma\")]\n\
+               fn tile(x: f32) -> f32 {\n\
+               \x20   splat8(x)\n\
+               }\n\
+               \n\
+               pub fn gemm(x: f32) -> f32 {\n\
+               \x20   if is_x86_feature_detected!(\"avx2\") && is_x86_feature_detected!(\"fma\") {\n\
+               \x20       // SAFETY: the feature guard above proves avx2 and fma.\n\
+               \x20       unsafe { tile(x) }\n\
+               \x20   } else {\n\
+               \x20       x\n\
+               \x20   }\n\
+               }\n";
+    let (findings, _) = analyze(&[(CORE, src)]);
+    assert!(rule(&findings, "A2").is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn a2_flags_compound_guard_without_scalar_fallback() {
+    // Detect guard present but no else branch: the portability
+    // contract (scalar fallback on every path) is still broken.
+    let src = "#[target_feature(enable = \"avx2\", enable = \"fma\")]\n\
+               fn tile(x: f32) -> f32 {\n\
+               \x20   // SAFETY: register-only intrinsic; caller proved avx2.\n\
+               \x20   let v = _mm256_set1_ps(x);\n\
+               \x20   x\n\
+               }\n\
+               \n\
+               pub fn gemm(x: f32) -> f32 {\n\
+               \x20   if is_x86_feature_detected!(\"avx2\") && is_x86_feature_detected!(\"fma\") {\n\
+               \x20       // SAFETY: the feature guard above proves avx2 and fma.\n\
+               \x20       return unsafe { tile(x) };\n\
+               \x20   }\n\
+               \x20   x\n\
+               }\n";
+    let (findings, _) = analyze(&[(CORE, src)]);
+    let a2 = rule(&findings, "A2");
+    assert_eq!(a2.len(), 1, "{findings:#?}");
+    assert_eq!(a2[0].line, 11);
+    assert_eq!(
+        a2[0].message,
+        "call to #[target_feature] fn `tile` without an \
+         is_x86_feature_detected! guard and scalar fallback"
+    );
+}
+
+#[test]
+fn a2_flags_unguarded_call_into_safe_target_feature_helper() {
+    // A *safe* TF fn (no `unsafe fn`) is still a dispatch hazard: the
+    // caller must prove the features at runtime before jumping in.
+    let src = "#[target_feature(enable = \"avx2\", enable = \"fma\")]\n\
+               fn tile(x: f32) -> f32 {\n\
+               \x20   // SAFETY: register-only intrinsic; caller proved avx2.\n\
+               \x20   let v = _mm256_set1_ps(x);\n\
+               \x20   x\n\
+               }\n\
+               \n\
+               pub fn gemm(x: f32) -> f32 {\n\
+               \x20   unsafe { tile(x) }\n\
+               }\n";
+    let (findings, _) = analyze(&[(CORE, src)]);
+    let a2 = rule(&findings, "A2");
+    assert_eq!(a2.len(), 1, "{findings:#?}");
+    assert_eq!(a2[0].line, 9);
+    assert!(a2[0].message.contains("without an"), "{findings:#?}");
+}
+
 // --- DS1: dead stores ------------------------------------------------------
 
 #[test]

@@ -5,13 +5,18 @@
 //!     --history results/bench_history.jsonl [--sha <rev>]
 //! eta-bench-track compare --bench-json BENCH_gemm.json \
 //!     --history results/bench_history.jsonl [--threshold 0.10]
+//! eta-bench-track roofline --report results/roofline.json \
+//!     --baseline results/roofline_baseline.json [--slack 0.10]
 //! ```
 //!
 //! `record` appends the current bench medians to the history;
 //! `compare` gates them against the last committed baseline and exits
 //! non-zero with one line per offending shape when any median is more
 //! than `threshold` slower. CI runs `compare` before `record` so a
-//! regressing PR fails before it can re-baseline itself.
+//! regressing PR fails before it can re-baseline itself. `roofline`
+//! gates a freshly re-derived `results/roofline.json` against the
+//! committed baseline roof fractions and exits non-zero when any
+//! kernel or LN5–LN8 shape drops below `baseline × (1 − slack)`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,50 +25,63 @@ use eta_prof::track;
 
 struct Args {
     command: String,
-    bench_json: PathBuf,
-    history: PathBuf,
+    bench_json: Option<PathBuf>,
+    history: Option<PathBuf>,
+    report: Option<PathBuf>,
+    baseline: Option<PathBuf>,
     threshold: f64,
+    slack: f64,
     sha: Option<String>,
 }
 
 const USAGE: &str = "usage: eta-bench-track <record|compare> \
-    --bench-json <file> --history <file> [--threshold 0.10] [--sha <rev>]";
+    --bench-json <file> --history <file> [--threshold 0.10] [--sha <rev>]\n\
+       eta-bench-track roofline --report <file> --baseline <file> [--slack 0.10]";
 
 fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
     let command = argv.next().ok_or(USAGE)?;
-    if command != "record" && command != "compare" {
+    if !matches!(command.as_str(), "record" | "compare" | "roofline") {
         return Err(format!("unknown command `{command}`\n{USAGE}"));
     }
     let mut bench_json = None;
     let mut history = None;
+    let mut report = None;
+    let mut baseline = None;
     let mut threshold = 0.10f64;
+    let mut slack = 0.10f64;
     let mut sha = None;
     while let Some(flag) = argv.next() {
         let mut value = || {
             argv.next()
                 .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
         };
+        let ratio = |flag: &str, raw: String| -> Result<f64, String> {
+            let v = raw.parse::<f64>().map_err(|e| format!("{flag}: {e}"))?;
+            if !(0.0..10.0).contains(&v) {
+                return Err(format!("{flag} must be in [0, 10)"));
+            }
+            Ok(v)
+        };
         match flag.as_str() {
             "--bench-json" => bench_json = Some(PathBuf::from(value()?)),
             "--history" => history = Some(PathBuf::from(value()?)),
-            "--threshold" => {
-                threshold = value()?
-                    .parse::<f64>()
-                    .map_err(|e| format!("--threshold: {e}"))?;
-                if !(0.0..10.0).contains(&threshold) {
-                    return Err("--threshold must be in [0, 10)".to_string());
-                }
-            }
+            "--report" => report = Some(PathBuf::from(value()?)),
+            "--baseline" => baseline = Some(PathBuf::from(value()?)),
+            "--threshold" => threshold = ratio("--threshold", value()?)?,
+            "--slack" => slack = ratio("--slack", value()?)?,
             "--sha" => sha = Some(value()?),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
     Ok(Args {
         command,
-        bench_json: bench_json.ok_or(format!("--bench-json is required\n{USAGE}"))?,
-        history: history.ok_or(format!("--history is required\n{USAGE}"))?,
+        bench_json,
+        history,
+        report,
+        baseline,
         threshold,
+        slack,
         sha,
     })
 }
@@ -81,25 +99,45 @@ fn git_sha() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+fn read_file(path: &PathBuf) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn require(opt: &Option<PathBuf>, flag: &str) -> Result<PathBuf, String> {
+    opt.clone().ok_or(format!("{flag} is required\n{USAGE}"))
+}
+
 fn run(args: &Args) -> Result<bool, String> {
-    let text = std::fs::read_to_string(&args.bench_json)
-        .map_err(|e| format!("{}: {e}", args.bench_json.display()))?;
+    if args.command == "roofline" {
+        let report_path = require(&args.report, "--report")?;
+        let baseline_path = require(&args.baseline, "--baseline")?;
+        let current = track::roof_fractions_from_json(&read_file(&report_path)?)
+            .map_err(|e| format!("{}: {e}", report_path.display()))?;
+        let baseline = track::roof_fractions_from_json(&read_file(&baseline_path)?)
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        let report = track::compare_roofline(&baseline, &current, args.slack);
+        print!("{}", report.render());
+        return Ok(report.passed());
+    }
+    let bench_json = require(&args.bench_json, "--bench-json")?;
+    let history_path = require(&args.history, "--history")?;
+    let text = read_file(&bench_json)?;
     let sha = args.sha.clone().unwrap_or_else(git_sha);
     let current = track::records_from_bench_json(&text, &sha)?;
     match args.command.as_str() {
         "record" => {
-            track::append(&args.history, &current)
-                .map_err(|e| format!("{}: {e}", args.history.display()))?;
+            track::append(&history_path, &current)
+                .map_err(|e| format!("{}: {e}", history_path.display()))?;
             println!(
                 "recorded {} metric(s) @ {sha} into {}",
                 current.len(),
-                args.history.display()
+                history_path.display()
             );
             Ok(true)
         }
         "compare" => {
-            let history = track::read(&args.history)
-                .map_err(|e| format!("{}: {e}", args.history.display()))?;
+            let history = track::read(&history_path)
+                .map_err(|e| format!("{}: {e}", history_path.display()))?;
             let report = track::compare(&history, &current, args.threshold);
             print!("{}", report.render());
             Ok(report.passed())

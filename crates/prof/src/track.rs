@@ -130,6 +130,143 @@ pub fn records_from_bench_json(text: &str, git_sha: &str) -> Result<Vec<BenchRec
     Ok(records)
 }
 
+/// Extracts `(label, roof fraction)` pairs from a `roofline.json`
+/// report: one entry per measured cell kernel (`kernel nt` …) and one
+/// per LN5–LN8 training-step shape (`shape LN5` …). The fraction is
+/// the report's `efficiency` field (achieved / roof GFLOP/s), which is
+/// what the roofline gate tracks — it is stable across machines in a
+/// way raw GFLOP/s is not.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation.
+pub fn roof_fractions_from_json(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let root: serde::Value =
+        serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let mut fractions = Vec::new();
+    let mut collect = |section: &str, name_key: &str| -> Result<(), String> {
+        let entries = match root.get(section) {
+            Some(serde::Value::Seq(entries)) => entries,
+            _ => return Err(format!("missing `{section}` array")),
+        };
+        for (i, entry) in entries.iter().enumerate() {
+            let name = entry
+                .get(name_key)
+                .and_then(serde::Value::as_str)
+                .ok_or_else(|| format!("{section}[{i}]: missing string `{name_key}`"))?;
+            let eff = entry
+                .get("efficiency")
+                .and_then(serde::Value::as_f64)
+                .ok_or_else(|| format!("{section}[{i}]: missing number `efficiency`"))?;
+            let prefix = if section == "kernels" {
+                "kernel"
+            } else {
+                "shape"
+            };
+            fractions.push((format!("{prefix} {name}"), eff));
+        }
+        Ok(())
+    };
+    collect("kernels", "orientation")?;
+    collect("shapes", "shape")?;
+    Ok(fractions)
+}
+
+/// One roofline entry whose roof fraction fell below the baseline.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RoofRegression {
+    /// Entry label (`kernel tn`, `shape LN5`, …).
+    pub label: String,
+    /// Committed baseline roof fraction.
+    pub baseline: f64,
+    /// Current roof fraction.
+    pub current: f64,
+}
+
+/// Outcome of a roofline-gate run.
+#[derive(Debug, Clone)]
+pub struct RooflineGateReport {
+    /// Entries whose fraction fell below `baseline × (1 − slack)`.
+    pub regressions: Vec<RoofRegression>,
+    /// Entries compared against a baseline.
+    pub compared: usize,
+    /// Current entries with no baseline (new shapes — pass).
+    pub fresh: usize,
+    /// The relative slack the gate ran with.
+    pub slack: f64,
+}
+
+impl RooflineGateReport {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Human-readable gate output (one line per offender).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.passed() {
+            out.push_str(&format!(
+                "roofline gate PASSED: {} entr(ies) within {:.0}% of committed roof fraction ({} new)\n",
+                self.compared,
+                self.slack * 100.0,
+                self.fresh
+            ));
+        } else {
+            out.push_str(&format!(
+                "roofline gate FAILED: {} of {} entr(ies) below committed roof fraction\n",
+                self.regressions.len(),
+                self.compared
+            ));
+            for r in &self.regressions {
+                out.push_str(&format!(
+                    "  {}: {:.3} -> {:.3} of roof (floor {:.3})\n",
+                    r.label,
+                    r.baseline,
+                    r.current,
+                    r.baseline * (1.0 - self.slack)
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Gates current roof fractions against the committed baseline:
+/// an entry fails when its fraction drops below
+/// `baseline × (1 − slack)`. Entries absent from the baseline pass.
+pub fn compare_roofline(
+    baseline: &[(String, f64)],
+    current: &[(String, f64)],
+    slack: f64,
+) -> RooflineGateReport {
+    let base: BTreeMap<&str, f64> = baseline.iter().map(|(l, e)| (l.as_str(), *e)).collect();
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    let mut fresh = 0usize;
+    for (label, eff) in current {
+        match base.get(label.as_str()) {
+            None => fresh += 1,
+            Some(b) => {
+                compared += 1;
+                if *eff < b * (1.0 - slack) {
+                    regressions.push(RoofRegression {
+                        label: label.clone(),
+                        baseline: *b,
+                        current: *eff,
+                    });
+                }
+            }
+        }
+    }
+    RooflineGateReport {
+        regressions,
+        compared,
+        fresh,
+        slack,
+    }
+}
+
 /// The most recent record per `(bench, label)` key — the baseline set.
 pub fn baselines(history: &[BenchRecord]) -> BTreeMap<(String, String), BenchRecord> {
     let mut map = BTreeMap::new();
@@ -327,6 +464,52 @@ mod tests {
     fn missing_history_reads_empty() {
         let path = std::env::temp_dir().join("eta_prof_track_missing/none.jsonl");
         assert!(read(&path).unwrap().is_empty());
+    }
+
+    const ROOFLINE_JSON: &str = r#"{
+        "machine": {"peak_gflops": 80.0, "mem_bw_gbps": 11.0},
+        "kernels": [
+            {"orientation": "tn", "m": 8192, "k": 128, "n": 2048,
+             "flops": 1, "bytes": 1, "intensity": 59.0,
+             "achieved_gflops": 45.0, "roof_gflops": 80.0,
+             "efficiency": 0.57, "speedup": 7.4}
+        ],
+        "shapes": [
+            {"shape": "LN5", "layers": 5, "hidden": 2048, "seq_len": 256,
+             "batch": 128, "flops": 1, "traffic_bytes": 1,
+             "intensity": 1218.0, "achieved_gflops": 53.5,
+             "roof_gflops": 80.0, "efficiency": 0.67}
+        ]
+    }"#;
+
+    #[test]
+    fn roofline_json_yields_prefixed_fractions() {
+        let fractions = roof_fractions_from_json(ROOFLINE_JSON).unwrap();
+        assert_eq!(fractions.len(), 2);
+        assert_eq!(fractions[0], ("kernel tn".to_string(), 0.57));
+        assert_eq!(fractions[1], ("shape LN5".to_string(), 0.67));
+        assert!(roof_fractions_from_json("{}").is_err());
+    }
+
+    #[test]
+    fn roofline_gate_passes_within_slack_and_fails_below() {
+        let baseline = vec![("shape LN5".to_string(), 0.67)];
+        // 5% below baseline is inside a 10% slack…
+        let ok = compare_roofline(&baseline, &[("shape LN5".to_string(), 0.64)], 0.10);
+        assert!(ok.passed());
+        assert_eq!(ok.compared, 1);
+        // …but 20% below is not.
+        let bad = compare_roofline(&baseline, &[("shape LN5".to_string(), 0.53)], 0.10);
+        assert!(!bad.passed());
+        assert_eq!(bad.regressions[0].label, "shape LN5");
+        assert!(bad.render().contains("FAILED"), "{}", bad.render());
+    }
+
+    #[test]
+    fn roofline_gate_passes_fresh_entries() {
+        let report = compare_roofline(&[], &[("shape LN9".to_string(), 0.1)], 0.10);
+        assert!(report.passed());
+        assert_eq!(report.fresh, 1);
     }
 
     #[test]

@@ -113,6 +113,14 @@ pub const KERNEL_GEMM_FLOPS_TOTAL: &str = "kernel_gemm_flops_total";
 pub const KERNEL_GEMM_BYTES_TOTAL: &str = "kernel_gemm_bytes_total";
 /// Counter: packed GEMM kernel invocations.
 pub const KERNEL_GEMM_CALLS_TOTAL: &str = "kernel_gemm_calls_total";
+/// Counter: GEMM calls routed to the AVX2+FMA microkernels by the
+/// runtime feature/shape dispatch.
+pub const KERNEL_SIMD_DISPATCH_TOTAL: &str = "kernel_simd_dispatch_total";
+/// Counter: GEMM calls served by the scalar microkernels (small
+/// shapes, `ETA_SIMD=off`, or missing CPU features).
+pub const KERNEL_SCALAR_FALLBACK_TOTAL: &str = "kernel_scalar_fallback_total";
+/// Counter: panel packs performed by the parallel packing path.
+pub const PANEL_PACK_PARALLEL_TOTAL: &str = "panel_pack_parallel_total";
 /// Counter: spans captured by an attached eta-prof tracer.
 pub const TRACE_SPANS_TOTAL: &str = "trace_spans_total";
 /// Counter: spans dropped by an attached eta-prof tracer after its
@@ -169,6 +177,9 @@ pub const ALL: &[&str] = &[
     KERNEL_GEMM_FLOPS_TOTAL,
     KERNEL_GEMM_BYTES_TOTAL,
     KERNEL_GEMM_CALLS_TOTAL,
+    KERNEL_SIMD_DISPATCH_TOTAL,
+    KERNEL_SCALAR_FALLBACK_TOTAL,
+    PANEL_PACK_PARALLEL_TOTAL,
     TRACE_SPANS_TOTAL,
     TRACE_SPANS_DROPPED_TOTAL,
     TRACE_THREADS,
@@ -219,7 +230,10 @@ mod tests {
                         || key.contains("cells")
                         || key.contains("skips")
                         || key.contains("overflows")
-                        || key.contains("underflows"),
+                        || key.contains("underflows")
+                        || key.contains("dispatch")
+                        || key.contains("fallback")
+                        || key.contains("pack"),
                     "`{key}` ends in _total but names no countable quantity"
                 );
             }

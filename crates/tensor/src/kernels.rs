@@ -118,9 +118,11 @@ fn tile1_skip(r0: &[f32], panel: &[f32]) -> [[f32; NR]; 1] {
     acc
 }
 
-/// Lands a tile's valid lanes in the output buffer.
+/// Lands a tile's valid lanes in the output buffer. Shared with the
+/// SIMD microkernels in [`crate::simd`], which spill their vector
+/// accumulators to the same `[[f32; NR]; R]` stack tiles.
 #[inline(always)]
-fn store_tile<const R: usize>(
+pub(crate) fn store_tile<const R: usize>(
     acc: &[[f32; NR]; R],
     out: &mut [f32],
     n: usize,
@@ -150,9 +152,9 @@ fn store_tile<const R: usize>(
 }
 
 /// Lands a tile through a column-indexed epilogue:
-/// `out[i][j] = f(j, out[i][j] + acc)`.
+/// `out[i][j] = f(j, out[i][j] + acc)`. Shared with [`crate::simd`].
 #[inline(always)]
-fn store_tile_epilogue<const R: usize, F: Fn(usize, f32) -> f32>(
+pub(crate) fn store_tile_epilogue<const R: usize, F: Fn(usize, f32) -> f32>(
     acc: &[[f32; NR]; R],
     out: &mut [f32],
     n: usize,
@@ -189,6 +191,7 @@ pub fn gemm_nt_rows(
     let n = pb.n();
     debug_assert_eq!(out_rows.len(), rows * n);
     crate::stats::record_gemm(rows, k, n);
+    crate::stats::record_scalar_fallback();
     for panel_idx in 0..pb.panels() {
         let panel = pb.panel(panel_idx);
         let j0 = panel_idx * NR;
@@ -230,6 +233,7 @@ pub fn gemm_nt_rows_epilogue<F: Fn(usize, f32) -> f32>(
     let n = pb.n();
     debug_assert_eq!(out_rows.len(), rows * n);
     crate::stats::record_gemm(rows, k, n);
+    crate::stats::record_scalar_fallback();
     for panel_idx in 0..pb.panels() {
         let panel = pb.panel(panel_idx);
         let j0 = panel_idx * NR;
@@ -269,6 +273,7 @@ pub fn gemm_nn_rows(
     let n = pb.n();
     debug_assert_eq!(out_rows.len(), rows * n);
     crate::stats::record_gemm(rows, k, n);
+    crate::stats::record_scalar_fallback();
     for panel_idx in 0..pb.panels() {
         let panel = pb.panel(panel_idx);
         let j0 = panel_idx * NR;
@@ -315,6 +320,7 @@ pub fn gemm_tn_rows(
     let n = pb.n();
     debug_assert_eq!(out_rows.len(), rows * n);
     crate::stats::record_gemm(rows, k, n);
+    crate::stats::record_scalar_fallback();
     for panel_idx in 0..pb.panels() {
         let panel = pb.panel(panel_idx);
         debug_assert_eq!(panel.len(), k * NR);

@@ -32,6 +32,7 @@ pub mod lowp;
 pub mod matrix;
 pub mod pack;
 pub mod parallel;
+pub mod simd;
 pub mod sparse;
 pub mod stats;
 

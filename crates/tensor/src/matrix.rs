@@ -213,6 +213,31 @@ impl Matrix {
         out
     }
 
+    /// Cache-blocked transpose (32×32 tiles so both the source rows and
+    /// destination rows of a tile fit in L1 together). Bit-identical to
+    /// [`Matrix::transpose`] — it moves values, never computes — and
+    /// used by the SIMD `tn` path, which transposes A once so the
+    /// streaming row kernel can read it contiguously instead of
+    /// striding down columns. O(r·c) copies next to the O(r·c·n) GEMM
+    /// that follows.
+    pub(crate) fn transposed_blocked(&self) -> Matrix {
+        const TB: usize = 32;
+        let (r, c) = (self.rows, self.cols);
+        let mut out = Matrix::zeros(c, r);
+        for i0 in (0..r).step_by(TB) {
+            let ih = TB.min(r - i0);
+            for j0 in (0..c).step_by(TB) {
+                let jw = TB.min(c - j0);
+                for i in i0..i0 + ih {
+                    for j in j0..j0 + jw {
+                        out.data[j * r + i] = self.data[i * c + j];
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Standard matrix product `self · rhs`.
     ///
     /// # Errors
@@ -282,7 +307,11 @@ impl Matrix {
         }
         let (m, k) = (self.rows, self.cols);
         let mut out = Matrix::zeros(m, pb.n());
-        kernels::gemm_nn_rows(&self.data, m, k, pb, &mut out.data, Store::Assign);
+        if crate::simd::use_simd(m, k, pb.n()) {
+            crate::simd::gemm_rows_nn(&self.data, m, k, pb, &mut out.data, Store::Assign);
+        } else {
+            kernels::gemm_nn_rows(&self.data, m, k, pb, &mut out.data, Store::Assign);
+        }
         Ok(out)
     }
 
@@ -345,7 +374,11 @@ impl Matrix {
         }
         let (m, k) = (self.rows, self.cols);
         let mut out = Matrix::zeros(m, pb.n());
-        kernels::gemm_nt_rows(&self.data, m, k, pb, &mut out.data, Store::Assign);
+        if crate::simd::use_simd(m, k, pb.n()) {
+            crate::simd::gemm_rows_nt(&self.data, m, k, pb, &mut out.data, Store::Assign);
+        } else {
+            kernels::gemm_nt_rows(&self.data, m, k, pb, &mut out.data, Store::Assign);
+        }
         Ok(out)
     }
 
@@ -375,14 +408,27 @@ impl Matrix {
                 rhs: (pb.n(), pb.k()),
             });
         }
+        // The SIMD decision is a function of the FULL logical shape,
+        // fixed before any row partitioning, so every worker (and the
+        // serial sweep) lands on the same kernel family.
+        let simd = crate::simd::use_simd(m, k, n);
         if !cfg.should_parallelize(m, k, n, m) {
-            kernels::gemm_nt_rows(&self.data, m, k, pb, &mut out.data, store);
+            if simd {
+                crate::simd::gemm_rows_nt(&self.data, m, k, pb, &mut out.data, store);
+            } else {
+                kernels::gemm_nt_rows(&self.data, m, k, pb, &mut out.data, store);
+            }
             return Ok(());
         }
         let a = &self.data;
         Self::par_row_blocks(&mut out.data, m, n, cfg.threads, |row0, rows, chunk| {
             debug_assert!((row0 + rows) * k <= a.len());
-            kernels::gemm_nt_rows(&a[row0 * k..(row0 + rows) * k], rows, k, pb, chunk, store);
+            let a_rows = &a[row0 * k..(row0 + rows) * k];
+            if simd {
+                crate::simd::gemm_rows_nt(a_rows, rows, k, pb, chunk, store);
+            } else {
+                kernels::gemm_nt_rows(a_rows, rows, k, pb, chunk, store);
+            }
         });
         Ok(())
     }
@@ -412,15 +458,27 @@ impl Matrix {
                 rhs: (pb.n(), pb.k()),
             });
         }
+        // Shape-global SIMD decision, same rationale as
+        // `matmul_nt_packed_into`.
+        let simd = crate::simd::use_simd(m, k, n);
         if !cfg.should_parallelize(m, k, n, m) {
-            kernels::gemm_nt_rows_epilogue(&self.data, m, k, pb, &mut out.data, &f);
+            if simd {
+                crate::simd::gemm_rows_nt_epilogue(&self.data, m, k, pb, &mut out.data, &f);
+            } else {
+                kernels::gemm_nt_rows_epilogue(&self.data, m, k, pb, &mut out.data, &f);
+            }
             return Ok(());
         }
         let a = &self.data;
         let f = &f;
         Self::par_row_blocks(&mut out.data, m, n, cfg.threads, |row0, rows, chunk| {
             debug_assert!((row0 + rows) * k <= a.len());
-            kernels::gemm_nt_rows_epilogue(&a[row0 * k..(row0 + rows) * k], rows, k, pb, chunk, f);
+            let a_rows = &a[row0 * k..(row0 + rows) * k];
+            if simd {
+                crate::simd::gemm_rows_nt_epilogue(a_rows, rows, k, pb, chunk, f);
+            } else {
+                kernels::gemm_nt_rows_epilogue(a_rows, rows, k, pb, chunk, f);
+            }
         });
         Ok(())
     }
@@ -496,7 +554,19 @@ impl Matrix {
         }
         let (k, m) = (self.rows, self.cols);
         let mut out = Matrix::zeros(m, pb.n());
-        kernels::gemm_tn_rows(&self.data, m, k, 0, m, pb, &mut out.data, Store::Assign);
+        if crate::simd::use_simd(m, k, pb.n()) {
+            // The scalar `tn` kernel strides down A columns (stride
+            // `m` floats per reduction step), which is the pathology
+            // behind its 1.3x-over-naive plateau. The SIMD path gives
+            // `tn` its own layout instead: a blocked transpose of A
+            // into row-major `[m, k]`, after which the streaming row
+            // kernel (contiguous A reads, L1-resident panel slices)
+            // serves it exactly like `nn`.
+            let at = self.transposed_blocked();
+            crate::simd::gemm_rows_nn(&at.data, m, k, pb, &mut out.data, Store::Assign);
+        } else {
+            kernels::gemm_tn_rows(&self.data, m, k, 0, m, pb, &mut out.data, Store::Assign);
+        }
         Ok(out)
     }
 
@@ -528,7 +598,32 @@ impl Matrix {
         if m * k * n < PACK_MIN_FLOPS {
             return out.add_assign(&self.matmul_tn_naive(rhs)?);
         }
-        let pb = PackedB::from_nn(rhs);
+        let pb = PackedB::from_nn_par(rhs, cfg);
+        if crate::simd::use_simd(m, k, n) {
+            // tn's own SIMD layout: transpose A once (blocked), then
+            // stream the row kernel — see `matmul_tn_packed`. The
+            // transpose is shared by all workers; each consumes a
+            // disjoint row slice, so parallel results stay bitwise
+            // equal to serial.
+            let at = self.transposed_blocked();
+            let a = &at.data;
+            if !cfg.should_parallelize(m, k, n, m) {
+                crate::simd::gemm_rows_nn(a, m, k, &pb, &mut out.data, Store::Add);
+                return Ok(());
+            }
+            Self::par_row_blocks(&mut out.data, m, n, cfg.threads, |row0, rows, chunk| {
+                debug_assert!((row0 + rows) * k <= a.len());
+                crate::simd::gemm_rows_nn(
+                    &a[row0 * k..(row0 + rows) * k],
+                    rows,
+                    k,
+                    &pb,
+                    chunk,
+                    Store::Add,
+                );
+            });
+            return Ok(());
+        }
         let a = &self.data;
         if !cfg.should_parallelize(m, k, n, m) {
             kernels::gemm_tn_rows(a, m, k, 0, m, &pb, &mut out.data, Store::Add);
@@ -602,7 +697,7 @@ impl Matrix {
         if !cfg.should_parallelize(m, k, n, m) {
             return self.matmul_nn(rhs);
         }
-        self.par_matmul_nn_packed(&PackedB::from_nn(rhs), cfg)
+        self.par_matmul_nn_packed(&PackedB::from_nn_par(rhs, cfg), cfg)
     }
 
     /// Parallel `self · B` against an already-packed B — row blocks of
@@ -624,18 +719,17 @@ impl Matrix {
         if !cfg.should_parallelize(m, k, n, m) {
             return self.matmul_nn_packed(pb);
         }
+        let simd = crate::simd::use_simd(m, k, n);
         let a = &self.data;
         let mut out = Matrix::zeros(m, n);
         Self::par_row_blocks(&mut out.data, m, n, cfg.threads, |row0, rows, chunk| {
             debug_assert!((row0 + rows) * k <= a.len());
-            kernels::gemm_nn_rows(
-                &a[row0 * k..(row0 + rows) * k],
-                rows,
-                k,
-                pb,
-                chunk,
-                Store::Assign,
-            );
+            let a_rows = &a[row0 * k..(row0 + rows) * k];
+            if simd {
+                crate::simd::gemm_rows_nn(a_rows, rows, k, pb, chunk, Store::Assign);
+            } else {
+                kernels::gemm_nn_rows(a_rows, rows, k, pb, chunk, Store::Assign);
+            }
         });
         Ok(out)
     }
@@ -660,7 +754,7 @@ impl Matrix {
         if !cfg.should_parallelize(m, k, n, m) {
             return self.matmul_nt(rhs);
         }
-        self.par_matmul_nt_packed(&PackedB::from_nt(rhs), cfg)
+        self.par_matmul_nt_packed(&PackedB::from_nt_par(rhs, cfg), cfg)
     }
 
     /// Parallel `self · Bᵀ` against an already-packed B — row blocks of
@@ -682,18 +776,17 @@ impl Matrix {
         if !cfg.should_parallelize(m, k, n, m) {
             return self.matmul_nt_packed(pb);
         }
+        let simd = crate::simd::use_simd(m, k, n);
         let a = &self.data;
         let mut out = Matrix::zeros(m, n);
         Self::par_row_blocks(&mut out.data, m, n, cfg.threads, |row0, rows, chunk| {
             debug_assert!((row0 + rows) * k <= a.len());
-            kernels::gemm_nt_rows(
-                &a[row0 * k..(row0 + rows) * k],
-                rows,
-                k,
-                pb,
-                chunk,
-                Store::Assign,
-            );
+            let a_rows = &a[row0 * k..(row0 + rows) * k];
+            if simd {
+                crate::simd::gemm_rows_nt(a_rows, rows, k, pb, chunk, Store::Assign);
+            } else {
+                kernels::gemm_nt_rows(a_rows, rows, k, pb, chunk, Store::Assign);
+            }
         });
         Ok(out)
     }
@@ -720,9 +813,26 @@ impl Matrix {
         if !cfg.should_parallelize(m, k, n, m) {
             return self.matmul_tn(rhs);
         }
-        let pb = PackedB::from_nn(rhs);
-        let a = &self.data;
+        let pb = PackedB::from_nn_par(rhs, cfg);
         let mut out = Matrix::zeros(m, n);
+        if crate::simd::use_simd(m, k, n) {
+            // tn's own SIMD layout — see `matmul_tn_packed`.
+            let at = self.transposed_blocked();
+            let a = &at.data;
+            Self::par_row_blocks(&mut out.data, m, n, cfg.threads, |row0, rows, chunk| {
+                debug_assert!((row0 + rows) * k <= a.len());
+                crate::simd::gemm_rows_nn(
+                    &a[row0 * k..(row0 + rows) * k],
+                    rows,
+                    k,
+                    &pb,
+                    chunk,
+                    Store::Assign,
+                );
+            });
+            return Ok(out);
+        }
+        let a = &self.data;
         Self::par_row_blocks(&mut out.data, m, n, cfg.threads, |row0, rows, chunk| {
             kernels::gemm_tn_rows(a, m, k, row0, rows, &pb, chunk, Store::Assign);
         });
@@ -1131,27 +1241,103 @@ mod tests {
         Matrix::zeros(2, 2).rows_slice(1, 2);
     }
 
+    /// SIMD-vs-scalar closeness: ULP-close, or within the
+    /// condition-scaled floor `2k·ε·Σ|a·b|` (cancellation-heavy
+    /// elements have no meaningful relative bound).
+    fn assert_gemm_close(got: &Matrix, reference: &Matrix, absref: &Matrix, k: usize) {
+        let tol = 2.0 * k as f32 * f32::EPSILON;
+        for ((idx, (&g, &r)), &ab) in got
+            .as_slice()
+            .iter()
+            .zip(reference.as_slice())
+            .enumerate()
+            .zip(absref.as_slice())
+        {
+            let ulp_ok = g == r
+                || (g.signum() == r.signum() && g.abs().to_bits().abs_diff(r.abs().to_bits()) <= 8);
+            assert!(
+                ulp_ok || (g - r).abs() <= tol * ab,
+                "elem {idx}: {g} vs {r} (abs bound {})",
+                tol * ab
+            );
+        }
+    }
+
     #[test]
     fn packed_dispatch_is_bit_identical_to_naive() {
         use crate::init;
         // Above PACK_MIN_FLOPS: the implicit entry points take the
-        // packed kernels; results must equal the naive loops bitwise.
+        // packed kernels. With SIMD disabled (or unsupported) the
+        // scalar packed kernels must equal the naive loops bitwise;
+        // with SIMD enabled the result is FMA-contracted, so the
+        // contract weakens to the documented ULP/condition budget —
+        // while the dispatch entry must still agree **bitwise** with
+        // the explicit packed entry (same shape ⇒ same path).
         let a = init::uniform(65, 70, -2.0, 2.0, 5);
         let b_nn = init::uniform(70, 66, -2.0, 2.0, 6);
         let b_nt = init::uniform(66, 70, -2.0, 2.0, 7);
         let a_tn = init::uniform(70, 65, -2.0, 2.0, 8);
-        assert_eq!(
-            a.matmul_nn(&b_nn).unwrap(),
-            a.matmul_nn_naive(&b_nn).unwrap()
-        );
-        assert_eq!(
-            a.matmul_nt(&b_nt).unwrap(),
-            a.matmul_nt_naive(&b_nt).unwrap()
-        );
-        assert_eq!(
-            a_tn.matmul_tn(&b_nn).unwrap(),
-            a_tn.matmul_tn_naive(&b_nn).unwrap()
-        );
+        let nn = a.matmul_nn(&b_nn).unwrap();
+        let nt = a.matmul_nt(&b_nt).unwrap();
+        let tn = a_tn.matmul_tn(&b_nn).unwrap();
+        if crate::simd::enabled() {
+            let k = 70;
+            let abs_nn = a
+                .map(f32::abs)
+                .matmul_nn_naive(&b_nn.map(f32::abs))
+                .unwrap();
+            let abs_nt = a
+                .map(f32::abs)
+                .matmul_nt_naive(&b_nt.map(f32::abs))
+                .unwrap();
+            let abs_tn = a_tn
+                .map(f32::abs)
+                .matmul_tn_naive(&b_nn.map(f32::abs))
+                .unwrap();
+            assert_gemm_close(&nn, &a.matmul_nn_naive(&b_nn).unwrap(), &abs_nn, k);
+            assert_gemm_close(&nt, &a.matmul_nt_naive(&b_nt).unwrap(), &abs_nt, k);
+            assert_gemm_close(&tn, &a_tn.matmul_tn_naive(&b_nn).unwrap(), &abs_tn, k);
+            assert_eq!(nn, a.matmul_nn_packed(&PackedB::from_nn(&b_nn)).unwrap());
+            assert_eq!(nt, a.matmul_nt_packed(&PackedB::from_nt(&b_nt)).unwrap());
+            assert_eq!(tn, a_tn.matmul_tn_packed(&PackedB::from_nn(&b_nn)).unwrap());
+        } else {
+            assert_eq!(nn, a.matmul_nn_naive(&b_nn).unwrap());
+            assert_eq!(nt, a.matmul_nt_naive(&b_nt).unwrap());
+            assert_eq!(tn, a_tn.matmul_tn_naive(&b_nn).unwrap());
+        }
+    }
+
+    #[test]
+    fn blocked_transpose_is_bit_identical_to_naive_transpose() {
+        use crate::init;
+        // Tile edges in both dimensions, plus degenerate shapes.
+        for (r, c) in [(1usize, 1usize), (31, 33), (32, 32), (65, 100), (3, 200)] {
+            let a = init::uniform(r, c, -2.0, 2.0, (r * 1000 + c) as u64);
+            assert_eq!(a.transposed_blocked(), a.transpose(), "{r}x{c}");
+        }
+    }
+
+    #[test]
+    fn into_and_epilogue_forms_agree_with_dispatch_above_threshold() {
+        use crate::init;
+        // The cell's forward_with (dispatch) and forward_ws (packed
+        // workspace) paths must stay bitwise interchangeable above the
+        // SIMD threshold — the dispatch decision is a function of the
+        // full logical shape only.
+        let cfg = ParallelConfig::serial();
+        let x = init::uniform(48, 40, -1.0, 1.0, 51);
+        let w = init::uniform(64, 40, -1.0, 1.0, 52);
+        let pb = PackedB::from_nt(&w);
+        let dispatch = x.matmul_nt(&w).unwrap();
+        let mut into = Matrix::zeros(48, 64);
+        x.matmul_nt_packed_into(&pb, &mut into, Store::Assign, &cfg)
+            .unwrap();
+        assert_eq!(dispatch, into);
+        // Epilogue with identity transform equals Add onto zeros.
+        let mut epi = Matrix::zeros(48, 64);
+        x.matmul_nt_packed_epilogue(&pb, &mut epi, &cfg, |_, v| v)
+            .unwrap();
+        assert_eq!(dispatch, epi);
     }
 
     #[test]

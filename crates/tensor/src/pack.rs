@@ -14,7 +14,7 @@
 //! all `NR` lanes but store only the valid ones, so the padding never
 //! reaches an output buffer.
 
-use crate::Matrix;
+use crate::{Matrix, ParallelConfig};
 
 /// Lane width of a packed panel — the register-tile width of the
 /// microkernels (`NR` accumulator columns).
@@ -40,6 +40,40 @@ pub struct PackedB {
     data: Vec<f32>,
 }
 
+/// Fills one k-major panel from a `[k, n]` source (`nn` layout). The
+/// panel write is a pure function of `(src, k, n, panel_idx)`, which is
+/// what lets [`PackedB::from_nn_par`] hand disjoint panel ranges to
+/// workers without changing a single stored bit.
+#[inline]
+fn fill_nn_panel(chunk: &mut [f32], src: &[f32], k: usize, n: usize, panel_idx: usize) {
+    debug_assert_eq!(chunk.len(), k * NR);
+    debug_assert_eq!(src.len(), k * n);
+    debug_assert!(panel_idx * NR < n);
+    let j0 = panel_idx * NR;
+    let width = NR.min(n - j0);
+    for p in 0..k {
+        let row = &src[p * n + j0..p * n + j0 + width];
+        chunk[p * NR..p * NR + width].copy_from_slice(row);
+    }
+}
+
+/// Fills one k-major panel from a `[n, k]` source (`nt` layout),
+/// transposing as it copies. Pure per-panel, like [`fill_nn_panel`].
+#[inline]
+fn fill_nt_panel(chunk: &mut [f32], src: &[f32], k: usize, n: usize, panel_idx: usize) {
+    debug_assert_eq!(chunk.len(), k * NR);
+    debug_assert_eq!(src.len(), n * k);
+    debug_assert!(panel_idx * NR < n);
+    let j0 = panel_idx * NR;
+    let width = NR.min(n - j0);
+    for jj in 0..width {
+        let b_row = &src[(j0 + jj) * k..(j0 + jj + 1) * k];
+        for (p, &v) in b_row.iter().enumerate() {
+            chunk[p * NR + jj] = v;
+        }
+    }
+}
+
 impl PackedB {
     /// Packs a `[k, n]` matrix (the rhs of an `nn` or `tn` product).
     pub fn from_nn(b: &Matrix) -> Self {
@@ -49,12 +83,7 @@ impl PackedB {
         if k > 0 {
             let src = b.as_slice();
             for (panel, chunk) in data.chunks_exact_mut(k * NR).enumerate() {
-                let j0 = panel * NR;
-                let width = NR.min(n - j0);
-                for p in 0..k {
-                    let row = &src[p * n + j0..p * n + j0 + width];
-                    chunk[p * NR..p * NR + width].copy_from_slice(row);
-                }
+                fill_nn_panel(chunk, src, k, n, panel);
             }
         }
         PackedB { k, n, data }
@@ -69,13 +98,64 @@ impl PackedB {
         if k > 0 {
             let src = b.as_slice();
             for (panel, chunk) in data.chunks_exact_mut(k * NR).enumerate() {
-                let j0 = panel * NR;
-                let width = NR.min(n - j0);
-                for jj in 0..width {
-                    let b_row = &src[(j0 + jj) * k..(j0 + jj + 1) * k];
-                    for (p, &v) in b_row.iter().enumerate() {
-                        chunk[p * NR + jj] = v;
+                fill_nt_panel(chunk, src, k, n, panel);
+            }
+        }
+        PackedB { k, n, data }
+    }
+
+    /// [`PackedB::from_nn`] with worker threads filling disjoint panel
+    /// ranges when `cfg` and the shape warrant it. Each panel is a pure
+    /// function of the source, so the result is **bit-identical** to
+    /// the serial pack at any thread count — packing parallelism, like
+    /// kernel parallelism, is a latency knob only.
+    pub fn from_nn_par(b: &Matrix, cfg: &ParallelConfig) -> Self {
+        Self::pack_par(b.rows(), b.cols(), b.as_slice(), cfg, fill_nn_panel)
+    }
+
+    /// [`PackedB::from_nt`] with parallel panel filling (transposed
+    /// source); bit-identical to the serial pack.
+    pub fn from_nt_par(b: &Matrix, cfg: &ParallelConfig) -> Self {
+        Self::pack_par(b.cols(), b.rows(), b.as_slice(), cfg, fill_nt_panel)
+    }
+
+    /// Shared parallel-pack driver: splits the panel-major buffer into
+    /// one contiguous chunk of whole panels per worker. Falls back to
+    /// the serial loop when the config says serial, the panel count
+    /// cannot feed every worker, or the copy volume (`k * n` values)
+    /// is below the kernel-flops threshold — a pack moves one byte per
+    /// value, so small packs lose more to spawn latency than they gain.
+    fn pack_par(
+        k: usize,
+        n: usize,
+        src: &[f32],
+        cfg: &ParallelConfig,
+        fill: fn(&mut [f32], &[f32], usize, usize, usize),
+    ) -> Self {
+        let panels = n.div_ceil(NR);
+        let mut data = vec![0.0f32; panels * k * NR];
+        if k > 0 {
+            let stride = k * NR;
+            let workers = cfg
+                .threads
+                .min(rayon::current_num_threads())
+                .min(panels)
+                .max(1);
+            if cfg.threads > 1 && panels >= cfg.threads && k * n >= cfg.min_kernel_flops {
+                crate::stats::record_panel_pack_parallel();
+                let per = panels.div_ceil(workers);
+                rayon::scope(|s| {
+                    for (w, slab) in data.chunks_mut(per * stride).enumerate() {
+                        s.spawn(move |_| {
+                            for (off, chunk) in slab.chunks_exact_mut(stride).enumerate() {
+                                fill(chunk, src, k, n, w * per + off);
+                            }
+                        });
                     }
+                });
+            } else {
+                for (panel, chunk) in data.chunks_exact_mut(stride).enumerate() {
+                    fill(chunk, src, k, n, panel);
                 }
             }
         }
@@ -153,6 +233,30 @@ mod tests {
                 assert_eq!(pb.panel(panel)[p * NR + lane], b.get(p, j));
             }
         }
+    }
+
+    #[test]
+    fn parallel_pack_is_bit_identical_to_serial() {
+        let b = init::uniform(96, 200, -1.0, 1.0, 11);
+        let mut cfg = ParallelConfig::with_threads(4);
+        cfg.min_kernel_flops = 1; // force the parallel branch
+        assert_eq!(PackedB::from_nn_par(&b, &cfg), PackedB::from_nn(&b));
+        assert_eq!(PackedB::from_nt_par(&b, &cfg), PackedB::from_nt(&b));
+        // A serial config must route through the plain loop and agree.
+        let serial = ParallelConfig::serial();
+        assert_eq!(PackedB::from_nn_par(&b, &serial), PackedB::from_nn(&b));
+        assert_eq!(PackedB::from_nt_par(&b, &serial), PackedB::from_nt(&b));
+    }
+
+    #[test]
+    fn parallel_pack_records_the_telemetry_counter() {
+        let b = init::uniform(64, 64, -1.0, 1.0, 12);
+        let mut cfg = ParallelConfig::with_threads(2);
+        cfg.min_kernel_flops = 1;
+        let before = crate::stats::dispatch_snapshot();
+        let _ = PackedB::from_nn_par(&b, &cfg);
+        let d = crate::stats::dispatch_snapshot().since(&before);
+        assert!(d.pack_parallel >= 1);
     }
 
     #[test]

@@ -25,6 +25,13 @@ static FLOPS: AtomicU64 = AtomicU64::new(0);
 static BYTES: AtomicU64 = AtomicU64::new(0); // SYNC: telemetry counter (see above)
 static CALLS: AtomicU64 = AtomicU64::new(0); // SYNC: telemetry counter (see above)
 
+// SYNC: dispatch-path telemetry counters, same snapshot-diff contract
+// as the work counters above — they count which kernel family served
+// each GEMM call, never feed a numeric result.
+static SIMD_DISPATCH: AtomicU64 = AtomicU64::new(0);
+static SCALAR_FALLBACK: AtomicU64 = AtomicU64::new(0); // SYNC: telemetry counter (see above)
+static PANEL_PACK_PARALLEL: AtomicU64 = AtomicU64::new(0); // SYNC: telemetry counter (see above)
+
 /// Point-in-time reading of the global GEMM counters; diff two of
 /// these to attribute work to a region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -79,6 +86,59 @@ pub fn record_gemm(rows: usize, k: usize, n: usize) {
     CALLS.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Point-in-time reading of the kernel dispatch-path counters; diff
+/// two to attribute dispatch decisions to a region, exactly like
+/// [`GemmSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DispatchSnapshot {
+    /// GEMM calls served by the AVX2+FMA microkernels.
+    pub simd: u64,
+    /// GEMM calls served by the always-compiled scalar microkernels
+    /// (SIMD unavailable, disabled via `ETA_SIMD`, or the product was
+    /// below the dispatch threshold).
+    pub scalar: u64,
+    /// Panel packs that ran the rayon-parallel packing path.
+    pub pack_parallel: u64,
+}
+
+impl DispatchSnapshot {
+    /// Events recorded since `earlier` (saturating).
+    pub fn since(&self, earlier: &DispatchSnapshot) -> DispatchSnapshot {
+        DispatchSnapshot {
+            simd: self.simd.saturating_sub(earlier.simd),
+            scalar: self.scalar.saturating_sub(earlier.scalar),
+            pack_parallel: self.pack_parallel.saturating_sub(earlier.pack_parallel),
+        }
+    }
+}
+
+/// Reads the current dispatch-path counter values.
+pub fn dispatch_snapshot() -> DispatchSnapshot {
+    DispatchSnapshot {
+        simd: SIMD_DISPATCH.load(Ordering::Relaxed),
+        scalar: SCALAR_FALLBACK.load(Ordering::Relaxed),
+        pack_parallel: PANEL_PACK_PARALLEL.load(Ordering::Relaxed),
+    }
+}
+
+/// Records one GEMM call routed to the AVX2+FMA microkernels.
+#[inline]
+pub fn record_simd_dispatch() {
+    SIMD_DISPATCH.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one GEMM call served by the scalar microkernels.
+#[inline]
+pub fn record_scalar_fallback() {
+    SCALAR_FALLBACK.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one panel pack that took the parallel packing path.
+#[inline]
+pub fn record_panel_pack_parallel() {
+    PANEL_PACK_PARALLEL.fetch_add(1, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +162,28 @@ mod tests {
         };
         assert_eq!(s.intensity(), 4.0);
         assert_eq!(GemmSnapshot::default().intensity(), 0.0);
+    }
+
+    #[test]
+    fn dispatch_counters_advance_and_diff() {
+        let before = dispatch_snapshot();
+        record_simd_dispatch();
+        record_scalar_fallback();
+        record_panel_pack_parallel();
+        let d = dispatch_snapshot().since(&before);
+        assert!(d.simd >= 1);
+        assert!(d.scalar >= 1);
+        assert!(d.pack_parallel >= 1);
+        // Saturating diff, mirroring GemmSnapshot.
+        let older = DispatchSnapshot {
+            simd: u64::MAX,
+            scalar: u64::MAX,
+            pack_parallel: u64::MAX,
+        };
+        assert_eq!(
+            dispatch_snapshot().since(&older),
+            DispatchSnapshot::default()
+        );
     }
 
     #[test]
